@@ -1,0 +1,80 @@
+// Ablation: performance independence from the request distribution (paper section 8:
+// oblivious guarantees mean the workload cannot affect performance -- only parameters
+// can). Runs the REAL system over uniform, Zipfian(0.99), and 90%-hotspot workloads of
+// identical size and measures epoch wall time. The three times must agree to within
+// noise; a plaintext sharded store is shown for contrast (its hottest shard absorbs
+// the skew).
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/baseline/plaintext_store.h"
+#include "src/core/snoopy.h"
+#include "src/sim/workload.h"
+
+namespace snoopy {
+namespace {
+
+constexpr uint64_t kObjects = 20000;
+constexpr size_t kRequests = 2000;
+constexpr size_t kValueSize = 64;
+
+double EpochTime(const std::vector<WorkloadRequest>& reqs) {
+  SnoopyConfig cfg;
+  cfg.num_suborams = 4;
+  cfg.value_size = kValueSize;
+  cfg.lambda = 128;
+  auto store = std::make_unique<Snoopy>(cfg, 77);
+  std::vector<std::pair<uint64_t, std::vector<uint8_t>>> objects;
+  for (uint64_t k = 0; k < kObjects; ++k) {
+    objects.emplace_back(k, std::vector<uint8_t>());
+  }
+  store->Initialize(objects);
+  for (size_t i = 0; i < reqs.size(); ++i) {
+    if (reqs[i].is_write) {
+      store->SubmitWrite(1, i, reqs[i].key, std::vector<uint8_t>(kValueSize, 1));
+    } else {
+      store->SubmitRead(1, i, reqs[i].key);
+    }
+  }
+  return TimeSeconds([&] { store->RunEpoch(); });
+}
+
+uint64_t HottestShardLoad(const std::vector<WorkloadRequest>& reqs) {
+  PlaintextStore store(4, kValueSize);
+  for (const WorkloadRequest& r : reqs) {
+    store.Read(r.key);
+  }
+  uint64_t hot = 0;
+  for (const uint64_t c : store.shard_accesses()) {
+    hot = c > hot ? c : hot;
+  }
+  return hot;
+}
+
+}  // namespace
+}  // namespace snoopy
+
+int main() {
+  using namespace snoopy;
+  PrintHeader("Ablation", "workload-skew independence (real system, 2K requests/epoch)");
+  WorkloadGenerator gen(kObjects, /*write_fraction=*/0.2, /*seed=*/5);
+  const auto uniform = gen.Uniform(kRequests);
+  const auto zipf = gen.Zipfian(kRequests, 0.99);
+  const auto hotspot = gen.Hotspot(kRequests, 0.9);
+
+  std::printf("%12s %18s %26s\n", "workload", "Snoopy epoch (ms)",
+              "plaintext hottest shard");
+  std::printf("%12s %18.1f %21llu/%zu\n", "uniform", EpochTime(uniform) * 1e3,
+              static_cast<unsigned long long>(HottestShardLoad(uniform)), kRequests);
+  std::printf("%12s %18.1f %21llu/%zu\n", "zipf(0.99)", EpochTime(zipf) * 1e3,
+              static_cast<unsigned long long>(HottestShardLoad(zipf)), kRequests);
+  std::printf("%12s %18.1f %21llu/%zu\n", "hotspot 90%", EpochTime(hotspot) * 1e3,
+              static_cast<unsigned long long>(HottestShardLoad(hotspot)), kRequests);
+  std::printf("\nexpected shape: Snoopy's epoch time is flat across distributions (the\n"
+              "batch structure depends only on R and S); the plaintext store's hottest\n"
+              "shard mirrors the skew, which is exactly the leakage.\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Bound-tightness analysis (paper Appendix A and the balls-into-bins discussion in
+// section 10): how close is the Theorem 3 batch bound to the empirical maximum load?
+//
+// The paper argues prior bounds are either inefficient to evaluate or not
+// cryptographically negligible under realistic parameters; the Lambert-W inversion
+// gives a closed form with Pr[overflow] <= 2^-lambda. Monte Carlo cannot certify
+// 2^-128, but it shows where the observed max load sits relative to the bound and to
+// the mean -- the slack is the price of the negligible guarantee.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/analysis/batch_bound.h"
+#include "src/crypto/rng.h"
+#include "src/crypto/siphash.h"
+
+namespace snoopy {
+namespace {
+
+uint64_t EmpiricalMaxLoad(uint64_t r, uint64_t s, int trials, Rng& rng) {
+  uint64_t worst = 0;
+  for (int t = 0; t < trials; ++t) {
+    const SipKey key = rng.NextSipKey();
+    std::vector<uint64_t> load(s, 0);
+    for (uint64_t i = 0; i < r; ++i) {
+      ++load[SipHash24(key, i) % s];
+    }
+    for (const uint64_t l : load) {
+      worst = l > worst ? l : worst;
+    }
+  }
+  return worst;
+}
+
+}  // namespace
+}  // namespace snoopy
+
+int main() {
+  using namespace snoopy;
+  PrintHeader("Analysis", "Theorem 3 bound vs. empirical max load (200 trials each)");
+  Rng rng(7);
+  std::printf("%9s %5s | %8s %12s | %11s %11s | %9s\n", "R", "S", "mean", "max(empir.)",
+              "f lam=80", "f lam=128", "slack128");
+  for (const auto& [r, s] : std::vector<std::pair<uint64_t, uint64_t>>{
+           {1000, 10}, {10000, 10}, {10000, 20}, {100000, 20}, {1000000, 20}}) {
+    const uint64_t empirical = EmpiricalMaxLoad(r, s, 200, rng);
+    const uint64_t f80 = BatchSize(r, s, 80);
+    const uint64_t f128 = BatchSize(r, s, 128);
+    std::printf("%9llu %5llu | %8llu %12llu | %11llu %11llu | %8.2fx\n",
+                static_cast<unsigned long long>(r), static_cast<unsigned long long>(s),
+                static_cast<unsigned long long>(r / s),
+                static_cast<unsigned long long>(empirical),
+                static_cast<unsigned long long>(f80),
+                static_cast<unsigned long long>(f128),
+                static_cast<double>(f128) / static_cast<double>(empirical));
+  }
+  std::printf("\nreading: the bound must cover 2^-128 tail events that 200 trials cannot\n"
+              "witness; the observed slack (bound / empirical max) shrinks as R grows --\n"
+              "the paper's \"high-throughput regime\" is exactly where padding is cheap.\n");
+  return 0;
+}

@@ -1,0 +1,28 @@
+// Shared helpers for the figure/table harnesses: wall-clock timing and aligned
+// row printing so each binary reproduces its paper figure as a text table.
+
+#ifndef SNOOPY_BENCH_BENCH_UTIL_H_
+#define SNOOPY_BENCH_BENCH_UTIL_H_
+
+#include <chrono>
+#include <cstdio>
+#include <functional>
+
+namespace snoopy {
+
+inline double TimeSeconds(const std::function<void()>& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  fn();
+  const auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(end - start).count();
+}
+
+inline void PrintHeader(const char* figure, const char* caption) {
+  std::printf("==============================================================================\n");
+  std::printf("%s -- %s\n", figure, caption);
+  std::printf("==============================================================================\n");
+}
+
+}  // namespace snoopy
+
+#endif  // SNOOPY_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,65 @@
+// Extension (paper section 9): Snoopy's techniques applied to PIR. Two effects are
+// quantified on the real implementation:
+//   1. batch answering -- one database scan serves a whole batch instead of one scan
+//      per request ("batch PIR schemes ... are well-suited to our setting");
+//   2. the load balancer's sharding -- each scan covers only 1/S of the data, which
+//      plain PIR cannot do privately on its own ("our load balancer design makes it
+//      possible to obliviously route requests to the PIR server holding the correct
+//      shard").
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/pir/snoopy_pir.h"
+
+namespace snoopy {
+namespace {
+
+constexpr size_t kValueSize = 64;
+constexpr uint64_t kObjects = 8192;
+constexpr size_t kBatch = 128;
+
+double EpochTime(uint32_t shards, uint64_t* scans_out) {
+  SnoopyPirConfig cfg;
+  cfg.num_shards = shards;
+  cfg.value_size = kValueSize;
+  cfg.lambda = 128;
+  SnoopyPir store(cfg, shards);
+  std::vector<std::pair<uint64_t, std::vector<uint8_t>>> objects;
+  for (uint64_t k = 0; k < kObjects; ++k) {
+    objects.emplace_back(k, std::vector<uint8_t>(kValueSize, 1));
+  }
+  store.Initialize(objects);
+  std::vector<uint64_t> keys;
+  for (size_t i = 0; i < kBatch; ++i) {
+    keys.push_back((i * 131) % kObjects);
+  }
+  const double t = TimeSeconds([&] { store.LookupBatch(keys); });
+  *scans_out = store.total_server_scans();
+  return t;
+}
+
+}  // namespace
+}  // namespace snoopy
+
+int main() {
+  using namespace snoopy;
+  PrintHeader("Extension (section 9)", "Snoopy-PIR: batched, sharded XOR PIR");
+  std::printf("database: %llu x %zuB objects, batch of %zu lookups per epoch\n\n",
+              static_cast<unsigned long long>(kObjects), kValueSize, kBatch);
+  std::printf("%8s %14s %14s %22s\n", "shards", "epoch (ms)", "server scans",
+              "records scanned/server");
+  for (const uint32_t shards : {1u, 2u, 4u, 8u}) {
+    uint64_t scans = 0;
+    const double t = EpochTime(shards, &scans);
+    std::printf("%8u %14.1f %14llu %22llu\n", shards, t * 1e3,
+                static_cast<unsigned long long>(scans),
+                static_cast<unsigned long long>(kObjects / shards));
+  }
+  std::printf("\nnaive PIR would need %zu full-database scans per server for this batch;\n"
+              "batching turns that into 1 per shard-server, and sharding shrinks each\n"
+              "scan by S -- the same structure as the enclave subORAM.\n",
+              kBatch);
+  return 0;
+}

@@ -1,0 +1,22 @@
+// Figure 3: dummy request overhead (%) as a function of the number of real requests,
+// for 2 / 10 / 20 subORAMs at lambda = 128. A 50% overhead means one dummy for every
+// two real requests. The paper's takeaway: overhead falls as batches grow, so larger
+// epochs amortize better.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/analysis/batch_bound.h"
+
+int main() {
+  using namespace snoopy;
+  PrintHeader("Figure 3", "dummy request overhead vs. real requests (lambda = 128)");
+  std::printf("%10s %14s %14s %14s\n", "requests", "S=2 (%)", "S=10 (%)", "S=20 (%)");
+  for (uint64_t r = 500; r <= 10000; r += 500) {
+    std::printf("%10llu %14.1f %14.1f %14.1f\n", static_cast<unsigned long long>(r),
+                DummyOverheadPercent(r, 2, 128), DummyOverheadPercent(r, 10, 128),
+                DummyOverheadPercent(r, 20, 128));
+  }
+  std::printf("\npaper shape check: overhead decreases in R, increases in S.\n");
+  return 0;
+}

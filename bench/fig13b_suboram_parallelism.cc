@@ -1,0 +1,69 @@
+// Figure 13b: parallelizing subORAM batch processing across enclave threads (batch of
+// 4K requests, growing data sizes). One core stays reserved for the host loader thread
+// that streams encrypted objects into the enclave (paper section 7).
+//
+// Runs the real subORAM. As with fig13a, this container has one hardware core, so the
+// model columns carry the 4-core shape; measured numbers validate the single-thread
+// trend in the data-size dimension.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/core/suboram.h"
+#include "src/sim/cost_model.h"
+
+namespace snoopy {
+namespace {
+
+constexpr size_t kValueSize = 160;
+constexpr uint64_t kBatch = 4096;
+
+double ProcessTime(uint64_t objects, int threads) {
+  SubOramConfig cfg;
+  cfg.value_size = kValueSize;
+  cfg.lambda = 128;
+  cfg.sort_threads = threads;
+  cfg.check_distinct = false;  // isolate the Figure 7 pipeline
+  SubOram suboram(cfg, objects + threads);
+  std::vector<std::pair<uint64_t, std::vector<uint8_t>>> objs;
+  objs.reserve(objects);
+  for (uint64_t k = 0; k < objects; ++k) {
+    objs.emplace_back(k, std::vector<uint8_t>());
+  }
+  suboram.Initialize(objs);
+
+  RequestBatch batch(kValueSize);
+  for (uint64_t i = 0; i < kBatch; ++i) {
+    RequestHeader h;
+    h.key = i;  // distinct keys
+    h.op = kOpRead;
+    h.client_seq = i;
+    batch.Append(h, {});
+  }
+  return TimeSeconds([&] { suboram.ProcessBatch(std::move(batch)); });
+}
+
+}  // namespace
+}  // namespace snoopy
+
+int main() {
+  using namespace snoopy;
+  PrintHeader("Figure 13b", "subORAM batch processing thread scaling (batch = 4K)");
+  const CostModel model;
+  std::printf("%10s | %12s | %12s %12s %12s\n", "objects", "measured 1thr",
+              "model 1thr", "model 2thr", "model 3thr");
+  for (const uint64_t n : {uint64_t{1} << 12, uint64_t{1} << 14, uint64_t{1} << 16,
+                           uint64_t{1} << 18}) {
+    const double measured = ProcessTime(n, 1);
+    std::printf("%10llu | %10.0f ms | %10.0f %12.0f %12.0f ms\n",
+                static_cast<unsigned long long>(n), measured * 1e3,
+                model.SubOramBatchSeconds(kBatch, n, 1) * 1e3,
+                model.SubOramBatchSeconds(kBatch, n, 2) * 1e3,
+                model.SubOramBatchSeconds(kBatch, n, 3) * 1e3);
+  }
+  std::printf("\npaper shape check: processing time scales with data size; extra enclave\n"
+              "threads cut it substantially (model columns), with diminishing returns\n"
+              "from 2 to 3 threads.\n");
+  return 0;
+}

@@ -1,0 +1,115 @@
+// Functional comparison at laptop scale -- no simulation, no cost model: the real
+// Snoopy pipeline vs. the real Obladi-style proxy (Ring ORAM), the real Oblix-style
+// sequential tree ORAM, and the real plaintext store, all serving the same batch of
+// requests over the same data.
+//
+// This is the amortization story of paper section 5 in miniature: Snoopy pays one
+// oblivious linear scan per batch, the tree ORAMs pay a polylog path per *request*.
+// At small data sizes the tree ORAMs win per request; as the batch grows, the scan
+// amortizes. (Absolute numbers are this machine's; the shape is the claim.)
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/baseline/obladi.h"
+#include "src/baseline/oblix.h"
+#include "src/baseline/plaintext_store.h"
+#include "src/core/snoopy.h"
+
+namespace snoopy {
+namespace {
+
+constexpr uint64_t kObjects = 4096;
+constexpr size_t kValueSize = 64;
+
+std::vector<std::pair<uint64_t, std::vector<uint8_t>>> Objects() {
+  std::vector<std::pair<uint64_t, std::vector<uint8_t>>> objects;
+  for (uint64_t k = 0; k < kObjects; ++k) {
+    objects.emplace_back(k, std::vector<uint8_t>(kValueSize, 1));
+  }
+  return objects;
+}
+
+std::vector<uint64_t> Keys(size_t batch) {
+  std::vector<uint64_t> keys;
+  for (size_t i = 0; i < batch; ++i) {
+    keys.push_back((i * 2654435761u) % kObjects);
+  }
+  return keys;
+}
+
+double SnoopyBatch(size_t batch) {
+  SnoopyConfig cfg;
+  cfg.num_suborams = 2;
+  cfg.value_size = kValueSize;
+  cfg.lambda = 128;
+  auto store = std::make_unique<Snoopy>(cfg, 1);
+  store->Initialize(Objects());
+  size_t seq = 0;
+  for (const uint64_t k : Keys(batch)) {
+    store->SubmitRead(1, seq++, k);
+  }
+  return TimeSeconds([&] { store->RunEpoch(); });
+}
+
+double ObladiBatch(size_t batch) {
+  ObladiConfig cfg;
+  cfg.capacity = kObjects;
+  cfg.value_size = kValueSize;
+  cfg.batch_size = static_cast<uint32_t>(batch);
+  ObladiProxy proxy(cfg, 2);
+  proxy.Initialize(Objects());
+  size_t seq = 0;
+  for (const uint64_t k : Keys(batch)) {
+    proxy.Submit({seq++, k, false, {}});
+  }
+  return TimeSeconds([&] { proxy.ExecuteBatches(); });
+}
+
+double OblixBatch(size_t batch) {
+  OblixStore store(kObjects, kValueSize, 3);
+  store.Initialize(Objects());
+  const auto keys = Keys(batch);
+  return TimeSeconds([&] {
+    for (const uint64_t k : keys) {
+      store.Read(k);
+    }
+  });
+}
+
+double PlaintextBatch(size_t batch) {
+  PlaintextStore store(2, kValueSize);
+  store.Initialize(Objects());
+  const auto keys = Keys(batch);
+  return TimeSeconds([&] {
+    for (const uint64_t k : keys) {
+      store.Read(k);
+    }
+  });
+}
+
+}  // namespace
+}  // namespace snoopy
+
+int main() {
+  using namespace snoopy;
+  PrintHeader("Functional comparison",
+              "real implementations, 4096 x 64B objects, read batches");
+  std::printf("%8s | %12s %12s %12s %12s | %16s\n", "batch", "Snoopy(ms)", "Obladi(ms)",
+              "Oblix(ms)", "plain(ms)", "Snoopy us/req");
+  for (const size_t batch : {64u, 256u, 1024u, 4096u}) {
+    const double snoopy_s = SnoopyBatch(batch);
+    const double obladi_s = ObladiBatch(batch);
+    const double oblix_s = OblixBatch(batch);
+    const double plain_s = PlaintextBatch(batch);
+    std::printf("%8zu | %12.1f %12.1f %12.1f %12.3f | %16.1f\n", batch, snoopy_s * 1e3,
+                obladi_s * 1e3, oblix_s * 1e3, plain_s * 1e3,
+                snoopy_s * 1e6 / static_cast<double>(batch));
+  }
+  std::printf("\nshape check: Snoopy's per-request cost falls as the batch grows (the\n"
+              "linear scan amortizes); the tree ORAMs' per-request cost is flat, so\n"
+              "they win tiny batches and lose large ones -- the paper's core trade.\n");
+  return 0;
+}

@@ -1,0 +1,43 @@
+// The paper's headline result (sections 1 and 8.2): for 2M 160-byte objects,
+//   - Obladi peaks at 6,716 reqs/s (proxy + server; cannot scale further),
+//   - Oblix serves ~1,153 reqs/s on its single machine,
+//   - Snoopy reaches 92K reqs/s on 18 machines with mean latency under 500 ms
+//     (13.7x Obladi), and 130K under 1 s,
+//   - Redis (insecure) does ~4.2M reqs/s on 15 machines (~39x Snoopy at 1 s).
+// This harness regenerates the comparison from the calibrated model + pipeline
+// simulator and prints the achieved ratios.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/sim/cluster.h"
+
+int main() {
+  using namespace snoopy;
+  PrintHeader("Headline", "Snoopy vs. Obladi vs. Oblix vs. Redis, 2M x 160B objects");
+  const CostModel model;
+  constexpr uint64_t kObjects = 2000000;
+
+  const auto s500 = ClusterSimulator::BestSplit(18, kObjects, 0.5, model);
+  const auto s1000 = ClusterSimulator::BestSplit(18, kObjects, 1.0, model);
+  const double obladi = model.ObladiThroughput();
+  const double oblix = 1.0 / model.OblixAccessSeconds(kObjects);
+  const double redis = model.RedisThroughput(15);
+
+  std::printf("%-22s %14s %12s %10s\n", "system", "machines", "reqs/s", "latency");
+  std::printf("%-22s %14s %12.0f %10s\n", "Oblix", "1", oblix, "~1 ms");
+  std::printf("%-22s %14s %12.0f %10s\n", "Obladi", "2 (max)", obladi, "<80 ms");
+  std::printf("%-22s %8u LB+%u SO %12.0f %10s\n", "Snoopy (500ms)", s500.load_balancers,
+              s500.suborams, s500.metrics.throughput, "<500 ms");
+  std::printf("%-22s %8u LB+%u SO %12.0f %10s\n", "Snoopy (1s)", s1000.load_balancers,
+              s1000.suborams, s1000.metrics.throughput, "<1 s");
+  std::printf("%-22s %14s %12.0f %10s\n", "Redis (insecure)", "15", redis, "<800 ms");
+
+  std::printf("\nratios: Snoopy(500ms)/Obladi = %.1fx   (paper: 13.7x)\n",
+              s500.metrics.throughput / obladi);
+  std::printf("        Snoopy(500ms)/Oblix  = %.1fx   (paper: ~80x)\n",
+              s500.metrics.throughput / oblix);
+  std::printf("        Redis/Snoopy(1s)     = %.1fx   (paper: 39.1x)\n",
+              redis / s1000.metrics.throughput);
+  return 0;
+}

@@ -1,0 +1,150 @@
+// Microbenchmarks (google-benchmark) for the oblivious and cryptographic building
+// blocks: the constants that feed the cost model's calibration on this machine.
+
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <vector>
+
+#include "src/analysis/batch_bound.h"
+#include "src/crypto/aead.h"
+#include "src/crypto/rng.h"
+#include "src/crypto/sha256.h"
+#include "src/crypto/siphash.h"
+#include "src/obl/bitonic_sort.h"
+#include "src/obl/compaction.h"
+#include "src/obl/hash_table.h"
+#include "src/obl/primitives.h"
+#include "src/obl/slab.h"
+
+namespace snoopy {
+namespace {
+
+void BM_CtCondCopy160(benchmark::State& state) {
+  std::vector<uint8_t> dst(160);
+  std::vector<uint8_t> src(160, 7);
+  bool c = false;
+  for (auto _ : state) {
+    CtCondCopyBytes(c, dst.data(), src.data(), 160);
+    c = !c;
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 160);
+}
+BENCHMARK(BM_CtCondCopy160);
+
+void BM_CtCondSwap208(benchmark::State& state) {
+  std::vector<uint8_t> a(208, 1);
+  std::vector<uint8_t> b(208, 2);
+  bool c = false;
+  for (auto _ : state) {
+    CtCondSwapBytes(c, a.data(), b.data(), 208);
+    c = !c;
+    benchmark::DoNotOptimize(a.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 208);
+}
+BENCHMARK(BM_CtCondSwap208);
+
+void BM_BitonicSort(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(1);
+  for (auto _ : state) {
+    state.PauseTiming();
+    ByteSlab slab(n, 208);
+    for (size_t i = 0; i < n; ++i) {
+      const uint64_t k = rng.Next64();
+      std::memcpy(slab.Record(i), &k, 8);
+    }
+    state.ResumeTiming();
+    BitonicSortSlab(slab, [](const uint8_t* x, const uint8_t* y) {
+      uint64_t kx;
+      uint64_t ky;
+      std::memcpy(&kx, x, 8);
+      std::memcpy(&ky, y, 8);
+      return CtLt64(kx, ky);
+    });
+    benchmark::DoNotOptimize(slab.data());
+  }
+}
+BENCHMARK(BM_BitonicSort)->Arg(1 << 10)->Arg(1 << 12)->Arg(1 << 14);
+
+void BM_GoodrichCompact(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(2);
+  for (auto _ : state) {
+    state.PauseTiming();
+    ByteSlab slab(n, 208);
+    std::vector<uint8_t> flags(n);
+    for (size_t i = 0; i < n; ++i) {
+      flags[i] = static_cast<uint8_t>(rng.Uniform(2));
+    }
+    state.ResumeTiming();
+    GoodrichCompact(slab, std::span<uint8_t>(flags.data(), n));
+    benchmark::DoNotOptimize(slab.data());
+  }
+}
+BENCHMARK(BM_GoodrichCompact)->Arg(1 << 10)->Arg(1 << 14);
+
+void BM_OhtBuild(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  constexpr OhtSchema kSchema{0, 8, 12, 16, 24};
+  Rng rng(3);
+  for (auto _ : state) {
+    state.PauseTiming();
+    ByteSlab batch(n, 208);
+    for (size_t i = 0; i < n; ++i) {
+      const uint64_t k = i * 1000003;
+      std::memcpy(batch.Record(i), &k, 8);
+    }
+    state.ResumeTiming();
+    TwoTierOht oht(kSchema, 128);
+    benchmark::DoNotOptimize(oht.Build(std::move(batch), rng));
+  }
+}
+BENCHMARK(BM_OhtBuild)->Arg(1 << 10)->Arg(1 << 12);
+
+void BM_Sha256(benchmark::State& state) {
+  std::vector<uint8_t> data(static_cast<size_t>(state.range(0)), 0xab);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha256::Hash(data.data(), data.size()));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(4096);
+
+void BM_AeadSeal(benchmark::State& state) {
+  Aead::Key key{};
+  const Aead aead(key);
+  std::vector<uint8_t> msg(static_cast<size_t>(state.range(0)), 1);
+  uint64_t ctr = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(aead.Seal(Aead::CounterNonce(ctr++), {}, msg));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_AeadSeal)->Arg(208)->Arg(65536);
+
+void BM_SipHash(benchmark::State& state) {
+  const SipKey key{};
+  uint64_t v = 1;
+  for (auto _ : state) {
+    v = SipHash24(key, v);
+  }
+  benchmark::DoNotOptimize(v);
+}
+BENCHMARK(BM_SipHash);
+
+void BM_BatchBound(benchmark::State& state) {
+  uint64_t r = 1000;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BatchSize(r, 16, 128));
+    r = r % 1000000 + 1000;
+  }
+}
+BENCHMARK(BM_BatchBound);
+
+}  // namespace
+}  // namespace snoopy
+
+BENCHMARK_MAIN();

@@ -1,0 +1,67 @@
+// Multi-tenant store with oblivious access control (paper Appendix D): per-user rules
+// are themselves stored obliviously, so serving a request reveals neither the object
+// nor whether the requester was authorized.
+//
+//   ./examples/access_control_demo
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/core/access_control.h"
+
+int main() {
+  using namespace snoopy;
+
+  SnoopyConfig data_cfg;
+  data_cfg.num_suborams = 2;
+  data_cfg.value_size = 48;
+  SnoopyConfig acl_cfg;
+  acl_cfg.num_suborams = 2;
+  AccessControlledSnoopy store(data_cfg, acl_cfg, /*seed=*/11);
+
+  auto value_of = [&](const std::string& text) {
+    std::vector<uint8_t> v(data_cfg.value_size, 0);
+    std::memcpy(v.data(), text.data(), text.size());
+    return v;
+  };
+
+  // Two tenants share the store. Alice (user 1) owns record 100; Bob (user 2) owns
+  // record 200 and has read-only access to Alice's record.
+  store.Initialize(
+      {
+          {100, value_of("alice: medical history")},
+          {200, value_of("bob: tax documents")},
+      },
+      {
+          {/*user=*/1, /*object=*/100, kOpRead, true},
+          {1, 100, kOpWrite, true},
+          {2, 200, kOpRead, true},
+          {2, 200, kOpWrite, true},
+          {2, 100, kOpRead, true},  // Bob may read, not write, Alice's record
+      });
+
+  // One mixed epoch: permitted and denied operations execute indistinguishably.
+  store.SubmitRead(1, 1, 100);                               // Alice reads her record
+  store.SubmitRead(2, 2, 100);                               // Bob reads Alice's (ok)
+  store.SubmitWrite(2, 3, 100, value_of("bob was here"));    // Bob writes Alice's (denied)
+  store.SubmitRead(1, 4, 200);                               // Alice reads Bob's (denied)
+
+  for (const ClientResponse& resp : store.RunEpoch()) {
+    const bool null_resp = resp.value[0] == 0;
+    std::printf("  user %llu, key %llu: %s\n",
+                static_cast<unsigned long long>(resp.client_id),
+                static_cast<unsigned long long>(resp.key),
+                null_resp ? "(denied -> null)"
+                          : reinterpret_cast<const char*>(resp.value.data()));
+  }
+
+  // Bob's denied write left Alice's record intact.
+  store.SubmitRead(1, 5, 100);
+  for (const ClientResponse& resp : store.RunEpoch()) {
+    std::printf("after the denied write, record 100 still reads: \"%s\"\n",
+                reinterpret_cast<const char*>(resp.value.data()));
+  }
+  return 0;
+}

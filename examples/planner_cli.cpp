@@ -1,0 +1,48 @@
+// Planner CLI (paper section 6): given a data size, a throughput target, and a latency
+// budget, print the cheapest (load balancers, subORAMs) configuration.
+//
+//   ./examples/planner_cli [num_objects] [reqs_per_sec] [max_latency_ms]
+//   ./examples/planner_cli 2000000 92000 500
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/core/planner.h"
+#include "src/sim/cost_model.h"
+
+int main(int argc, char** argv) {
+  using namespace snoopy;
+
+  PlannerInput input;
+  input.num_objects = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 2000000;
+  input.min_throughput = argc > 2 ? std::strtod(argv[2], nullptr) : 50000;
+  input.max_latency_s = (argc > 3 ? std::strtod(argv[3], nullptr) : 1000.0) / 1000.0;
+
+  // Service times come from the calibrated cost model, exactly how the paper's planner
+  // consumes microbenchmark results.
+  const CostModel model;
+  PlannerCostFns fns;
+  fns.lb_seconds = [&model](uint64_t r, uint64_t s) { return model.LbEpochSeconds(r, s); };
+  fns.suboram_seconds = [&model](uint64_t batch, uint64_t n) {
+    return model.SubOramBatchSeconds(batch, n);
+  };
+
+  std::printf("planning: %llu objects, >= %.0f reqs/s, <= %.0f ms average latency\n",
+              static_cast<unsigned long long>(input.num_objects), input.min_throughput,
+              input.max_latency_s * 1000.0);
+
+  const PlannerResult result = PlanConfiguration(input, fns);
+  if (!result.feasible) {
+    std::printf("no configuration up to %u load balancers x %u subORAMs meets the "
+                "requirements; relax the latency bound or lower the load\n",
+                input.max_load_balancers, input.max_suborams);
+    return 1;
+  }
+  std::printf("cheapest configuration:\n");
+  std::printf("  load balancers : %u\n", result.load_balancers);
+  std::printf("  subORAMs       : %u\n", result.suborams);
+  std::printf("  epoch length   : %.0f ms\n", result.epoch_seconds * 1000.0);
+  std::printf("  avg latency    : %.0f ms (= 5T/2)\n", result.avg_latency_s * 1000.0);
+  std::printf("  monthly cost   : $%.0f\n", result.cost_per_month);
+  return 0;
+}

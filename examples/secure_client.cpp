@@ -1,0 +1,81 @@
+// End-to-end encrypted client session: attestation, sealed request submission, sealed
+// response delivery (paper section 3.1). Also demonstrates swapping the subORAM
+// backend (section 3.1 / Figure 10): run with "oblix" as argv[1] to serve the same
+// workload from tree-ORAM shards instead of the linear-scan subORAM.
+//
+//   ./examples/secure_client [oblix]
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "src/baseline/oblix_backend.h"
+#include "src/core/client.h"
+
+int main(int argc, char** argv) {
+  using namespace snoopy;
+
+  const bool use_oblix = argc > 1 && std::string(argv[1]) == "oblix";
+  SnoopyConfig config;
+  config.num_load_balancers = 2;
+  config.num_suborams = 2;
+  config.value_size = 32;
+
+  std::unique_ptr<Snoopy> store;
+  if (use_oblix) {
+    const OblixBackendFactory factory(/*capacity_per_shard=*/4096, config.value_size);
+    store = std::make_unique<Snoopy>(config, /*seed=*/5, factory);
+  } else {
+    store = std::make_unique<Snoopy>(config, /*seed=*/5);
+  }
+  std::printf("deployment: 2 load balancers, 2 %s subORAMs\n",
+              use_oblix ? "Oblix (tree-ORAM)" : "linear-scan");
+
+  std::vector<std::pair<uint64_t, std::vector<uint8_t>>> objects;
+  for (uint64_t k = 0; k < 1000; ++k) {
+    std::vector<uint8_t> v(config.value_size, 0);
+    std::memcpy(v.data(), &k, 8);
+    objects.emplace_back(k, v);
+  }
+  store->Initialize(objects);
+
+  // Two clients attest the deployment and open encrypted channels.
+  SnoopyClient alice(*store, /*client_id=*/1, /*seed=*/11);
+  SnoopyClient bob(*store, /*client_id=*/2, /*seed=*/22);
+  std::printf("alice and bob attested the load balancers and opened AEAD channels\n");
+
+  alice.Read(42);
+  std::vector<uint8_t> payload(config.value_size, 0);
+  std::memcpy(payload.data(), "bob-was-here", 12);
+  bob.Write(42, payload);
+  bob.Read(7);
+
+  const auto& stats_before = store->network().stats();
+  std::printf("requests in flight: %llu sealed messages so far\n",
+              static_cast<unsigned long long>(stats_before.messages));
+
+  store->RunEpoch();
+
+  for (const auto& resp : alice.FetchResponses()) {
+    uint64_t k;
+    std::memcpy(&k, resp.value.data(), 8);
+    std::printf("alice <- key %llu: stored value tag %llu (pre-state; bob's write lands "
+                "next epoch for her balancer or this one, per the epoch order)\n",
+                static_cast<unsigned long long>(resp.key),
+                static_cast<unsigned long long>(k));
+  }
+  for (const auto& resp : bob.FetchResponses()) {
+    std::printf("bob   <- key %llu (seq %llu)\n",
+                static_cast<unsigned long long>(resp.key),
+                static_cast<unsigned long long>(resp.client_seq));
+  }
+
+  // Verify the write persisted.
+  alice.Read(42);
+  store->RunEpoch();
+  const auto after = alice.FetchResponses();
+  std::printf("next epoch, key 42 reads: \"%s\"\n",
+              reinterpret_cast<const char*>(after[0].value.data()));
+  return 0;
+}

@@ -1,0 +1,80 @@
+#include "src/analysis/batch_bound.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/analysis/lambert.h"
+
+namespace snoopy {
+
+uint64_t BatchSize(uint64_t num_requests, uint64_t num_suborams, uint32_t lambda) {
+  const uint64_t r = num_requests;
+  const uint64_t s = std::max<uint64_t>(1, num_suborams);
+  if (r == 0) {
+    return 0;
+  }
+  if (s == 1) {
+    return r;
+  }
+  const double mu = static_cast<double>(r) / static_cast<double>(s);
+  if (lambda == 0) {
+    // No-security mode: expected load, rounded up.
+    return static_cast<uint64_t>(std::ceil(mu));
+  }
+  const double gamma = std::log(static_cast<double>(s)) + static_cast<double>(lambda) * M_LN2;
+  const double arg = std::exp(-1.0) * (gamma / mu - 1.0);
+  const double w = LambertW0(arg);
+  const double bound = mu * std::exp(w + 1.0);
+  if (!(bound < static_cast<double>(r))) {
+    return r;
+  }
+  return static_cast<uint64_t>(std::ceil(bound));
+}
+
+double OverflowProbLog2(uint64_t num_requests, uint64_t num_suborams, uint64_t batch) {
+  const double r = static_cast<double>(num_requests);
+  const double s = static_cast<double>(num_suborams);
+  if (num_requests == 0 || batch >= num_requests) {
+    return -1e9;  // Overflow is impossible.
+  }
+  const double mu = r / s;
+  const double one_plus_delta = static_cast<double>(batch) / mu;
+  if (one_plus_delta <= 1.0) {
+    return 0.0;  // Bound is vacuous at or below the mean.
+  }
+  const double delta = one_plus_delta - 1.0;
+  // ln Pr <= ln S + mu * (delta - (1+delta) ln(1+delta))
+  const double ln_p = std::log(s) + mu * (delta - one_plus_delta * std::log(one_plus_delta));
+  return ln_p / M_LN2;
+}
+
+double DummyOverheadPercent(uint64_t num_requests, uint64_t num_suborams, uint32_t lambda) {
+  if (num_requests == 0) {
+    return 0.0;
+  }
+  const uint64_t b = BatchSize(num_requests, num_suborams, lambda);
+  const double total = static_cast<double>(b) * static_cast<double>(num_suborams);
+  const double r = static_cast<double>(num_requests);
+  return 100.0 * (total - r) / r;
+}
+
+uint64_t CapacityForBatchLimit(uint64_t num_suborams, uint64_t batch_limit, uint32_t lambda) {
+  const uint64_t s = std::max<uint64_t>(1, num_suborams);
+  if (lambda == 0) {
+    return s * batch_limit;
+  }
+  // f(R, S) is non-decreasing in R, so binary search the largest feasible R.
+  uint64_t lo = 0;
+  uint64_t hi = s * batch_limit + 1;
+  while (lo + 1 < hi) {
+    const uint64_t mid = lo + (hi - lo) / 2;
+    if (BatchSize(mid, s, lambda) <= batch_limit) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace snoopy

@@ -1,0 +1,43 @@
+// The Snoopy batch-size bound (paper Theorem 3) and derived capacity/overhead helpers.
+//
+// Given R distinct requests randomly distributed over S subORAMs, BatchSize returns the
+// per-subORAM batch size B = f(R, S) such that the probability any subORAM receives
+// more than B requests is at most 2^-lambda. The bound is a Chernoff tail inverted in
+// closed form with the Lambert W function:
+//
+//   mu = R / S,  gamma = ln(S) + lambda * ln(2)
+//   f(R, S) = min(R, mu * exp[W0(e^-1 * (gamma/mu - 1)) + 1])
+//
+// These functions are pure math over public values; they are what Figures 3 and 4 of
+// the paper plot, and they size every batch the load balancer emits.
+
+#ifndef SNOOPY_SRC_ANALYSIS_BATCH_BOUND_H_
+#define SNOOPY_SRC_ANALYSIS_BATCH_BOUND_H_
+
+#include <cstdint>
+
+namespace snoopy {
+
+// Default security parameter used throughout the paper's evaluation.
+inline constexpr uint32_t kDefaultLambda = 128;
+
+// Theorem 3: batch size such that Pr[any subORAM receives > B of the R distinct,
+// randomly-distributed requests] <= 2^-lambda. lambda == 0 means "no security": the
+// batch is simply the expected load ceil(R / S) (the paper's plaintext line in Fig. 4).
+uint64_t BatchSize(uint64_t num_requests, uint64_t num_suborams, uint32_t lambda = kDefaultLambda);
+
+// log2 of the Chernoff upper bound on the overflow probability for batch size `batch`:
+// log2( S * (e^delta / (1+delta)^(1+delta))^mu ). Used by tests to verify that
+// BatchSize() really achieves <= -lambda, and exposed for analysis tooling.
+double OverflowProbLog2(uint64_t num_requests, uint64_t num_suborams, uint64_t batch);
+
+// Percent overhead of dummy requests: 100 * (S * f(R,S) - R) / R (Figure 3).
+double DummyOverheadPercent(uint64_t num_requests, uint64_t num_suborams, uint32_t lambda);
+
+// Largest R such that f(R, S) <= per-subORAM capacity `batch_limit` (Figure 4's "real
+// request capacity" with batch_limit = 1000).
+uint64_t CapacityForBatchLimit(uint64_t num_suborams, uint64_t batch_limit, uint32_t lambda);
+
+}  // namespace snoopy
+
+#endif  // SNOOPY_SRC_ANALYSIS_BATCH_BOUND_H_

@@ -1,0 +1,69 @@
+#include "src/analysis/binomial.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace snoopy {
+
+double LogBinomialPmf(uint64_t n, double p, uint64_t k) {
+  if (k > n) {
+    return -1e300;
+  }
+  if (p <= 0.0) {
+    return k == 0 ? 0.0 : -1e300;
+  }
+  if (p >= 1.0) {
+    return k == n ? 0.0 : -1e300;
+  }
+  const double dn = static_cast<double>(n);
+  const double dk = static_cast<double>(k);
+  return std::lgamma(dn + 1.0) - std::lgamma(dk + 1.0) - std::lgamma(dn - dk + 1.0) +
+         dk * std::log(p) + (dn - dk) * std::log1p(-p);
+}
+
+double BinomialTailAbove(uint64_t n, double p, uint64_t k) {
+  if (k >= n) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  for (uint64_t j = k + 1; j <= n; ++j) {
+    const double lp = LogBinomialPmf(n, p, j);
+    if (lp < -745.0) {  // exp underflows to 0 below this; terms are unimodal.
+      if (j > k + 1 && sum > 0.0) {
+        break;
+      }
+      continue;
+    }
+    sum += std::exp(lp);
+  }
+  return std::min(1.0, sum);
+}
+
+double ExpectedExcess(uint64_t n, double p, uint64_t z) {
+  double sum = 0.0;
+  for (uint64_t j = z + 1; j <= n; ++j) {
+    const double lp = LogBinomialPmf(n, p, j);
+    if (lp < -745.0) {
+      if (j > z + 1 && sum > 0.0) {
+        break;
+      }
+      continue;
+    }
+    sum += static_cast<double>(j - z) * std::exp(lp);
+  }
+  return sum;
+}
+
+uint64_t OverflowBound(uint64_t n, uint64_t m, uint64_t z, uint32_t lambda) {
+  if (n == 0 || m == 0) {
+    return 0;
+  }
+  const double p = 1.0 / static_cast<double>(m);
+  const double expected = static_cast<double>(m) * ExpectedExcess(n, p, z);
+  const double slack =
+      std::sqrt(static_cast<double>(n) * (static_cast<double>(lambda) * M_LN2) / 2.0);
+  const double bound = std::ceil(expected + slack);
+  return std::min<uint64_t>(n, static_cast<uint64_t>(bound));
+}
+
+}  // namespace snoopy

@@ -1,0 +1,29 @@
+// Numerically stable binomial-distribution helpers used to size the two-tier oblivious
+// hash table (paper section 5 / Chan et al.). All computations are over public
+// parameters; they run once per batch-size configuration.
+
+#ifndef SNOOPY_SRC_ANALYSIS_BINOMIAL_H_
+#define SNOOPY_SRC_ANALYSIS_BINOMIAL_H_
+
+#include <cstdint>
+
+namespace snoopy {
+
+// Natural log of the binomial pmf P[X = k] for X ~ Bin(n, p), computed via lgamma.
+double LogBinomialPmf(uint64_t n, double p, uint64_t k);
+
+// P[X > k] for X ~ Bin(n, p); exact summation in log space (no Chernoff slack).
+double BinomialTailAbove(uint64_t n, double p, uint64_t k);
+
+// E[(X - z)^+] for X ~ Bin(n, p): the expected per-bucket overflow beyond capacity z.
+double ExpectedExcess(uint64_t n, double p, uint64_t z);
+
+// Public bound on the total first-tier overflow when n balls are thrown into m bins of
+// capacity z, valid except with probability <= 2^-lambda. Uses McDiarmid's bounded-
+// difference inequality on the total-overflow function (each ball moves the total by at
+// most 1): bound = E[T] + sqrt(n * (lambda * ln2) / 2), capped at n.
+uint64_t OverflowBound(uint64_t n, uint64_t m, uint64_t z, uint32_t lambda);
+
+}  // namespace snoopy
+
+#endif  // SNOOPY_SRC_ANALYSIS_BINOMIAL_H_

@@ -1,0 +1,51 @@
+#include "src/analysis/lambert.h"
+
+#include <cmath>
+#include <limits>
+
+namespace snoopy {
+
+double LambertW0(double x) {
+  constexpr double kMinusOneOverE = -0.36787944117144233;
+  if (x < kMinusOneOverE - 1e-9) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  if (x <= kMinusOneOverE) {
+    return -1.0;
+  }
+  if (x == 0.0) {
+    return 0.0;
+  }
+
+  // Initial guess.
+  double w;
+  if (x < -0.2) {
+    // Series around the branch point: W0(-1/e + p^2/2) ~ -1 + p - p^2/3 + ...
+    const double p = std::sqrt(2.0 * (std::exp(1.0) * x + 1.0));
+    w = -1.0 + p - p * p / 3.0 + 11.0 / 72.0 * p * p * p;
+  } else if (x < 4.0) {
+    // Near the origin: Pade-style seed, accurate enough for Halley to take over.
+    w = x / (1.0 + x);
+  } else {
+    // Asymptotic: W0(x) ~ ln(x) - ln(ln(x)).
+    const double l1 = std::log(x);
+    const double l2 = std::log(l1);
+    w = l1 - l2 + l2 / l1;
+  }
+
+  // Halley iteration on f(w) = w e^w - x.
+  for (int iter = 0; iter < 64; ++iter) {
+    const double ew = std::exp(w);
+    const double f = w * ew - x;
+    const double wp1 = w + 1.0;
+    const double denom = ew * wp1 - (w + 2.0) * f / (2.0 * wp1);
+    const double dw = f / denom;
+    w -= dw;
+    if (std::fabs(dw) < 1e-14 * (1.0 + std::fabs(w))) {
+      break;
+    }
+  }
+  return w;
+}
+
+}  // namespace snoopy

@@ -1,0 +1,18 @@
+// Branch 0 of the Lambert W function, W0(x): the inverse of w * e^w on [-1/e, inf).
+//
+// Snoopy's batch-size bound (paper Theorem 3) is expressed in terms of W0; we evaluate
+// it with Halley's method seeded by standard asymptotic initial guesses, which
+// converges to double precision in a handful of iterations for the whole domain.
+
+#ifndef SNOOPY_SRC_ANALYSIS_LAMBERT_H_
+#define SNOOPY_SRC_ANALYSIS_LAMBERT_H_
+
+namespace snoopy {
+
+// Returns W0(x) for x >= -1/e. For x slightly below -1/e (within numerical slop),
+// returns -1. Behaviour for x < -1/e - 1e-9 is a NaN.
+double LambertW0(double x);
+
+}  // namespace snoopy
+
+#endif  // SNOOPY_SRC_ANALYSIS_LAMBERT_H_

@@ -1,0 +1,55 @@
+#include "src/baseline/oblix.h"
+
+#include <stdexcept>
+
+namespace snoopy {
+
+namespace {
+
+RecursivePathOramConfig OramConfig(uint64_t capacity, size_t value_size) {
+  RecursivePathOramConfig cfg;
+  cfg.num_blocks = capacity;
+  cfg.block_size = value_size;
+  return cfg;
+}
+
+}  // namespace
+
+OblixStore::OblixStore(uint64_t capacity, size_t value_size, uint64_t seed)
+    : value_size_(value_size), oram_(OramConfig(capacity, value_size), seed) {}
+
+void OblixStore::Initialize(
+    const std::vector<std::pair<uint64_t, std::vector<uint8_t>>>& objects) {
+  for (const auto& [key, value] : objects) {
+    if (index_.count(key) != 0) {
+      throw std::invalid_argument("duplicate key at Oblix initialization");
+    }
+    if (next_addr_ >= oram_.num_blocks()) {
+      throw std::invalid_argument("Oblix store over capacity");
+    }
+    const uint64_t addr = next_addr_++;
+    index_[key] = addr;
+    std::vector<uint8_t> padded = value;
+    padded.resize(value_size_, 0);
+    oram_.Write(addr, padded);
+  }
+}
+
+std::vector<uint8_t> OblixStore::Access(uint64_t key, const std::vector<uint8_t>* new_data) {
+  ++accesses_;
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    // Unknown key: perform a dummy access so the pattern stays one-path-per-request,
+    // then return null (matches the subORAM's absent-key semantics).
+    (void)oram_.Read(0);
+    return std::vector<uint8_t>(value_size_, 0);
+  }
+  if (new_data != nullptr) {
+    std::vector<uint8_t> padded = *new_data;
+    padded.resize(value_size_, 0);
+    return oram_.Access(it->second, &padded);
+  }
+  return oram_.Access(it->second, nullptr);
+}
+
+}  // namespace snoopy

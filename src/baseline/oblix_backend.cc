@@ -1,0 +1,42 @@
+#include "src/baseline/oblix_backend.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace snoopy {
+
+void OblixSubOramBackend::Initialize(
+    const std::vector<std::pair<uint64_t, std::vector<uint8_t>>>& objects) {
+  store_ = std::make_unique<OblixStore>(capacity_ > objects.size() ? capacity_
+                                                                   : objects.size() + 1,
+                                        value_size_, seed_);
+  store_->Initialize(objects);
+  objects_ = objects.size();
+}
+
+RequestBatch OblixSubOramBackend::ProcessBatch(RequestBatch&& batch) {
+  // Batch keys are distinct (Definition 2), so sequential accesses cannot interact
+  // within the batch and any order implements the reads-see-pre-state contract.
+  // Dummy requests (reserved keyspace) and absent keys fall through to OblixStore's
+  // dummy-access path, keeping one ORAM access per slot regardless of content.
+  RequestBatch out(batch.value_size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    RequestHeader h = batch.Header(i);
+    std::vector<uint8_t> response;
+    const bool is_write = h.op == kOpWrite && h.granted != 0;
+    if (is_write) {
+      const std::vector<uint8_t> payload(batch.Value(i), batch.Value(i) + value_size_);
+      response = store_->Access(h.key, &payload);
+    } else {
+      response = store_->Access(h.key, nullptr);
+    }
+    if (h.granted == 0 && h.op == kOpRead) {
+      std::fill(response.begin(), response.end(), 0);
+    }
+    h.resp = 1;
+    out.Append(h, response);
+  }
+  return out;
+}
+
+}  // namespace snoopy

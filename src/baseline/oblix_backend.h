@@ -1,0 +1,54 @@
+// Oblix as a Snoopy subORAM backend (paper Figure 10): the load balancer's batching
+// and partitioning wrapped around a latency-optimized tree ORAM. Batches execute as
+// sequential doubly-oblivious Path ORAM accesses -- correct but throughput-poor, which
+// is exactly the comparison the paper draws against the purpose-built linear-scan
+// subORAM.
+
+#ifndef SNOOPY_SRC_BASELINE_OBLIX_BACKEND_H_
+#define SNOOPY_SRC_BASELINE_OBLIX_BACKEND_H_
+
+#include <memory>
+
+#include "src/baseline/oblix.h"
+#include "src/core/suboram_backend.h"
+
+namespace snoopy {
+
+class OblixSubOramBackend final : public SubOramBackend {
+ public:
+  OblixSubOramBackend(uint64_t capacity, size_t value_size, uint64_t seed)
+      : value_size_(value_size), capacity_(capacity), seed_(seed) {}
+
+  void Initialize(
+      const std::vector<std::pair<uint64_t, std::vector<uint8_t>>>& objects) override;
+
+  RequestBatch ProcessBatch(RequestBatch&& batch) override;
+
+  size_t num_objects() const override { return objects_; }
+
+ private:
+  size_t value_size_;
+  uint64_t capacity_;
+  uint64_t seed_;
+  size_t objects_ = 0;
+  std::unique_ptr<OblixStore> store_;
+};
+
+class OblixBackendFactory final : public SubOramBackendFactory {
+ public:
+  OblixBackendFactory(uint64_t capacity_per_shard, size_t value_size)
+      : capacity_(capacity_per_shard), value_size_(value_size) {}
+
+  std::unique_ptr<SubOramBackend> Create(uint32_t id, uint64_t seed) const override {
+    (void)id;
+    return std::make_unique<OblixSubOramBackend>(capacity_, value_size_, seed);
+  }
+
+ private:
+  uint64_t capacity_;
+  size_t value_size_;
+};
+
+}  // namespace snoopy
+
+#endif  // SNOOPY_SRC_BASELINE_OBLIX_BACKEND_H_

@@ -1,0 +1,45 @@
+#include "src/baseline/plaintext_store.h"
+
+#include <stdexcept>
+
+namespace snoopy {
+
+PlaintextStore::PlaintextStore(uint32_t num_shards, size_t value_size)
+    : value_size_(value_size), shards_(num_shards), shard_accesses_(num_shards, 0) {
+  if (num_shards == 0) {
+    throw std::invalid_argument("plaintext store needs at least one shard");
+  }
+}
+
+uint32_t PlaintextStore::ShardOf(uint64_t key) const {
+  // Plain multiplicative hash: the mapping is public (that is the point).
+  return static_cast<uint32_t>((key * 0x9e3779b97f4a7c15ULL) >> 32) % num_shards();
+}
+
+void PlaintextStore::Initialize(
+    const std::vector<std::pair<uint64_t, std::vector<uint8_t>>>& objects) {
+  for (const auto& [key, value] : objects) {
+    std::vector<uint8_t> padded = value;
+    padded.resize(value_size_, 0);
+    shards_[ShardOf(key)][key] = std::move(padded);
+  }
+}
+
+std::vector<uint8_t> PlaintextStore::Read(uint64_t key) const {
+  const uint32_t shard = ShardOf(key);
+  ++accesses_;
+  ++shard_accesses_[shard];
+  const auto it = shards_[shard].find(key);
+  return it == shards_[shard].end() ? std::vector<uint8_t>(value_size_, 0) : it->second;
+}
+
+void PlaintextStore::Write(uint64_t key, const std::vector<uint8_t>& value) {
+  const uint32_t shard = ShardOf(key);
+  ++accesses_;
+  ++shard_accesses_[shard];
+  std::vector<uint8_t> padded = value;
+  padded.resize(value_size_, 0);
+  shards_[shard][key] = std::move(padded);
+}
+
+}  // namespace snoopy

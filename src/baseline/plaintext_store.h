@@ -1,0 +1,40 @@
+// Redis-style plaintext sharded key-value store (paper section 8.1): the insecure
+// upper bound Snoopy is compared against. Clients hash keys directly to shards; the
+// server sees every access pattern -- that visibility is exactly what it trades for
+// speed ("Attempt #1: scalable but not secure", section 3).
+
+#ifndef SNOOPY_SRC_BASELINE_PLAINTEXT_STORE_H_
+#define SNOOPY_SRC_BASELINE_PLAINTEXT_STORE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace snoopy {
+
+class PlaintextStore {
+ public:
+  PlaintextStore(uint32_t num_shards, size_t value_size);
+
+  void Initialize(const std::vector<std::pair<uint64_t, std::vector<uint8_t>>>& objects);
+
+  std::vector<uint8_t> Read(uint64_t key) const;
+  void Write(uint64_t key, const std::vector<uint8_t>& value);
+
+  uint32_t ShardOf(uint64_t key) const;
+  uint32_t num_shards() const { return static_cast<uint32_t>(shards_.size()); }
+  uint64_t accesses() const { return accesses_; }
+  // Per-shard access counts: the access-pattern leakage an adversary observes.
+  const std::vector<uint64_t>& shard_accesses() const { return shard_accesses_; }
+
+ private:
+  size_t value_size_;
+  std::vector<std::unordered_map<uint64_t, std::vector<uint8_t>>> shards_;
+  mutable uint64_t accesses_ = 0;
+  mutable std::vector<uint64_t> shard_accesses_;
+};
+
+}  // namespace snoopy
+
+#endif  // SNOOPY_SRC_BASELINE_PLAINTEXT_STORE_H_

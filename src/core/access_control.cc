@@ -1,0 +1,88 @@
+#include "src/core/access_control.h"
+
+#include <cstring>
+#include <map>
+#include <stdexcept>
+
+namespace snoopy {
+
+namespace {
+
+// The ACL store only holds one verdict byte per rule, padded to a small fixed value.
+constexpr size_t kAclValueSize = 8;
+
+}  // namespace
+
+AccessControlledSnoopy::AccessControlledSnoopy(const SnoopyConfig& data_config,
+                                               const SnoopyConfig& acl_config,
+                                               uint64_t seed) {
+  SnoopyConfig acl = acl_config;
+  acl.value_size = kAclValueSize;
+  data_ = std::make_unique<Snoopy>(data_config, seed);
+  acl_ = std::make_unique<Snoopy>(acl, seed + 1);
+  Rng rng(seed + 2);
+  rule_hash_key_ = rng.NextSipKey();
+}
+
+uint64_t AccessControlledSnoopy::RuleKey(uint64_t user, uint64_t object, uint8_t op) const {
+  uint8_t buf[17];
+  std::memcpy(buf, &user, 8);
+  std::memcpy(buf + 8, &object, 8);
+  buf[16] = op;
+  return SipHash24(rule_hash_key_, std::span<const uint8_t>(buf, sizeof(buf))) &
+         (kDummyKeyBase - 1);
+}
+
+void AccessControlledSnoopy::Initialize(
+    const std::vector<std::pair<uint64_t, std::vector<uint8_t>>>& objects,
+    const std::vector<AccessRule>& rules) {
+  data_->Initialize(objects);
+  std::vector<std::pair<uint64_t, std::vector<uint8_t>>> acl_objects;
+  acl_objects.reserve(rules.size());
+  for (const AccessRule& rule : rules) {
+    std::vector<uint8_t> verdict(kAclValueSize, 0);
+    verdict[0] = rule.allowed ? 1 : 0;
+    acl_objects.emplace_back(RuleKey(rule.user, rule.object, rule.op), std::move(verdict));
+  }
+  acl_->Initialize(acl_objects);
+}
+
+void AccessControlledSnoopy::SubmitRead(uint64_t user, uint64_t client_seq, uint64_t key) {
+  pending_.push_back(PendingRequest{user, client_seq, key, kOpRead, {}});
+}
+
+void AccessControlledSnoopy::SubmitWrite(uint64_t user, uint64_t client_seq, uint64_t key,
+                                         std::span<const uint8_t> value) {
+  pending_.push_back(
+      PendingRequest{user, client_seq, key, kOpWrite,
+                     std::vector<uint8_t>(value.begin(), value.end())});
+}
+
+std::vector<ClientResponse> AccessControlledSnoopy::RunEpoch() {
+  // Epoch 1: oblivious verdict lookups. The load balancer acts as the client of the
+  // rule store; the sequence number indexes back into the pending list.
+  for (size_t i = 0; i < pending_.size(); ++i) {
+    const PendingRequest& req = pending_[i];
+    acl_->SubmitRead(/*client_id=*/0, /*client_seq=*/i, RuleKey(req.user, req.key, req.op));
+  }
+  std::map<uint64_t, uint8_t> verdicts;
+  for (const ClientResponse& resp : acl_->RunEpoch()) {
+    verdicts[resp.client_seq] = resp.value.empty() ? 0 : resp.value[0];
+  }
+
+  // Epoch 2: the data epoch, with each request's granted bit attached.
+  for (size_t i = 0; i < pending_.size(); ++i) {
+    const PendingRequest& req = pending_[i];
+    RequestHeader h;
+    h.key = req.key;
+    h.op = req.op;
+    h.granted = verdicts.count(i) != 0 ? verdicts[i] : 0;
+    h.client_id = req.user;
+    h.client_seq = req.client_seq;
+    data_->SubmitRequest(h, req.value);
+  }
+  pending_.clear();
+  return data_->RunEpoch();
+}
+
+}  // namespace snoopy

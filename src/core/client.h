@@ -1,0 +1,54 @@
+// Client library (paper sections 3.1 and 4.3).
+//
+// Clients run on private machines, attest the load-balancer enclaves, and talk to a
+// uniformly random load balancer over an authenticated encrypted channel -- the cloud
+// sees only ciphertext and timing. This class is that client: request submission is a
+// sealed message through the deployment's network layer, and responses come back
+// sealed in a per-client mailbox after the epoch executes.
+
+#ifndef SNOOPY_SRC_CORE_CLIENT_H_
+#define SNOOPY_SRC_CORE_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "src/core/snoopy.h"
+
+namespace snoopy {
+
+class SnoopyClient {
+ public:
+  // Attests against the deployment's load balancers and establishes per-balancer
+  // encrypted channels. Throws if attestation fails.
+  SnoopyClient(Snoopy& deployment, uint64_t client_id, uint64_t seed);
+
+  // Sends one encrypted request to a random load balancer; it executes at the next
+  // epoch. Returns the client sequence number.
+  uint64_t Read(uint64_t key);
+  uint64_t Write(uint64_t key, std::span<const uint8_t> value);
+
+  struct Response {
+    uint64_t client_seq;
+    uint64_t key;
+    std::vector<uint8_t> value;
+  };
+  // Opens everything in this client's mailbox (responses from executed epochs).
+  std::vector<Response> FetchResponses();
+
+  uint64_t client_id() const { return client_id_; }
+
+ private:
+  uint64_t Submit(uint64_t key, uint8_t op, std::span<const uint8_t> value);
+
+  Snoopy& deployment_;
+  uint64_t client_id_;
+  Rng rng_;
+  std::unique_ptr<Enclave> identity_;  // the client's attested identity envelope
+  uint64_t next_seq_ = 0;
+};
+
+}  // namespace snoopy
+
+#endif  // SNOOPY_SRC_CORE_CLIENT_H_

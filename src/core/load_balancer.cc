@@ -1,0 +1,166 @@
+#include "src/core/load_balancer.h"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "src/analysis/batch_bound.h"
+#include "src/enclave/trace.h"
+#include "src/obl/bitonic_sort.h"
+#include "src/obl/compaction.h"
+#include "src/obl/primitives.h"
+
+namespace snoopy {
+
+namespace {
+
+inline bool BAnd(bool a, bool b) {
+  return static_cast<bool>(static_cast<unsigned>(a) & static_cast<unsigned>(b));
+}
+inline bool BOr(bool a, bool b) {
+  return static_cast<bool>(static_cast<unsigned>(a) | static_cast<unsigned>(b));
+}
+
+}  // namespace
+
+LoadBalancer::LoadBalancer(const LoadBalancerConfig& config, const SipKey& partition_key,
+                           uint64_t rng_seed)
+    : config_(config), partition_key_(partition_key), rng_(rng_seed) {}
+
+uint32_t LoadBalancer::SubOramOf(uint64_t key) const {
+  return static_cast<uint32_t>(SipHash24(partition_key_, key) % config_.num_suborams);
+}
+
+LoadBalancer::PreparedEpoch LoadBalancer::PrepareBatches(RequestBatch&& client_requests) {
+  const uint64_t r = client_requests.size();
+  const uint32_t s = config_.num_suborams;
+  const uint64_t b = BatchSize(r, s, config_.lambda);
+
+  // Figure 5 step 1: assign each request its subORAM and the scratch fields the
+  // oblivious pipeline sorts on. The `order` encoding makes the survivor of each
+  // duplicate group sort first: writes before reads, later writes before earlier ones
+  // (last-write-wins, section 4.1). Computed branchlessly since op is secret.
+  for (size_t i = 0; i < r; ++i) {
+    RequestHeader& h = client_requests.Header(i);
+    h.bin = SubOramOf(h.key);
+    h.dummy = 0;
+    h.resp = 0;
+    const bool is_write = CtEq64(h.op, kOpWrite);
+    // Survivor class (ascending priority): granted writes (latest first), granted
+    // reads, denied writes, denied reads. Denied requests are no-ops at the subORAM,
+    // so they must never be the survivor when any granted request exists -- otherwise
+    // the whole duplicate group would see the subORAM's null response (section D).
+    const bool denied = h.granted == 0;
+    const uint64_t cls = (CtSelect64(denied, 2, 0)) | (CtSelect64(is_write, 0, 1));
+    constexpr uint64_t kSeqMask = (uint64_t{1} << 61) - 1;
+    const uint64_t seq_part =
+        CtSelect64(is_write, (~h.client_seq) & kSeqMask, h.client_seq & kSeqMask);
+    h.order = (cls << 61) | seq_part;
+    h.dedup = h.key;
+  }
+
+  PreparedEpoch epoch;
+  epoch.batch_size = b;
+  // Keep the originals (with bins) for response matching; headers + values copied.
+  epoch.originals = RequestBatch(ByteSlab(client_requests.slab()), client_requests.value_size());
+
+  // Figure 5 steps 2-4: pad, oblivious sort, oblivious dedup/mark, oblivious compact.
+  // Dummy requests get unique keys in the reserved top half of the key space so the
+  // subORAM's distinctness precondition keeps holding.
+  const uint64_t dummy_prefix = rng_.Uniform(uint64_t{1} << 32);
+  uint64_t dummy_counter = 0;
+  BinPlacementOptions options;
+  options.num_bins = s;
+  options.bin_capacity = static_cast<uint32_t>(b);
+  options.dedup = true;
+  options.sort_threads = config_.sort_threads;
+  const BinPlacementResult placed = ObliviousBinPlacement(
+      client_requests.slab(), kRequestBinSchema, options, [&](uint8_t* rec) {
+        auto* h = reinterpret_cast<RequestHeader*>(rec);
+        h->key = kDummyKeyBase | (dummy_prefix << 31) | dummy_counter;
+        h->op = kOpRead;
+        h->granted = 1;
+        ++dummy_counter;
+      });
+  if (!placed.ok) {
+    // Theorem 3: probability <= 2^-lambda. Retrying would leak; abort instead.
+    throw std::runtime_error("load balancer batch bound overflow (negligible event)");
+  }
+
+  // Split the m*z result into per-subORAM batches.
+  const size_t record_bytes = client_requests.record_bytes();
+  for (uint32_t so = 0; so < s; ++so) {
+    ByteSlab slice(static_cast<size_t>(b), record_bytes);
+    if (b > 0) {
+      std::memcpy(slice.data(), client_requests.slab().data() + so * b * record_bytes,
+                  b * record_bytes);
+    }
+    epoch.suboram_batches.emplace_back(std::move(slice), client_requests.value_size());
+  }
+  return epoch;
+}
+
+RequestBatch LoadBalancer::MatchResponses(PreparedEpoch&& epoch,
+                                          std::vector<RequestBatch>&& responses) {
+  const size_t value_size = epoch.originals.value_size();
+  const size_t r = epoch.originals.size();
+
+  // Figure 6 step 1: merge subORAM responses and original requests into one slab.
+  RequestBatch merged(value_size);
+  for (RequestBatch& resp_batch : responses) {
+    for (size_t i = 0; i < resp_batch.size(); ++i) {
+      merged.Append(resp_batch.Header(i),
+                    std::span<const uint8_t>(resp_batch.Value(i), value_size));
+    }
+  }
+  for (size_t i = 0; i < r; ++i) {
+    merged.Append(epoch.originals.Header(i),
+                  std::span<const uint8_t>(epoch.originals.Value(i), value_size));
+  }
+  TraceRecord(TraceOp::kAppend, merged.size(), 0);
+
+  // Figure 6 step 2: oblivious sort by object id, responses before requests.
+  BitonicSortSlab(
+      merged.slab(),
+      [](const uint8_t* a, const uint8_t* b) {
+        const auto* ha = reinterpret_cast<const RequestHeader*>(a);
+        const auto* hb = reinterpret_cast<const RequestHeader*>(b);
+        // Secondary word: responses (resp=1) first, then requests by arrival order.
+        // CtSelect, not ?:, because the flag is secret once records start moving.
+        const uint64_t wa = CtSelect64(ha->resp != 0, 0, (uint64_t{1} << 63) | ha->order);
+        const uint64_t wb = CtSelect64(hb->resp != 0, 0, (uint64_t{1} << 63) | hb->order);
+        return BOr(CtLt64(ha->key, hb->key), BAnd(CtEq64(ha->key, hb->key), CtLt64(wa, wb)));
+      },
+      config_.sort_threads);
+
+  // Figure 6 step 3: propagate response payloads forward onto the request records. A
+  // request whose own access-control verdict was "deny" receives null even when it was
+  // deduplicated with a granted request for the same object (Appendix D).
+  std::vector<uint8_t> prev_value(value_size, 0);
+  const std::vector<uint8_t> zeros(value_size, 0);
+  uint64_t prev_key = ~uint64_t{0};
+  const size_t total = merged.size();
+  std::vector<uint8_t> keep(total, 0);
+  for (size_t i = 0; i < total; ++i) {
+    TraceRecord(TraceOp::kRead, i);
+    RequestHeader& h = merged.Header(i);
+    uint8_t* value = merged.Value(i);
+    const bool is_resp = h.resp != 0;
+    CtCondCopyBytes(is_resp, prev_value.data(), value, value_size);
+    prev_key = CtSelect64(is_resp, h.key, prev_key);
+    const bool take = BAnd(!is_resp, CtEq64(h.key, prev_key));
+    CtCondCopyBytes(take, value, prev_value.data(), value_size);
+    CtCondCopyBytes(BAnd(take, h.granted == 0), value, zeros.data(), value_size);
+    keep[i] = static_cast<uint8_t>(!is_resp);
+  }
+
+  // Figure 6 step 4: compact the responses (and dummy responses) away; what remains is
+  // exactly one answered record per original client request.
+  const size_t kept = GoodrichCompact(merged.slab(), std::span<uint8_t>(keep.data(), total));
+  if (kept != r) {
+    throw std::runtime_error("response matching invariant violated");
+  }
+  merged.slab().Truncate(r);
+  return merged;
+}
+
+}  // namespace snoopy

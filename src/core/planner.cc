@@ -1,0 +1,74 @@
+#include "src/core/planner.h"
+
+#include <cmath>
+
+#include "src/analysis/batch_bound.h"
+
+namespace snoopy {
+
+namespace {
+
+// Epoch-feasibility predicate: with epoch length t, can the pipeline keep up?
+// Equation (1): both pipeline stages must finish one epoch's work within t.
+bool EpochFeasible(const PlannerInput& input, const PlannerCostFns& fns, uint32_t l,
+                   uint32_t s, double t) {
+  const double requests_per_lb = input.min_throughput * t / static_cast<double>(l);
+  const auto r = static_cast<uint64_t>(std::ceil(requests_per_lb));
+  const uint64_t batch = BatchSize(r, s, input.lambda);
+  const uint64_t per_suboram = input.num_objects / s + (input.num_objects % s != 0);
+  const double lb_stage = fns.lb_seconds(r, s);
+  const double so_stage = static_cast<double>(l) * fns.suboram_seconds(batch, per_suboram);
+  return lb_stage <= t && so_stage <= t;
+}
+
+}  // namespace
+
+double MinFeasibleEpoch(const PlannerInput& input, const PlannerCostFns& fns,
+                        uint32_t load_balancers, uint32_t suborams, double t_max) {
+  if (!EpochFeasible(input, fns, load_balancers, suborams, t_max)) {
+    return -1.0;
+  }
+  // Feasibility is monotone in t for fixed configuration: increasing t grows the work
+  // per epoch only linearly while batching efficiency improves, so if t works then
+  // larger t works. Binary search the smallest feasible t.
+  double lo = 1e-4;
+  double hi = t_max;
+  if (EpochFeasible(input, fns, load_balancers, suborams, lo)) {
+    return lo;
+  }
+  for (int iter = 0; iter < 60; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (EpochFeasible(input, fns, load_balancers, suborams, mid)) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
+PlannerResult PlanConfiguration(const PlannerInput& input, const PlannerCostFns& fns) {
+  PlannerResult best;
+  const double t_max = 2.0 * input.max_latency_s / 5.0;  // Equation (2)
+  for (uint32_t l = 1; l <= input.max_load_balancers; ++l) {
+    for (uint32_t s = 1; s <= input.max_suborams; ++s) {
+      const double cost = l * input.lb_cost_per_month + s * input.suboram_cost_per_month;
+      if (best.feasible && cost >= best.cost_per_month) {
+        continue;  // cannot improve
+      }
+      const double t = MinFeasibleEpoch(input, fns, l, s, t_max);
+      if (t < 0) {
+        continue;
+      }
+      best.feasible = true;
+      best.load_balancers = l;
+      best.suborams = s;
+      best.epoch_seconds = t;
+      best.avg_latency_s = 2.5 * t;
+      best.cost_per_month = cost;
+    }
+  }
+  return best;
+}
+
+}  // namespace snoopy

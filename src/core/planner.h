@@ -1,0 +1,60 @@
+// The Snoopy planner (paper section 6): given a data size, a minimum throughput and a
+// maximum average latency, choose the number of load balancers and subORAMs that
+// minimizes monthly cost.
+//
+// The planner implements the paper's three relations:
+//   (1)  T >= max[ L_LB(X*T/L, S),  L * L_S(f(X*T/L, S), N/S) ]   (pipelined epoch)
+//   (2)  Latency <= 5T/2                                           (avg wait + 2 stages)
+//   (3)  Cost = L * C_LB + S * C_S
+// where T is the epoch length, X the offered load, L/S the machine counts, and f the
+// Theorem 3 batch bound. Service-time functions come from a calibrated cost model
+// (src/sim/cost_model.h) injected as callables, mirroring how the paper's planner
+// consumes microbenchmark data.
+
+#ifndef SNOOPY_SRC_CORE_PLANNER_H_
+#define SNOOPY_SRC_CORE_PLANNER_H_
+
+#include <cstdint>
+#include <functional>
+
+namespace snoopy {
+
+struct PlannerCostFns {
+  // Seconds for one load balancer to prepare + match R requests across S subORAMs.
+  std::function<double(uint64_t r, uint64_t s)> lb_seconds;
+  // Seconds for one subORAM holding n objects to process one batch of `batch` requests.
+  std::function<double(uint64_t batch, uint64_t n)> suboram_seconds;
+};
+
+struct PlannerInput {
+  uint64_t num_objects = 0;
+  double min_throughput = 0;   // requests/second the deployment must sustain
+  double max_latency_s = 1.0;  // maximum average response latency
+  uint32_t lambda = 128;
+  uint32_t max_load_balancers = 32;
+  uint32_t max_suborams = 64;
+  // Azure DCsv2 pricing the paper's evaluation used (DC4s_v2, USD/month).
+  double lb_cost_per_month = 294.0;
+  double suboram_cost_per_month = 294.0;
+};
+
+struct PlannerResult {
+  bool feasible = false;
+  uint32_t load_balancers = 0;
+  uint32_t suborams = 0;
+  double epoch_seconds = 0;
+  double avg_latency_s = 0;
+  double cost_per_month = 0;
+};
+
+// Smallest epoch length T <= t_max with max(LB stage, subORAM stage) <= T for the
+// given configuration, or a negative value if none exists.
+double MinFeasibleEpoch(const PlannerInput& input, const PlannerCostFns& fns,
+                        uint32_t load_balancers, uint32_t suborams, double t_max);
+
+// Exhaustive search over (L, S) minimizing Equation (3) subject to (1) and (2).
+PlannerResult PlanConfiguration(const PlannerInput& input, const PlannerCostFns& fns);
+
+}  // namespace snoopy
+
+#endif  // SNOOPY_SRC_CORE_PLANNER_H_

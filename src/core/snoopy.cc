@@ -1,0 +1,312 @@
+#include "src/core/snoopy.h"
+
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include "src/enclave/trace.h"
+#include "src/obl/bitonic_sort.h"
+#include "src/obl/primitives.h"
+
+namespace snoopy {
+
+namespace {
+
+// Default factory: the paper's throughput-optimized subORAM.
+class DefaultSubOramFactory final : public SubOramBackendFactory {
+ public:
+  explicit DefaultSubOramFactory(const SnoopyConfig& config) : config_(config) {}
+  std::unique_ptr<SubOramBackend> Create(uint32_t id, uint64_t seed) const override {
+    SubOramConfig soc;
+    soc.id = id;
+    soc.value_size = config_.value_size;
+    soc.lambda = config_.lambda;
+    soc.sort_threads = config_.sort_threads;
+    soc.check_distinct = config_.check_distinct;
+    return std::make_unique<SubOram>(soc, seed);
+  }
+
+ private:
+  SnoopyConfig config_;
+};
+
+}  // namespace
+
+Snoopy::Snoopy(const SnoopyConfig& config, uint64_t seed)
+    : Snoopy(config, seed, DefaultSubOramFactory(config)) {}
+
+Snoopy::Snoopy(const SnoopyConfig& config, uint64_t seed,
+               const SubOramBackendFactory& factory)
+    : config_(config), rng_(seed) {
+  if (config_.num_load_balancers == 0 || config_.num_suborams == 0) {
+    throw std::invalid_argument("Snoopy needs at least one load balancer and one subORAM");
+  }
+  partition_key_ = rng_.NextSipKey();
+
+  for (uint32_t lb = 0; lb < config_.num_load_balancers; ++lb) {
+    lb_enclaves_.push_back(std::make_unique<Enclave>("snoopy-load-balancer", lb));
+    LoadBalancerConfig lbc;
+    lbc.id = lb;
+    lbc.num_suborams = config_.num_suborams;
+    lbc.value_size = config_.value_size;
+    lbc.lambda = config_.lambda;
+    lbc.sort_threads = config_.sort_threads;
+    lbs_.push_back(std::make_unique<LoadBalancer>(lbc, partition_key_, rng_.Next64()));
+    pending_.emplace_back(config_.value_size);
+  }
+  for (uint32_t so = 0; so < config_.num_suborams; ++so) {
+    so_enclaves_.push_back(std::make_unique<Enclave>("snoopy-suboram", so));
+    suborams_.push_back(factory.Create(so, rng_.Next64()));
+  }
+
+  // Attested channel establishment between every load balancer and subORAM pair
+  // (paper section 3.1), then endpoint registration on the message network.
+  links_.resize(config_.num_load_balancers);
+  for (uint32_t lb = 0; lb < config_.num_load_balancers; ++lb) {
+    for (uint32_t so = 0; so < config_.num_suborams; ++so) {
+      const Aead::Key key = lb_enclaves_[lb]->EstablishChannel(so_enclaves_[so]->quote());
+      const Aead::Key check = so_enclaves_[so]->EstablishChannel(lb_enclaves_[lb]->quote());
+      if (key != check) {
+        throw std::runtime_error("channel key mismatch after attestation");
+      }
+      const uint32_t link_id = lb * config_.num_suborams + so;
+      links_[lb].push_back(std::make_unique<SecureLink>(key, link_id));
+      network_.Register(
+          "suboram/" + std::to_string(so) + "/from/" + std::to_string(lb),
+          [this, lb, so](std::span<const uint8_t> sealed) {
+            return SubOramEndpointHandler(lb, so, sealed);
+          });
+    }
+  }
+}
+
+void Snoopy::Initialize(
+    const std::vector<std::pair<uint64_t, std::vector<uint8_t>>>& objects) {
+  for (const auto& obj : objects) {
+    if (obj.first >= kDummyKeyBase) {
+      throw std::invalid_argument("object keys must be below 2^63");
+    }
+  }
+  if (config_.oblivious_init) {
+    InitializeOblivious(objects);
+    return;
+  }
+  std::vector<std::vector<std::pair<uint64_t, std::vector<uint8_t>>>> parts(
+      config_.num_suborams);
+  for (const auto& obj : objects) {
+    parts[lbs_[0]->SubOramOf(obj.first)].push_back(obj);
+  }
+  for (uint32_t so = 0; so < config_.num_suborams; ++so) {
+    suborams_[so]->Initialize(parts[so]);
+  }
+}
+
+void Snoopy::InitializeOblivious(
+    const std::vector<std::pair<uint64_t, std::vector<uint8_t>>>& objects) {
+  // Paper Figure 23: tag each object with its (secret) partition, obliviously sort by
+  // the tag, then split at the (public) partition boundaries. Temporary record layout:
+  // bin(4) | pad(4) | key(8) | value.
+  const size_t value_size = config_.value_size;
+  const size_t stride = 16 + value_size;
+  ByteSlab slab(0, stride);
+  for (const auto& [key, value] : objects) {
+    uint8_t* rec = slab.AppendZero();
+    const uint32_t bin = lbs_[0]->SubOramOf(key);
+    std::memcpy(rec, &bin, 4);
+    std::memcpy(rec + 8, &key, 8);
+    const size_t n = value.size() < value_size ? value.size() : value_size;
+    std::memcpy(rec + 16, value.data(), n);
+  }
+  BitonicSortSlab(
+      slab,
+      [](const uint8_t* a, const uint8_t* b) {
+        uint32_t ba;
+        uint32_t bb;
+        std::memcpy(&ba, a, 4);
+        std::memcpy(&bb, b, 4);
+        return CtLt64(ba, bb);
+      },
+      config_.sort_threads);
+
+  // Partition sizes are public (the subORAMs receive their partitions in the clear
+  // inside the enclave), so a plain boundary scan is fine here.
+  size_t cursor = 0;
+  for (uint32_t so = 0; so < config_.num_suborams; ++so) {
+    std::vector<std::pair<uint64_t, std::vector<uint8_t>>> part;
+    while (cursor < slab.size()) {
+      uint32_t bin;
+      std::memcpy(&bin, slab.Record(cursor), 4);
+      if (bin != so) {
+        break;
+      }
+      uint64_t key;
+      std::memcpy(&key, slab.Record(cursor) + 8, 8);
+      part.emplace_back(key, std::vector<uint8_t>(slab.Record(cursor) + 16,
+                                                  slab.Record(cursor) + 16 + value_size));
+      ++cursor;
+    }
+    suborams_[so]->Initialize(part);
+  }
+}
+
+void Snoopy::SubmitRead(uint64_t client_id, uint64_t client_seq, uint64_t key) {
+  SubmitReadWithLb(static_cast<uint32_t>(rng_.Uniform(config_.num_load_balancers)), client_id,
+                   client_seq, key);
+}
+
+void Snoopy::SubmitWrite(uint64_t client_id, uint64_t client_seq, uint64_t key,
+                         std::span<const uint8_t> value) {
+  SubmitWriteWithLb(static_cast<uint32_t>(rng_.Uniform(config_.num_load_balancers)), client_id,
+                    client_seq, key, value);
+}
+
+void Snoopy::SubmitReadWithLb(uint32_t lb, uint64_t client_id, uint64_t client_seq,
+                              uint64_t key) {
+  RequestHeader h;
+  h.key = key;
+  h.op = kOpRead;
+  h.client_id = client_id;
+  h.client_seq = client_seq;
+  pending_[lb].Append(h, {});
+}
+
+void Snoopy::SubmitWriteWithLb(uint32_t lb, uint64_t client_id, uint64_t client_seq,
+                               uint64_t key, std::span<const uint8_t> value) {
+  RequestHeader h;
+  h.key = key;
+  h.op = kOpWrite;
+  h.client_id = client_id;
+  h.client_seq = client_seq;
+  pending_[lb].Append(h, value);
+}
+
+void Snoopy::SubmitRequest(const RequestHeader& header, std::span<const uint8_t> value) {
+  const auto lb = static_cast<uint32_t>(rng_.Uniform(config_.num_load_balancers));
+  pending_[lb].Append(header, value);
+}
+
+size_t Snoopy::pending_requests() const {
+  size_t n = 0;
+  for (const RequestBatch& b : pending_) {
+    n += b.size();
+  }
+  return n;
+}
+
+std::vector<uint8_t> Snoopy::SubOramEndpointHandler(uint32_t lb, uint32_t so,
+                                                    std::span<const uint8_t> sealed) {
+  std::vector<uint8_t> plain;
+  if (!links_[lb][so]->a_to_b().Open(sealed, plain)) {
+    throw std::runtime_error("subORAM rejected batch: authentication/replay failure");
+  }
+  RequestBatch batch = RequestBatch::Deserialize(plain);
+  RequestBatch response = suborams_[so]->ProcessBatch(std::move(batch));
+  return links_[lb][so]->b_to_a().Seal(response.Serialize());
+}
+
+void Snoopy::RegisterClient(uint64_t client_id, const AttestationQuote& client_quote) {
+  if (clients_.count(client_id) != 0) {
+    throw std::invalid_argument("client already registered");
+  }
+  ClientSession session;
+  for (uint32_t lb = 0; lb < config_.num_load_balancers; ++lb) {
+    const Aead::Key key = lb_enclaves_[lb]->EstablishChannel(client_quote);
+    // Link ids for client channels live above the LB-subORAM range.
+    const uint32_t link_id = 0x40000000u + static_cast<uint32_t>(client_id % 0x3fffffff) *
+                                               config_.num_load_balancers +
+                             lb;
+    session.links.push_back(std::make_unique<SecureLink>(key, link_id));
+    network_.Register(
+        "lb/" + std::to_string(lb) + "/client/" + std::to_string(client_id),
+        [this, client_id, lb](std::span<const uint8_t> sealed) -> std::vector<uint8_t> {
+          std::vector<uint8_t> plain;
+          if (!clients_.at(client_id).links[lb]->a_to_b().Open(sealed, plain)) {
+            throw std::runtime_error("load balancer rejected client request");
+          }
+          RequestBatch one = RequestBatch::Deserialize(plain);
+          for (size_t i = 0; i < one.size(); ++i) {
+            pending_[lb].Append(one.Header(i),
+                                std::span<const uint8_t>(one.Value(i), one.value_size()));
+          }
+          return {1};  // ack
+        });
+  }
+  clients_.emplace(client_id, std::move(session));
+}
+
+SecureLink& Snoopy::client_link(uint64_t client_id, uint32_t lb) {
+  return *clients_.at(client_id).links[lb];
+}
+
+std::vector<std::vector<uint8_t>> Snoopy::TakeMailbox(uint64_t client_id) {
+  std::vector<std::vector<uint8_t>> out = std::move(clients_.at(client_id).mailbox);
+  clients_.at(client_id).mailbox.clear();
+  return out;
+}
+
+std::vector<ClientResponse> Snoopy::RunEpoch() {
+  TraceRecord(TraceOp::kEpoch, epoch_, 0);
+  std::vector<ClientResponse> all;
+
+  // Phase 1: every load balancer prepares its batches independently (section 4.3).
+  std::vector<LoadBalancer::PreparedEpoch> prepared;
+  prepared.reserve(config_.num_load_balancers);
+  for (uint32_t lb = 0; lb < config_.num_load_balancers; ++lb) {
+    RequestBatch requests = std::move(pending_[lb]);
+    pending_[lb] = RequestBatch(config_.value_size);
+    prepared.push_back(lbs_[lb]->PrepareBatches(std::move(requests)));
+  }
+
+  // Phase 2: subORAMs execute the batches in fixed load-balancer order -- the
+  // linearization order of Appendix C. The per-hop encryption is real: each batch is
+  // sealed at the load balancer and opened inside the subORAM endpoint.
+  std::vector<std::vector<RequestBatch>> responses(config_.num_load_balancers);
+  for (uint32_t lb = 0; lb < config_.num_load_balancers; ++lb) {
+    for (uint32_t so = 0; so < config_.num_suborams; ++so) {
+      const std::vector<uint8_t> sealed =
+          links_[lb][so]->a_to_b().Seal(prepared[lb].suboram_batches[so].Serialize());
+      const std::vector<uint8_t> sealed_resp = network_.Call(
+          "lb/" + std::to_string(lb), "suboram/" + std::to_string(so) + "/from/" +
+          std::to_string(lb),
+          sealed);
+      std::vector<uint8_t> plain;
+      if (!links_[lb][so]->b_to_a().Open(sealed_resp, plain)) {
+        throw std::runtime_error("load balancer rejected response: authentication failure");
+      }
+      responses[lb].push_back(RequestBatch::Deserialize(plain));
+    }
+  }
+
+  // Phase 3: match responses to clients.
+  for (uint32_t lb = 0; lb < config_.num_load_balancers; ++lb) {
+    RequestBatch matched =
+        lbs_[lb]->MatchResponses(std::move(prepared[lb]), std::move(responses[lb]));
+    for (size_t i = 0; i < matched.size(); ++i) {
+      const RequestHeader& h = matched.Header(i);
+      const auto session = clients_.find(h.client_id);
+      if (session != clients_.end()) {
+        // Sealed delivery for registered clients: [lb id | AEAD(response record)].
+        RequestBatch one(config_.value_size);
+        one.Append(h, std::span<const uint8_t>(matched.Value(i), config_.value_size));
+        const std::vector<uint8_t> sealed =
+            session->second.links[lb]->b_to_a().Seal(one.Serialize());
+        std::vector<uint8_t> blob(4 + sealed.size());
+        std::memcpy(blob.data(), &lb, 4);
+        std::memcpy(blob.data() + 4, sealed.data(), sealed.size());
+        session->second.mailbox.push_back(std::move(blob));
+        continue;
+      }
+      ClientResponse resp;
+      resp.client_id = h.client_id;
+      resp.client_seq = h.client_seq;
+      resp.key = h.key;
+      resp.op = h.op;
+      resp.value.assign(matched.Value(i), matched.Value(i) + config_.value_size);
+      all.push_back(std::move(resp));
+    }
+  }
+  ++epoch_;
+  return all;
+}
+
+}  // namespace snoopy

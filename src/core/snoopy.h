@@ -1,0 +1,142 @@
+// The Snoopy oblivious object store (paper sections 3-5): L load balancers, S
+// subORAMs, epoch-batched execution, linearizable semantics.
+//
+// This is the functional, single-process deployment: every component runs the real
+// oblivious algorithms and real encrypted channels; only machine boundaries are
+// simulated (see DESIGN.md). The discrete-event cluster model in src/sim reuses this
+// class's cost structure for the multi-machine throughput figures.
+//
+// Epoch flow (one call to RunEpoch):
+//   1. each load balancer independently turns its pending client requests into S
+//      equal-sized batches (Figure 5),
+//   2. every subORAM executes the load balancers' batches in a fixed order
+//      (load-balancer id), which with reads-before-writes inside a batch yields the
+//      linearization of Appendix C,
+//   3. each load balancer matches responses back to its clients (Figure 6).
+
+#ifndef SNOOPY_SRC_CORE_SNOOPY_H_
+#define SNOOPY_SRC_CORE_SNOOPY_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "src/core/load_balancer.h"
+#include "src/core/request.h"
+#include "src/core/suboram.h"
+#include "src/core/suboram_backend.h"
+#include "src/crypto/rng.h"
+#include "src/enclave/enclave.h"
+#include "src/net/channel.h"
+#include "src/net/network.h"
+
+namespace snoopy {
+
+struct SnoopyConfig {
+  uint32_t num_load_balancers = 1;
+  uint32_t num_suborams = 1;
+  size_t value_size = 160;
+  uint32_t lambda = kDefaultLambda;
+  int sort_threads = 1;
+  bool check_distinct = true;
+  // Partition the initial data with an oblivious sort, as in the paper's
+  // LoadBalancer.Initialize (Appendix B, Figure 23). Costs O(n log^2 n); the default
+  // plain partition is appropriate when the data owner loads their own data.
+  bool oblivious_init = false;
+};
+
+struct ClientResponse {
+  uint64_t client_id = 0;
+  uint64_t client_seq = 0;
+  uint64_t key = 0;
+  uint8_t op = kOpRead;
+  std::vector<uint8_t> value;
+};
+
+class Snoopy {
+ public:
+  Snoopy(const SnoopyConfig& config, uint64_t seed);
+  // Deploys with a custom subORAM backend (paper section 3.1 / Figure 10, e.g. the
+  // Oblix backend in src/baseline/oblix_backend.h). The default constructor uses the
+  // throughput-optimized SubOram.
+  Snoopy(const SnoopyConfig& config, uint64_t seed, const SubOramBackendFactory& factory);
+
+  // The network handlers capture `this`; the instance must stay put.
+  Snoopy(const Snoopy&) = delete;
+  Snoopy& operator=(const Snoopy&) = delete;
+
+  // Loads the object store, partitioning objects across subORAMs with the secret
+  // keyed hash. Keys must be distinct and < kDummyKeyBase.
+  void Initialize(const std::vector<std::pair<uint64_t, std::vector<uint8_t>>>& objects);
+
+  // Enqueues a request into the current epoch at a uniformly random load balancer
+  // (the paper's client behaviour, section 4.3); the *WithLb variants pin the load
+  // balancer, which tests use to exercise cross-balancer interleavings.
+  void SubmitRead(uint64_t client_id, uint64_t client_seq, uint64_t key);
+  void SubmitWrite(uint64_t client_id, uint64_t client_seq, uint64_t key,
+                   std::span<const uint8_t> value);
+  void SubmitReadWithLb(uint32_t lb, uint64_t client_id, uint64_t client_seq, uint64_t key);
+  void SubmitWriteWithLb(uint32_t lb, uint64_t client_id, uint64_t client_seq, uint64_t key,
+                         std::span<const uint8_t> value);
+  // Fully-specified submission (used by the access-control layer to attach verdicts).
+  void SubmitRequest(const RequestHeader& header, std::span<const uint8_t> value);
+
+  // Executes one epoch over everything enqueued and returns all responses. Reads in an
+  // epoch observe the state before that epoch's writes at the same load balancer;
+  // across load balancers, batches apply in load-balancer-id order.
+  std::vector<ClientResponse> RunEpoch();
+
+  uint64_t epoch() const { return epoch_; }
+  size_t pending_requests() const;
+  const SnoopyConfig& config() const { return config_; }
+  const Network& network() const { return network_; }
+  Network& network_mutable() { return network_; }
+
+  // --- Encrypted client sessions (used by SnoopyClient; paper section 3.1) --------
+  // Registers an attested client: verifies the quote and establishes one encrypted
+  // link per load balancer. Registered clients' responses are sealed into a per-client
+  // mailbox instead of being returned from RunEpoch.
+  void RegisterClient(uint64_t client_id, const AttestationQuote& client_quote);
+  const AttestationQuote& lb_quote(uint32_t lb) const { return lb_enclaves_[lb]->quote(); }
+  // The shared in-process link objects (client and balancer ends share counters).
+  SecureLink& client_link(uint64_t client_id, uint32_t lb);
+  // Drains the client's mailbox: [lb id (4 bytes) | sealed response] blobs.
+  std::vector<std::vector<uint8_t>> TakeMailbox(uint64_t client_id);
+
+  // Test/inspection access.
+  SubOramBackend& suboram(size_t i) { return *suborams_[i]; }
+  uint32_t SubOramOf(uint64_t key) const { return lbs_[0]->SubOramOf(key); }
+
+ private:
+  void InitializeOblivious(
+      const std::vector<std::pair<uint64_t, std::vector<uint8_t>>>& objects);
+  std::vector<uint8_t> SubOramEndpointHandler(uint32_t lb, uint32_t so,
+                                              std::span<const uint8_t> sealed);
+
+  SnoopyConfig config_;
+  Rng rng_;
+  SipKey partition_key_;
+  uint64_t epoch_ = 0;
+
+  std::vector<std::unique_ptr<Enclave>> lb_enclaves_;
+  std::vector<std::unique_ptr<Enclave>> so_enclaves_;
+  std::vector<std::unique_ptr<LoadBalancer>> lbs_;
+  std::vector<std::unique_ptr<SubOramBackend>> suborams_;
+  // links_[lb][so]: encrypted link between load balancer lb and subORAM so.
+  std::vector<std::vector<std::unique_ptr<SecureLink>>> links_;
+  Network network_;
+
+  std::vector<RequestBatch> pending_;  // one accumulation buffer per load balancer
+
+  struct ClientSession {
+    std::vector<std::unique_ptr<SecureLink>> links;  // one per load balancer
+    std::vector<std::vector<uint8_t>> mailbox;       // sealed responses
+  };
+  std::map<uint64_t, ClientSession> clients_;
+};
+
+}  // namespace snoopy
+
+#endif  // SNOOPY_SRC_CORE_SNOOPY_H_

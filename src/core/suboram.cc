@@ -1,0 +1,220 @@
+#include "src/core/suboram.h"
+
+#include <cstring>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+#include "src/enclave/trace.h"
+#include "src/obl/bitonic_sort.h"
+#include "src/obl/hash_table.h"
+#include "src/obl/primitives.h"
+
+namespace snoopy {
+
+namespace {
+
+inline bool BAnd(bool a, bool b) {
+  return static_cast<bool>(static_cast<unsigned>(a) & static_cast<unsigned>(b));
+}
+
+}  // namespace
+
+SubOram::SubOram(const SubOramConfig& config, uint64_t rng_seed)
+    : config_(config), rng_(rng_seed), store_(0, 8 + config.value_size) {}
+
+void SubOram::Initialize(ByteSlab&& objects) {
+  if (objects.record_bytes() != 8 + config_.value_size) {
+    throw std::invalid_argument("object record size does not match subORAM value size");
+  }
+  store_ = std::move(objects);
+}
+
+void SubOram::Initialize(const std::vector<std::pair<uint64_t, std::vector<uint8_t>>>& objects) {
+  ByteSlab slab(0, 8 + config_.value_size);
+  for (const auto& [key, value] : objects) {
+    uint8_t* rec = slab.AppendZero();
+    std::memcpy(rec, &key, 8);
+    const size_t n = value.size() < config_.value_size ? value.size() : config_.value_size;
+    std::memcpy(rec + 8, value.data(), n);
+  }
+  store_ = std::move(slab);
+}
+
+RequestBatch SubOram::ProcessBatch(RequestBatch&& batch) {
+  const size_t b = batch.size();
+  const size_t value_size = config_.value_size;
+  if (batch.value_size() != value_size) {
+    throw std::invalid_argument("batch value size does not match subORAM value size");
+  }
+
+  // Definition 2 precondition: the batch must contain no duplicate keys. Checked with
+  // an oblivious sort over a copy of the key column plus one linear scan.
+  if (config_.check_distinct && b > 1) {
+    std::vector<uint64_t> keys(b);
+    for (size_t i = 0; i < b; ++i) {
+      keys[i] = batch.Header(i).key;
+    }
+    BitonicSort(std::span<uint64_t>(keys),
+                [](const uint64_t& x, const uint64_t& y) { return CtLt64(x, y); });
+    uint64_t dups = 0;
+    for (size_t i = 1; i < b; ++i) {
+      dups += CtSelect64(CtEq64(keys[i - 1], keys[i]), 1, 0);
+    }
+    if (dups != 0) {
+      throw std::invalid_argument("subORAM batch contains duplicate keys");
+    }
+  }
+
+  // Step 1 (Fig. 7): build the per-batch oblivious hash table with fresh keys.
+  TwoTierOht table(kRequestOhtSchema, config_.lambda);
+  if (!table.Build(std::move(batch.slab()), rng_, config_.sort_threads)) {
+    throw std::runtime_error("oblivious hash table construction overflow (negligible event)");
+  }
+
+  // Step 2 (Fig. 7): one linear scan over every stored object. For each object, scan
+  // its two candidate buckets in full; for every slot apply the oblivious
+  // compare-and-set pair so that neither the match nor the request type is revealed.
+  //
+  // With scan_threads > 1 (Figure 13b) the object range is split across threads.
+  // Distinct objects can share a hash bucket, and the oblivious compare-and-set
+  // rewrites every scanned slot unconditionally, so bucket access is serialized with
+  // per-bucket locks. Lock *indices* derive from object keys, which are public
+  // identities, so locking adds no leakage beyond the bucket trace itself.
+  const size_t stride = table.record_bytes();
+  const std::vector<uint8_t> zeros(value_size, 0);
+  const size_t n_objects = store_.size();
+  const int threads =
+      config_.scan_threads > 1 && n_objects >= 1024 ? config_.scan_threads : 1;
+  std::vector<std::mutex> tier1_locks(threads > 1 ? table.params().bins1 : 0);
+  std::vector<std::mutex> tier2_locks(
+      threads > 1 && table.params().bins2 > 0 ? table.params().bins2 : 0);
+
+  auto scan_range = [&](size_t begin, size_t end, bool trace) {
+    std::vector<uint8_t> old_value(value_size);
+    for (size_t i = begin; i < end; ++i) {
+      if (trace) {
+        TraceRecord(TraceOp::kRead, i);
+      }
+      uint8_t* obj = store_.Record(i);
+      uint64_t obj_key;
+      std::memcpy(&obj_key, obj, 8);
+      uint8_t* obj_value = obj + 8;
+
+      auto apply = [&](std::span<uint8_t> bucket) {
+        for (size_t off = 0; off + stride <= bucket.size(); off += stride) {
+          auto* req = reinterpret_cast<RequestHeader*>(bucket.data() + off);
+          uint8_t* req_value = bucket.data() + off + RequestBatch::kHeaderBytes;
+          const bool match = BAnd(CtEq64(req->key, obj_key), req->dummy == 0);
+          const bool is_write = CtEq64(req->op, kOpWrite);
+          const bool granted = req->granted != 0;
+          // old <- object value (staged so the write below can both update the object
+          // and leave the pre-state for the response).
+          std::memcpy(old_value.data(), obj_value, value_size);
+          // Write path: object <- request payload (if a granted write matches).
+          CtCondCopyBytes(BAnd(BAnd(match, is_write), granted), obj_value, req_value,
+                          value_size);
+          // Response path: request slot <- pre-state (for reads and writes alike).
+          CtCondCopyBytes(match, req_value, old_value.data(), value_size);
+          // Access control (section D): a denied read returns null rather than data.
+          CtCondCopyBytes(BAnd(match, !granted), req_value, zeros.data(), value_size);
+        }
+      };
+      if (threads > 1) {
+        {
+          std::lock_guard<std::mutex> guard(
+              tier1_locks[table.Tier1BucketIndex(obj_key)]);
+          apply(table.Tier1Bucket(obj_key));
+        }
+        if (!tier2_locks.empty()) {
+          std::lock_guard<std::mutex> guard(
+              tier2_locks[table.Tier2BucketIndex(obj_key)]);
+          apply(table.Tier2Bucket(obj_key));
+        }
+      } else {
+        apply(table.Tier1Bucket(obj_key));
+        apply(table.Tier2Bucket(obj_key));
+      }
+    }
+  };
+
+  if (threads <= 1) {
+    scan_range(0, n_objects, /*trace=*/true);
+  } else {
+    // Parallel path: trace emission is skipped (the recorder is not thread-safe);
+    // obliviousness analysis uses the sequential path.
+    std::vector<std::thread> workers;
+    const size_t chunk = (n_objects + threads - 1) / threads;
+    for (int t = 0; t < threads; ++t) {
+      const size_t begin = t * chunk;
+      const size_t end = begin + chunk < n_objects ? begin + chunk : n_objects;
+      if (begin >= end) {
+        break;
+      }
+      workers.emplace_back([&, begin, end] { scan_range(begin, end, /*trace=*/false); });
+    }
+    for (std::thread& w : workers) {
+      w.join();
+    }
+  }
+
+  // Step 3 (Fig. 7): compact the table's padding dummies away and return the B
+  // responses (including responses to the load balancer's dummy requests).
+  ByteSlab responses = table.ExtractAll();
+  RequestBatch out(std::move(responses), value_size);
+  for (size_t i = 0; i < out.size(); ++i) {
+    out.Header(i).resp = 1;
+  }
+  return out;
+}
+
+std::vector<uint8_t> SubOram::SealState(SealedStore& store, uint64_t counter_id) const {
+  // Payload: value_size(8) | record count(8) | raw partition bytes.
+  const uint64_t vs = config_.value_size;
+  const uint64_t count = store_.size();
+  std::vector<uint8_t> payload(16 + count * store_.record_bytes());
+  std::memcpy(payload.data(), &vs, 8);
+  std::memcpy(payload.data() + 8, &count, 8);
+  if (count > 0) {
+    std::memcpy(payload.data() + 16, store_.data(), count * store_.record_bytes());
+  }
+  return store.Seal(counter_id, payload);
+}
+
+UnsealStatus SubOram::RestoreState(SealedStore& store, uint64_t counter_id,
+                                   std::span<const uint8_t> blob) {
+  std::vector<uint8_t> payload;
+  const UnsealStatus status = store.Unseal(counter_id, blob, &payload);
+  if (status != UnsealStatus::kOk) {
+    return status;
+  }
+  uint64_t vs = 0;
+  uint64_t count = 0;
+  std::memcpy(&vs, payload.data(), 8);
+  std::memcpy(&count, payload.data() + 8, 8);
+  if (vs != config_.value_size) {
+    return UnsealStatus::kCorrupt;
+  }
+  ByteSlab slab(static_cast<size_t>(count), 8 + config_.value_size);
+  if (count > 0) {
+    std::memcpy(slab.data(), payload.data() + 16, count * slab.record_bytes());
+  }
+  store_ = std::move(slab);
+  return UnsealStatus::kOk;
+}
+
+bool SubOram::DebugRead(uint64_t key, std::vector<uint8_t>* value_out) const {
+  for (size_t i = 0; i < store_.size(); ++i) {
+    uint64_t k;
+    std::memcpy(&k, store_.Record(i), 8);
+    if (k == key) {
+      if (value_out != nullptr) {
+        value_out->assign(store_.Record(i) + 8, store_.Record(i) + 8 + config_.value_size);
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace snoopy

@@ -1,0 +1,46 @@
+// Pluggable subORAM backends.
+//
+// "Snoopy can be deployed using any oblivious storage scheme for hardware enclaves as
+// a subORAM" (paper section 3.1); the evaluation demonstrates this by running Oblix
+// under the Snoopy load balancer (Figure 10). This interface is that seam: the
+// orchestrator only needs batch execution over a partition. Two implementations ship:
+//   - SubOram (core/suboram.h): the paper's throughput-optimized linear-scan design;
+//   - OblixSubOramBackend (below): a latency-optimized tree-ORAM backend that serves
+//     the batch as sequential doubly-oblivious Path ORAM accesses.
+
+#ifndef SNOOPY_SRC_CORE_SUBORAM_BACKEND_H_
+#define SNOOPY_SRC_CORE_SUBORAM_BACKEND_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/core/request.h"
+
+namespace snoopy {
+
+class SubOramBackend {
+ public:
+  virtual ~SubOramBackend() = default;
+
+  // Loads the partition (distinct keys < kDummyKeyBase).
+  virtual void Initialize(
+      const std::vector<std::pair<uint64_t, std::vector<uint8_t>>>& objects) = 0;
+
+  // Executes one distinct-key batch; returns exactly batch.size() response records
+  // with resp = 1. Must satisfy the Definition 2 contract (reads return the pre-batch
+  // value; the last write per key applies).
+  virtual RequestBatch ProcessBatch(RequestBatch&& batch) = 0;
+
+  virtual size_t num_objects() const = 0;
+};
+
+// Factory signature the orchestrator consumes: (partition id, seed) -> backend.
+struct SubOramBackendFactory {
+  virtual ~SubOramBackendFactory() = default;
+  virtual std::unique_ptr<SubOramBackend> Create(uint32_t id, uint64_t seed) const = 0;
+};
+
+}  // namespace snoopy
+
+#endif  // SNOOPY_SRC_CORE_SUBORAM_BACKEND_H_

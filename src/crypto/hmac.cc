@@ -1,0 +1,45 @@
+#include "src/crypto/hmac.h"
+
+#include <cstring>
+
+namespace snoopy {
+
+Mac256 HmacSha256(std::span<const uint8_t> key, std::span<const uint8_t> message) {
+  std::array<uint8_t, Sha256::kBlockBytes> k_block{};
+  if (key.size() > Sha256::kBlockBytes) {
+    const Sha256::Digest kd = Sha256::Hash(key);
+    std::memcpy(k_block.data(), kd.data(), kd.size());
+  } else {
+    std::memcpy(k_block.data(), key.data(), key.size());
+  }
+
+  std::array<uint8_t, Sha256::kBlockBytes> ipad;
+  std::array<uint8_t, Sha256::kBlockBytes> opad;
+  for (size_t i = 0; i < Sha256::kBlockBytes; ++i) {
+    ipad[i] = static_cast<uint8_t>(k_block[i] ^ 0x36);
+    opad[i] = static_cast<uint8_t>(k_block[i] ^ 0x5c);
+  }
+
+  Sha256 inner;
+  inner.Update(ipad.data(), ipad.size());
+  inner.Update(message.data(), message.size());
+  const Sha256::Digest inner_digest = inner.Finalize();
+
+  Sha256 outer;
+  outer.Update(opad.data(), opad.size());
+  outer.Update(inner_digest.data(), inner_digest.size());
+  return outer.Finalize();
+}
+
+Mac256 DeriveKey(std::span<const uint8_t> root, std::string_view label, uint64_t counter) {
+  std::array<uint8_t, 64> msg{};
+  const size_t label_len = label.size() > 48 ? 48 : label.size();
+  std::memcpy(msg.data(), label.data(), label_len);
+  for (int i = 0; i < 8; ++i) {
+    msg[48 + static_cast<size_t>(i)] = static_cast<uint8_t>(counter >> (8 * i));
+  }
+  msg[56] = static_cast<uint8_t>(label_len);
+  return HmacSha256(root, std::span<const uint8_t>(msg.data(), msg.size()));
+}
+
+}  // namespace snoopy

@@ -1,0 +1,28 @@
+// HMAC-SHA256 (RFC 2104) and HKDF-style key derivation.
+//
+// Snoopy derives per-epoch hash-table keys and per-channel encryption keys from a root
+// secret established at attestation time; HMAC is the PRF behind those derivations.
+
+#ifndef SNOOPY_SRC_CRYPTO_HMAC_H_
+#define SNOOPY_SRC_CRYPTO_HMAC_H_
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+#include "src/crypto/sha256.h"
+
+namespace snoopy {
+
+using Mac256 = std::array<uint8_t, 32>;
+
+Mac256 HmacSha256(std::span<const uint8_t> key, std::span<const uint8_t> message);
+
+// Derives a 32-byte subkey from `root` bound to a context label and a counter.
+// (HKDF-Expand specialized to a single 32-byte output block.)
+Mac256 DeriveKey(std::span<const uint8_t> root, std::string_view label, uint64_t counter);
+
+}  // namespace snoopy
+
+#endif  // SNOOPY_SRC_CRYPTO_HMAC_H_

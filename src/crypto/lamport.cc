@@ -1,0 +1,79 @@
+#include "src/crypto/lamport.h"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace snoopy {
+
+LamportKey::LamportKey(Rng& rng) {
+  for (size_t i = 0; i < secrets_.size(); ++i) {
+    rng.Fill(secrets_[i].data(), secrets_[i].size());
+    public_key_[i] = Sha256::Hash(secrets_[i].data(), secrets_[i].size());
+  }
+}
+
+LamportKey::Signature LamportKey::Sign(std::span<const uint8_t> message) {
+  if (used_) {
+    throw std::logic_error("Lamport key reuse would leak the secret key");
+  }
+  used_ = true;
+  const Sha256::Digest digest = Sha256::Hash(message.data(), message.size());
+  Signature sig;
+  for (size_t bit = 0; bit < kBits; ++bit) {
+    const size_t b = (digest[bit / 8] >> (bit % 8)) & 1;
+    sig[bit] = secrets_[2 * bit + b];
+  }
+  return sig;
+}
+
+bool LamportKey::Verify(const PublicKey& pk, std::span<const uint8_t> message,
+                        const Signature& sig) {
+  const Sha256::Digest digest = Sha256::Hash(message.data(), message.size());
+  for (size_t bit = 0; bit < kBits; ++bit) {
+    const size_t b = (digest[bit / 8] >> (bit % 8)) & 1;
+    if (Sha256::Hash(sig[bit].data(), sig[bit].size()) != pk[2 * bit + b]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+LamportChain::LamportChain(uint64_t seed) : rng_(seed) {
+  current_ = std::make_unique<LamportKey>(rng_);
+  next_ = std::make_unique<LamportKey>(rng_);
+  genesis_public_ = current_->public_key();
+}
+
+std::vector<uint8_t> LamportChain::Encode(const SignedStatement& statement) {
+  std::vector<uint8_t> buf;
+  buf.reserve(statement.message.size() + sizeof(statement.next_public));
+  buf.insert(buf.end(), statement.message.begin(), statement.message.end());
+  for (const Sha256::Digest& d : statement.next_public) {
+    buf.insert(buf.end(), d.begin(), d.end());
+  }
+  return buf;
+}
+
+LamportChain::SignedStatement LamportChain::Sign(std::span<const uint8_t> message) {
+  SignedStatement statement;
+  statement.message.assign(message.begin(), message.end());
+  statement.next_public = next_->public_key();
+  statement.signature = current_->Sign(Encode(statement));
+  current_ = std::move(next_);
+  next_ = std::make_unique<LamportKey>(rng_);
+  return statement;
+}
+
+bool LamportChain::VerifyChain(const LamportKey::PublicKey& genesis,
+                               const std::vector<SignedStatement>& chain) {
+  const LamportKey::PublicKey* pk = &genesis;
+  for (const SignedStatement& statement : chain) {
+    if (!LamportKey::Verify(*pk, Encode(statement), statement.signature)) {
+      return false;
+    }
+    pk = &statement.next_public;
+  }
+  return true;
+}
+
+}  // namespace snoopy

@@ -1,0 +1,83 @@
+// Lamport one-time signatures over SHA-256.
+//
+// The key-transparency application must publish a *signed* Merkle root (paper section
+// 3.2: clients verify "the signed root of the transparency log"). Rather than pulling
+// in a curve library, we implement hash-based one-time signatures -- simple enough to
+// get right from scratch, unconditionally secure under SHA-256 preimage resistance,
+// and one-time is exactly the usage pattern (one fresh key per published epoch, with
+// each signature committing to the next public key, forming a verification chain).
+//
+// Key material: 2x256 random 32-byte preimages (secret), their hashes (public).
+// Signature: for each message-digest bit, reveal the preimage for that bit value.
+
+#ifndef SNOOPY_SRC_CRYPTO_LAMPORT_H_
+#define SNOOPY_SRC_CRYPTO_LAMPORT_H_
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "src/crypto/rng.h"
+#include "src/crypto/sha256.h"
+
+namespace snoopy {
+
+class LamportKey {
+ public:
+  static constexpr size_t kBits = 256;
+  using PublicKey = std::array<Sha256::Digest, 2 * kBits>;
+  using Signature = std::array<Sha256::Digest, kBits>;
+
+  // Generates a fresh one-time key pair.
+  explicit LamportKey(Rng& rng);
+
+  const PublicKey& public_key() const { return public_key_; }
+
+  // Signs (the SHA-256 digest of) the message. Calling Sign twice throws: reusing a
+  // Lamport key leaks preimages for both bit values.
+  Signature Sign(std::span<const uint8_t> message);
+
+  static bool Verify(const PublicKey& pk, std::span<const uint8_t> message,
+                     const Signature& sig);
+
+ private:
+  std::array<Sha256::Digest, 2 * kBits> secrets_;
+  PublicKey public_key_;
+  bool used_ = false;
+};
+
+// A chain of one-time keys: each signed statement embeds the next public key, so a
+// verifier that trusts the genesis public key can follow the chain across epochs
+// (the standard "key ladder" used by transparency logs for root rotation).
+class LamportChain {
+ public:
+  explicit LamportChain(uint64_t seed);
+
+  struct SignedStatement {
+    std::vector<uint8_t> message;       // statement payload
+    LamportKey::PublicKey next_public;  // key that will sign the next statement
+    LamportKey::Signature signature;    // over message || next_public
+  };
+
+  const LamportKey::PublicKey& genesis_public() const { return genesis_public_; }
+
+  SignedStatement Sign(std::span<const uint8_t> message);
+
+  // Verifies a full chain of statements starting from the genesis key.
+  static bool VerifyChain(const LamportKey::PublicKey& genesis,
+                          const std::vector<SignedStatement>& chain);
+
+ private:
+  static std::vector<uint8_t> Encode(const SignedStatement& statement);
+
+  Rng rng_;
+  std::unique_ptr<LamportKey> current_;
+  std::unique_ptr<LamportKey> next_;
+  LamportKey::PublicKey genesis_public_;
+};
+
+}  // namespace snoopy
+
+#endif  // SNOOPY_SRC_CRYPTO_LAMPORT_H_

@@ -1,0 +1,209 @@
+#include "src/crypto/poly1305.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+namespace snoopy {
+
+namespace {
+
+inline uint32_t Load32Le(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) | (static_cast<uint32_t>(p[3]) << 24);
+}
+
+}  // namespace
+
+Poly1305::Poly1305(std::span<const uint8_t> key) {
+  assert(key.size() == kKeyBytes);
+  // r with clamping, split into 26-bit limbs (poly1305-donna layout).
+  r_[0] = Load32Le(key.data() + 0) & 0x3ffffff;
+  r_[1] = (Load32Le(key.data() + 3) >> 2) & 0x3ffff03;
+  r_[2] = (Load32Le(key.data() + 6) >> 4) & 0x3ffc0ff;
+  r_[3] = (Load32Le(key.data() + 9) >> 6) & 0x3f03fff;
+  r_[4] = (Load32Le(key.data() + 12) >> 8) & 0x00fffff;
+  h_[0] = h_[1] = h_[2] = h_[3] = h_[4] = 0;
+  for (int i = 0; i < 4; ++i) {
+    pad_[i] = Load32Le(key.data() + 16 + 4 * i);
+  }
+}
+
+void Poly1305::ProcessBlock(const uint8_t* block, uint32_t hibit) {
+  const uint32_t r0 = r_[0];
+  const uint32_t r1 = r_[1];
+  const uint32_t r2 = r_[2];
+  const uint32_t r3 = r_[3];
+  const uint32_t r4 = r_[4];
+
+  const uint32_t s1 = r1 * 5;
+  const uint32_t s2 = r2 * 5;
+  const uint32_t s3 = r3 * 5;
+  const uint32_t s4 = r4 * 5;
+
+  uint32_t h0 = h_[0];
+  uint32_t h1 = h_[1];
+  uint32_t h2 = h_[2];
+  uint32_t h3 = h_[3];
+  uint32_t h4 = h_[4];
+
+  // h += m
+  h0 += Load32Le(block + 0) & 0x3ffffff;
+  h1 += (Load32Le(block + 3) >> 2) & 0x3ffffff;
+  h2 += (Load32Le(block + 6) >> 4) & 0x3ffffff;
+  h3 += (Load32Le(block + 9) >> 6) & 0x3ffffff;
+  h4 += (Load32Le(block + 12) >> 8) | (hibit << 24);
+
+  // h *= r mod 2^130 - 5
+  const uint64_t d0 = static_cast<uint64_t>(h0) * r0 + static_cast<uint64_t>(h1) * s4 +
+                      static_cast<uint64_t>(h2) * s3 + static_cast<uint64_t>(h3) * s2 +
+                      static_cast<uint64_t>(h4) * s1;
+  uint64_t d1 = static_cast<uint64_t>(h0) * r1 + static_cast<uint64_t>(h1) * r0 +
+                static_cast<uint64_t>(h2) * s4 + static_cast<uint64_t>(h3) * s3 +
+                static_cast<uint64_t>(h4) * s2;
+  uint64_t d2 = static_cast<uint64_t>(h0) * r2 + static_cast<uint64_t>(h1) * r1 +
+                static_cast<uint64_t>(h2) * r0 + static_cast<uint64_t>(h3) * s4 +
+                static_cast<uint64_t>(h4) * s3;
+  uint64_t d3 = static_cast<uint64_t>(h0) * r3 + static_cast<uint64_t>(h1) * r2 +
+                static_cast<uint64_t>(h2) * r1 + static_cast<uint64_t>(h3) * r0 +
+                static_cast<uint64_t>(h4) * s4;
+  uint64_t d4 = static_cast<uint64_t>(h0) * r4 + static_cast<uint64_t>(h1) * r3 +
+                static_cast<uint64_t>(h2) * r2 + static_cast<uint64_t>(h3) * r1 +
+                static_cast<uint64_t>(h4) * r0;
+
+  // Partial reduction.
+  uint64_t c = d0 >> 26;
+  h0 = static_cast<uint32_t>(d0) & 0x3ffffff;
+  d1 += c;
+  c = d1 >> 26;
+  h1 = static_cast<uint32_t>(d1) & 0x3ffffff;
+  d2 += c;
+  c = d2 >> 26;
+  h2 = static_cast<uint32_t>(d2) & 0x3ffffff;
+  d3 += c;
+  c = d3 >> 26;
+  h3 = static_cast<uint32_t>(d3) & 0x3ffffff;
+  d4 += c;
+  c = d4 >> 26;
+  h4 = static_cast<uint32_t>(d4) & 0x3ffffff;
+  h0 += static_cast<uint32_t>(c) * 5;
+  c = h0 >> 26;
+  h0 &= 0x3ffffff;
+  h1 += static_cast<uint32_t>(c);
+
+  h_[0] = h0;
+  h_[1] = h1;
+  h_[2] = h2;
+  h_[3] = h3;
+  h_[4] = h4;
+}
+
+void Poly1305::Update(const uint8_t* data, size_t len) {
+  while (len > 0) {
+    if (buffer_len_ == 0 && len >= 16) {
+      ProcessBlock(data, 1);
+      data += 16;
+      len -= 16;
+      continue;
+    }
+    const size_t take = std::min(len, size_t{16} - buffer_len_);
+    std::memcpy(buffer_.data() + buffer_len_, data, take);
+    buffer_len_ += take;
+    data += take;
+    len -= take;
+    if (buffer_len_ == 16) {
+      ProcessBlock(buffer_.data(), 1);
+      buffer_len_ = 0;
+    }
+  }
+}
+
+Poly1305::Tag Poly1305::Finalize() {
+  if (buffer_len_ > 0) {
+    buffer_[buffer_len_] = 1;
+    for (size_t i = buffer_len_ + 1; i < 16; ++i) {
+      buffer_[i] = 0;
+    }
+    ProcessBlock(buffer_.data(), 0);
+    buffer_len_ = 0;
+  }
+
+  uint32_t h0 = h_[0];
+  uint32_t h1 = h_[1];
+  uint32_t h2 = h_[2];
+  uint32_t h3 = h_[3];
+  uint32_t h4 = h_[4];
+
+  // Full carry.
+  uint32_t c = h1 >> 26;
+  h1 &= 0x3ffffff;
+  h2 += c;
+  c = h2 >> 26;
+  h2 &= 0x3ffffff;
+  h3 += c;
+  c = h3 >> 26;
+  h3 &= 0x3ffffff;
+  h4 += c;
+  c = h4 >> 26;
+  h4 &= 0x3ffffff;
+  h0 += c * 5;
+  c = h0 >> 26;
+  h0 &= 0x3ffffff;
+  h1 += c;
+
+  // Compute h + -p (i.e., h - (2^130 - 5)) and select it if non-negative.
+  uint32_t g0 = h0 + 5;
+  c = g0 >> 26;
+  g0 &= 0x3ffffff;
+  uint32_t g1 = h1 + c;
+  c = g1 >> 26;
+  g1 &= 0x3ffffff;
+  uint32_t g2 = h2 + c;
+  c = g2 >> 26;
+  g2 &= 0x3ffffff;
+  uint32_t g3 = h3 + c;
+  c = g3 >> 26;
+  g3 &= 0x3ffffff;
+  const uint32_t g4 = h4 + c - (1u << 26);
+
+  const uint32_t mask = (g4 >> 31) - 1;  // all-ones if g4 >= 0 (h >= p)
+  h0 = (h0 & ~mask) | (g0 & mask);
+  h1 = (h1 & ~mask) | (g1 & mask);
+  h2 = (h2 & ~mask) | (g2 & mask);
+  h3 = (h3 & ~mask) | (g3 & mask);
+  h4 = (h4 & ~mask) | (g4 & mask);
+
+  // h = h % 2^128, serialized little-endian.
+  h0 = (h0 | (h1 << 26)) & 0xffffffff;
+  h1 = ((h1 >> 6) | (h2 << 20)) & 0xffffffff;
+  h2 = ((h2 >> 12) | (h3 << 14)) & 0xffffffff;
+  h3 = ((h3 >> 18) | (h4 << 8)) & 0xffffffff;
+
+  // Add pad with carry.
+  uint64_t f = static_cast<uint64_t>(h0) + pad_[0];
+  h0 = static_cast<uint32_t>(f);
+  f = static_cast<uint64_t>(h1) + pad_[1] + (f >> 32);
+  h1 = static_cast<uint32_t>(f);
+  f = static_cast<uint64_t>(h2) + pad_[2] + (f >> 32);
+  h2 = static_cast<uint32_t>(f);
+  f = static_cast<uint64_t>(h3) + pad_[3] + (f >> 32);
+  h3 = static_cast<uint32_t>(f);
+
+  Tag tag;
+  const uint32_t words[4] = {h0, h1, h2, h3};
+  for (int i = 0; i < 4; ++i) {
+    tag[4 * i] = static_cast<uint8_t>(words[i]);
+    tag[4 * i + 1] = static_cast<uint8_t>(words[i] >> 8);
+    tag[4 * i + 2] = static_cast<uint8_t>(words[i] >> 16);
+    tag[4 * i + 3] = static_cast<uint8_t>(words[i] >> 24);
+  }
+  return tag;
+}
+
+Poly1305::Tag Poly1305::Compute(std::span<const uint8_t> key, std::span<const uint8_t> msg) {
+  Poly1305 p(key);
+  p.Update(msg.data(), msg.size());
+  return p.Finalize();
+}
+
+}  // namespace snoopy

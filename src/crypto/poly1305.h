@@ -1,0 +1,38 @@
+// Poly1305 one-time authenticator (RFC 8439).
+
+#ifndef SNOOPY_SRC_CRYPTO_POLY1305_H_
+#define SNOOPY_SRC_CRYPTO_POLY1305_H_
+
+#include <array>
+#include <cstdint>
+#include <cstddef>
+#include <span>
+
+namespace snoopy {
+
+class Poly1305 {
+ public:
+  static constexpr size_t kKeyBytes = 32;
+  static constexpr size_t kTagBytes = 16;
+  using Tag = std::array<uint8_t, kTagBytes>;
+
+  explicit Poly1305(std::span<const uint8_t> key);
+
+  void Update(const uint8_t* data, size_t len);
+  Tag Finalize();
+
+  static Tag Compute(std::span<const uint8_t> key, std::span<const uint8_t> msg);
+
+ private:
+  void ProcessBlock(const uint8_t* block, uint32_t hibit);
+
+  uint32_t r_[5];
+  uint32_t h_[5];
+  uint32_t pad_[4];
+  std::array<uint8_t, 16> buffer_;
+  size_t buffer_len_ = 0;
+};
+
+}  // namespace snoopy
+
+#endif  // SNOOPY_SRC_CRYPTO_POLY1305_H_

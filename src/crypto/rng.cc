@@ -1,0 +1,77 @@
+#include "src/crypto/rng.h"
+
+#include <algorithm>
+#include <cstring>
+#include <random>
+
+namespace snoopy {
+
+Rng::Rng() {
+  std::random_device rd;
+  for (size_t i = 0; i < key_.size(); i += 4) {
+    const uint32_t v = rd();
+    std::memcpy(key_.data() + i, &v, 4);
+  }
+}
+
+Rng::Rng(uint64_t seed) {
+  for (size_t i = 0; i < key_.size(); i += 8) {
+    // Spread the seed across the key with distinct mixing constants.
+    const uint64_t v = seed * 0x9e3779b97f4a7c15ULL + (i + 1) * 0xbf58476d1ce4e5b9ULL;
+    std::memcpy(key_.data() + i, &v, 8);
+  }
+}
+
+void Rng::Refill() {
+  static constexpr uint8_t kNonce[ChaCha20::kNonceBytes] = {'s', 'n', 'o', 'o', 'p', 'y',
+                                                            'r', 'n', 'g', 0,   0,   0};
+  ChaCha20 cipher(std::span<const uint8_t>(key_.data(), key_.size()),
+                  std::span<const uint8_t>(kNonce, sizeof(kNonce)),
+                  static_cast<uint32_t>(block_counter_));
+  cipher.KeystreamBlock(static_cast<uint32_t>(block_counter_), pool_);
+  ++block_counter_;
+  pool_used_ = 0;
+}
+
+void Rng::Fill(uint8_t* out, size_t len) {
+  size_t i = 0;
+  while (i < len) {
+    if (pool_used_ == pool_.size()) {
+      Refill();
+    }
+    const size_t take = std::min(len - i, pool_.size() - pool_used_);
+    std::memcpy(out + i, pool_.data() + pool_used_, take);
+    pool_used_ += take;
+    i += take;
+  }
+}
+
+uint64_t Rng::Next64() {
+  uint64_t v;
+  Fill(reinterpret_cast<uint8_t*>(&v), sizeof(v));
+  return v;
+}
+
+uint64_t Rng::Uniform(uint64_t bound) {
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t limit = (~uint64_t{0}) - (~uint64_t{0}) % bound;
+  uint64_t v;
+  do {
+    v = Next64();
+  } while (v >= limit);
+  return v % bound;
+}
+
+SipKey Rng::NextSipKey() {
+  SipKey k;
+  Fill(k.data(), k.size());
+  return k;
+}
+
+std::array<uint8_t, 32> Rng::NextKey32() {
+  std::array<uint8_t, 32> k;
+  Fill(k.data(), k.size());
+  return k;
+}
+
+}  // namespace snoopy

@@ -1,0 +1,78 @@
+#include "src/crypto/siphash.h"
+
+#include <cstring>
+
+namespace snoopy {
+
+namespace {
+
+inline uint64_t Rotl64(uint64_t x, int b) { return (x << b) | (x >> (64 - b)); }
+
+inline uint64_t Load64Le(const uint8_t* p) {
+  uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;  // host is little-endian on all supported targets
+}
+
+inline void SipRound(uint64_t& v0, uint64_t& v1, uint64_t& v2, uint64_t& v3) {
+  v0 += v1;
+  v1 = Rotl64(v1, 13);
+  v1 ^= v0;
+  v0 = Rotl64(v0, 32);
+  v2 += v3;
+  v3 = Rotl64(v3, 16);
+  v3 ^= v2;
+  v0 += v3;
+  v3 = Rotl64(v3, 21);
+  v3 ^= v0;
+  v2 += v1;
+  v1 = Rotl64(v1, 17);
+  v1 ^= v2;
+  v2 = Rotl64(v2, 32);
+}
+
+}  // namespace
+
+uint64_t SipHash24(const SipKey& key, std::span<const uint8_t> data) {
+  const uint64_t k0 = Load64Le(key.data());
+  const uint64_t k1 = Load64Le(key.data() + 8);
+
+  uint64_t v0 = 0x736f6d6570736575ULL ^ k0;
+  uint64_t v1 = 0x646f72616e646f6dULL ^ k1;
+  uint64_t v2 = 0x6c7967656e657261ULL ^ k0;
+  uint64_t v3 = 0x7465646279746573ULL ^ k1;
+
+  const size_t len = data.size();
+  const size_t end = len - (len % 8);
+  for (size_t i = 0; i < end; i += 8) {
+    const uint64_t m = Load64Le(data.data() + i);
+    v3 ^= m;
+    SipRound(v0, v1, v2, v3);
+    SipRound(v0, v1, v2, v3);
+    v0 ^= m;
+  }
+
+  uint64_t b = static_cast<uint64_t>(len & 0xff) << 56;
+  for (size_t i = end; i < len; ++i) {
+    b |= static_cast<uint64_t>(data[i]) << (8 * (i - end));
+  }
+  v3 ^= b;
+  SipRound(v0, v1, v2, v3);
+  SipRound(v0, v1, v2, v3);
+  v0 ^= b;
+
+  v2 ^= 0xff;
+  SipRound(v0, v1, v2, v3);
+  SipRound(v0, v1, v2, v3);
+  SipRound(v0, v1, v2, v3);
+  SipRound(v0, v1, v2, v3);
+  return v0 ^ v1 ^ v2 ^ v3;
+}
+
+uint64_t SipHash24(const SipKey& key, uint64_t value) {
+  uint8_t buf[8];
+  std::memcpy(buf, &value, 8);
+  return SipHash24(key, std::span<const uint8_t>(buf, 8));
+}
+
+}  // namespace snoopy

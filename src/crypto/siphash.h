@@ -1,0 +1,28 @@
+// SipHash-2-4 (Aumasson & Bernstein): a fast keyed PRF over short inputs.
+//
+// Snoopy assigns objects to subORAMs with "a keyed hash function where the attacker
+// does not know the key" (paper section 4.1) so that an adversary cannot craft request
+// sets that overflow a batch; the subORAM's per-batch hash table likewise re-keys every
+// batch (section 5). SipHash is the standard choice for exactly this keyed-bucketing
+// role.
+
+#ifndef SNOOPY_SRC_CRYPTO_SIPHASH_H_
+#define SNOOPY_SRC_CRYPTO_SIPHASH_H_
+
+#include <array>
+#include <cstdint>
+#include <cstddef>
+#include <span>
+
+namespace snoopy {
+
+using SipKey = std::array<uint8_t, 16>;
+
+uint64_t SipHash24(const SipKey& key, std::span<const uint8_t> data);
+
+// Convenience for hashing a single 64-bit object identifier.
+uint64_t SipHash24(const SipKey& key, uint64_t value);
+
+}  // namespace snoopy
+
+#endif  // SNOOPY_SRC_CRYPTO_SIPHASH_H_

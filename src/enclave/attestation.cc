@@ -1,0 +1,61 @@
+#include "src/enclave/attestation.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/obl/primitives.h"
+
+namespace snoopy {
+
+namespace {
+
+// Process-global provisioning secret: the stand-in for the hardware root of trust.
+const std::array<uint8_t, 32>& RootSecret() {
+  static const std::array<uint8_t, 32> kRoot = {
+      0x53, 0x6e, 0x6f, 0x6f, 0x70, 0x79, 0x2d, 0x72, 0x6f, 0x6f, 0x74,
+      0x2d, 0x6f, 0x66, 0x2d, 0x74, 0x72, 0x75, 0x73, 0x74, 0x00, 0x01,
+      0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09, 0x0a, 0x0b};
+  return kRoot;
+}
+
+Mac256 SignQuote(const Measurement& m, const Mac256& report_data) {
+  std::array<uint8_t, 64> msg;
+  std::memcpy(msg.data(), m.data(), 32);
+  std::memcpy(msg.data() + 32, report_data.data(), 32);
+  return HmacSha256(std::span<const uint8_t>(RootSecret().data(), 32),
+                    std::span<const uint8_t>(msg.data(), msg.size()));
+}
+
+}  // namespace
+
+Measurement AttestationService::Measure(std::string_view program) {
+  return Sha256::Hash(program.data(), program.size());
+}
+
+AttestationQuote AttestationService::Quote(const Measurement& measurement,
+                                           const Mac256& report_data) {
+  return AttestationQuote{measurement, report_data, SignQuote(measurement, report_data)};
+}
+
+bool AttestationService::Verify(const AttestationQuote& quote) {
+  const Mac256 expected = SignQuote(quote.measurement, quote.report_data);
+  return CtEqualBytes(expected.data(), quote.signature.data(), expected.size());
+}
+
+Aead::Key AttestationService::ChannelKey(const Measurement& a, const Measurement& b) {
+  const Measurement* lo = &a;
+  const Measurement* hi = &b;
+  if (std::lexicographical_compare(hi->begin(), hi->end(), lo->begin(), lo->end())) {
+    std::swap(lo, hi);
+  }
+  std::array<uint8_t, 64> msg;
+  std::memcpy(msg.data(), lo->data(), 32);
+  std::memcpy(msg.data() + 32, hi->data(), 32);
+  const Mac256 k = HmacSha256(std::span<const uint8_t>(RootSecret().data(), 32),
+                              std::span<const uint8_t>(msg.data(), msg.size()));
+  Aead::Key key;
+  std::memcpy(key.data(), k.data(), key.size());
+  return key;
+}
+
+}  // namespace snoopy

@@ -1,0 +1,52 @@
+// Simulated remote attestation.
+//
+// Snoopy establishes every communication channel "using remote attestation so that
+// clients are confident that they are interacting with legitimate enclaves running
+// Snoopy" (paper section 3.1). Real SGX attestation chains a CPU-held key up to the
+// Intel Attestation Service; this substitute keeps the same *interface* -- measure a
+// program, quote it, verify the quote, then derive a shared channel key -- backed by a
+// process-global provisioning secret standing in for the hardware root of trust. The
+// substitution preserves the property the rest of the system relies on: only parties
+// holding a quote for an expected measurement obtain the channel key.
+
+#ifndef SNOOPY_SRC_ENCLAVE_ATTESTATION_H_
+#define SNOOPY_SRC_ENCLAVE_ATTESTATION_H_
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "src/crypto/aead.h"
+#include "src/crypto/hmac.h"
+#include "src/crypto/sha256.h"
+
+namespace snoopy {
+
+using Measurement = Sha256::Digest;
+
+struct AttestationQuote {
+  Measurement measurement;   // hash of the enclave program (MRENCLAVE analogue)
+  Mac256 report_data;        // caller-chosen binding data (e.g. a public key)
+  Mac256 signature;          // MAC under the attestation root (IAS signature analogue)
+};
+
+class AttestationService {
+ public:
+  // Measures a named program. In a real deployment this is the enclave build hash.
+  static Measurement Measure(std::string_view program);
+
+  static AttestationQuote Quote(const Measurement& measurement, const Mac256& report_data);
+
+  static bool Verify(const AttestationQuote& quote);
+
+  // Derives a shared AEAD key between two attested parties. Both sides compute the
+  // same key from the (sorted) pair of measurements; stands in for the DH exchange that
+  // normally rides on report_data.
+  static Aead::Key ChannelKey(const Measurement& a, const Measurement& b);
+};
+
+}  // namespace snoopy
+
+#endif  // SNOOPY_SRC_ENCLAVE_ATTESTATION_H_

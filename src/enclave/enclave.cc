@@ -1,0 +1,23 @@
+#include "src/enclave/enclave.h"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace snoopy {
+
+Enclave::Enclave(std::string_view program, uint64_t instance_id)
+    : program_(program), instance_id_(instance_id) {
+  measurement_ = AttestationService::Measure(program_);
+  Mac256 report_data{};
+  std::memcpy(report_data.data(), &instance_id_, sizeof(instance_id_));
+  quote_ = AttestationService::Quote(measurement_, report_data);
+}
+
+Aead::Key Enclave::EstablishChannel(const AttestationQuote& peer_quote) const {
+  if (!AttestationService::Verify(peer_quote)) {
+    throw std::runtime_error("attestation failed: peer quote does not verify");
+  }
+  return AttestationService::ChannelKey(measurement_, peer_quote.measurement);
+}
+
+}  // namespace snoopy

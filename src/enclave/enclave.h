@@ -1,0 +1,48 @@
+// The abstract enclave harness ("F_Enc" in the paper's Appendix B).
+//
+// The paper models a DAG of enclaves with two operations: Load(P), which instantiates
+// a program on a network of enclaves via attestation, and Execute(E, in), which runs
+// the program and yields its output *plus a trace* of memory accesses and messages.
+// This class realizes that interface for our substitute substrate: each Enclave owns an
+// attested identity, sealed state, and contributes its events to the global trace
+// recorder. Higher layers (load balancers, subORAMs, baseline ORAM servers) subclass
+// or embed it.
+
+#ifndef SNOOPY_SRC_ENCLAVE_ENCLAVE_H_
+#define SNOOPY_SRC_ENCLAVE_ENCLAVE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/crypto/aead.h"
+#include "src/enclave/attestation.h"
+#include "src/enclave/trace.h"
+
+namespace snoopy {
+
+class Enclave {
+ public:
+  // Loads `program` (a name standing in for the enclave binary) and produces an
+  // attested instance. The quote binds the instance id so peers can address it.
+  Enclave(std::string_view program, uint64_t instance_id);
+
+  const Measurement& measurement() const { return measurement_; }
+  const AttestationQuote& quote() const { return quote_; }
+  uint64_t instance_id() const { return instance_id_; }
+  const std::string& program() const { return program_; }
+
+  // Verifies a peer's quote and derives the shared channel key. Throws
+  // std::runtime_error if the quote does not verify (a forged enclave).
+  Aead::Key EstablishChannel(const AttestationQuote& peer_quote) const;
+
+ private:
+  std::string program_;
+  uint64_t instance_id_;
+  Measurement measurement_;
+  AttestationQuote quote_;
+};
+
+}  // namespace snoopy
+
+#endif  // SNOOPY_SRC_ENCLAVE_ENCLAVE_H_

@@ -1,0 +1,27 @@
+#include "src/enclave/epc.h"
+
+namespace snoopy {
+
+double EpcModel::ScanSeconds(uint64_t working_set_bytes, uint64_t scanned_bytes,
+                             bool use_host_loader) const {
+  const double resident = static_cast<double>(scanned_bytes) * config_.resident_ns_per_byte;
+  if (Fits(working_set_bytes)) {
+    return resident * 1e-9;
+  }
+  // Fraction of the scan that misses the EPC. A full sequential scan of a working set
+  // larger than the cache leaves the tail resident; everything else must come from
+  // untrusted memory.
+  const double resident_fraction = static_cast<double>(config_.usable_epc_bytes) /
+                                   static_cast<double>(working_set_bytes);
+  const double miss_bytes = static_cast<double>(scanned_bytes) * (1.0 - resident_fraction);
+  double miss_ns;
+  if (use_host_loader) {
+    miss_ns = miss_bytes * config_.host_loader_ns_per_byte;
+  } else {
+    const double pages = miss_bytes / static_cast<double>(config_.page_bytes);
+    miss_ns = pages * config_.page_fault_ns;
+  }
+  return (resident + miss_ns) * 1e-9;
+}
+
+}  // namespace snoopy

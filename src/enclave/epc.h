@@ -1,0 +1,57 @@
+// EPC (Enclave Page Cache) paging cost model.
+//
+// Intel SGX v2.13 (what the paper deploys on, section 7) has a small protected-memory
+// region; enclave pages beyond it are paged in on access at high cost. Snoopy's
+// subORAM scans its whole partition every epoch, so paging dominates once the
+// partition exceeds the EPC -- that is the jump between 2^15 and 2^20 objects in
+// Figure 12. The paper mitigates (but does not eliminate) the cost with a host loader
+// thread that streams encrypted objects through a shared buffer (section 7).
+//
+// This model computes the *simulated* time of a linear scan over a working set, in
+// either mode, and is used by the cluster cost model and the figure harnesses.
+
+#ifndef SNOOPY_SRC_ENCLAVE_EPC_H_
+#define SNOOPY_SRC_ENCLAVE_EPC_H_
+
+#include <cstdint>
+
+namespace snoopy {
+
+struct EpcConfig {
+  // Usable EPC: 256 MB raw minus SGX metadata overhead (~93.5 MB usable is typical for
+  // 128 MB parts; DCsv2 exposes 256 MB of which ~188 MB is usable).
+  uint64_t usable_epc_bytes = 188ull * 1024 * 1024;
+  uint64_t page_bytes = 4096;
+  // Cost of an EPC page fault + eviction + crypto, per page.
+  double page_fault_ns = 12000.0;
+  // Cost per byte when streaming through the host-loader shared buffer: one AES-GCM
+  // decryption plus a copy, no enclave exits.
+  double host_loader_ns_per_byte = 0.55;
+  // Baseline in-EPC processing cost per byte touched by a scan.
+  double resident_ns_per_byte = 0.25;
+};
+
+class EpcModel {
+ public:
+  explicit EpcModel(const EpcConfig& config = EpcConfig{}) : config_(config) {}
+
+  const EpcConfig& config() const { return config_; }
+
+  bool Fits(uint64_t working_set_bytes) const {
+    return working_set_bytes <= config_.usable_epc_bytes;
+  }
+
+  // Simulated seconds to scan `scanned_bytes` once, with the given resident working
+  // set. If the working set fits in EPC the scan runs at resident speed; otherwise the
+  // out-of-EPC portion is either page-faulted in (use_host_loader == false) or streamed
+  // through the shared buffer (use_host_loader == true, the paper's optimization).
+  double ScanSeconds(uint64_t working_set_bytes, uint64_t scanned_bytes,
+                     bool use_host_loader = true) const;
+
+ private:
+  EpcConfig config_;
+};
+
+}  // namespace snoopy
+
+#endif  // SNOOPY_SRC_ENCLAVE_EPC_H_

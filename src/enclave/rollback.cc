@@ -1,0 +1,67 @@
+#include "src/enclave/rollback.h"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace snoopy {
+
+uint64_t MonotonicCounterService::Create() {
+  counters_.push_back(0);
+  return counters_.size() - 1;
+}
+
+uint64_t MonotonicCounterService::Increment(uint64_t id) {
+  if (id >= counters_.size()) {
+    throw std::out_of_range("unknown monotonic counter");
+  }
+  return ++counters_[id];
+}
+
+uint64_t MonotonicCounterService::Read(uint64_t id) const {
+  if (id >= counters_.size()) {
+    throw std::out_of_range("unknown monotonic counter");
+  }
+  return counters_[id];
+}
+
+std::vector<uint8_t> SealedStore::Seal(uint64_t counter_id, std::span<const uint8_t> payload) {
+  const uint64_t version = counters_->Increment(counter_id);
+  // Blob layout: version(8) | AEAD(payload) with the version as AAD + nonce, so a blob
+  // cannot be re-labelled with a different version without failing authentication.
+  uint8_t version_bytes[8];
+  std::memcpy(version_bytes, &version, 8);
+  const std::vector<uint8_t> sealed =
+      aead_.Seal(Aead::CounterNonce(version, /*channel=*/0x5ea1),
+                 std::span<const uint8_t>(version_bytes, 8), payload);
+  std::vector<uint8_t> blob(8 + sealed.size());
+  std::memcpy(blob.data(), version_bytes, 8);
+  std::memcpy(blob.data() + 8, sealed.data(), sealed.size());
+  return blob;
+}
+
+UnsealStatus SealedStore::Unseal(uint64_t counter_id, std::span<const uint8_t> blob,
+                                 std::vector<uint8_t>* payload_out) const {
+  if (blob.size() < 8 + Aead::kTagBytes) {
+    return UnsealStatus::kCorrupt;
+  }
+  uint64_t version = 0;
+  std::memcpy(&version, blob.data(), 8);
+  std::vector<uint8_t> payload;
+  const bool ok = aead_.Open(Aead::CounterNonce(version, 0x5ea1),
+                             std::span<const uint8_t>(blob.data(), 8),
+                             std::span<const uint8_t>(blob.data() + 8, blob.size() - 8),
+                             payload);
+  if (!ok) {
+    return UnsealStatus::kCorrupt;
+  }
+  if (version != counters_->Read(counter_id)) {
+    // Authentic snapshot, but superseded: the host replayed old state.
+    return UnsealStatus::kRollback;
+  }
+  if (payload_out != nullptr) {
+    *payload_out = std::move(payload);
+  }
+  return UnsealStatus::kOk;
+}
+
+}  // namespace snoopy

@@ -1,0 +1,62 @@
+// Rollback protection (paper section 9).
+//
+// Enclaves seal state to untrusted storage across restarts; a malicious host can
+// replay an *older* sealed blob ("rollback attack"). The paper proposes the standard
+// defense: bind every sealed snapshot to a trusted monotonic counter (SGX counters or
+// a ROTE-style quorum) and refuse snapshots whose embedded counter is stale. Snoopy
+// only needs one counter bump per epoch, so the (slow) counter is off the hot path.
+//
+// MonotonicCounterService simulates the trusted counter provider; SealedStore produces
+// AEAD-sealed, counter-bound snapshots and classifies restore attempts as fresh,
+// rolled-back, or corrupted. SubOram integrates via SealState/RestoreState.
+
+#ifndef SNOOPY_SRC_ENCLAVE_ROLLBACK_H_
+#define SNOOPY_SRC_ENCLAVE_ROLLBACK_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/crypto/aead.h"
+
+namespace snoopy {
+
+// Stand-in for SGX monotonic counters / a ROTE quorum: strictly increasing counters
+// that the untrusted host cannot wind back.
+class MonotonicCounterService {
+ public:
+  // Creates a counter starting at 0 and returns its id.
+  uint64_t Create();
+  uint64_t Increment(uint64_t id);
+  uint64_t Read(uint64_t id) const;
+
+ private:
+  std::vector<uint64_t> counters_;
+};
+
+enum class UnsealStatus {
+  kOk,        // authentic and fresh
+  kRollback,  // authentic but bound to a stale counter value: replay attack
+  kCorrupt,   // failed authentication
+};
+
+class SealedStore {
+ public:
+  SealedStore(const Aead::Key& sealing_key, MonotonicCounterService* counters)
+      : aead_(sealing_key), counters_(counters) {}
+
+  // Seals `payload`, bumping the counter so this snapshot supersedes all others.
+  std::vector<uint8_t> Seal(uint64_t counter_id, std::span<const uint8_t> payload);
+
+  // Verifies and decrypts a snapshot; detects replays of superseded snapshots.
+  UnsealStatus Unseal(uint64_t counter_id, std::span<const uint8_t> blob,
+                      std::vector<uint8_t>* payload_out) const;
+
+ private:
+  Aead aead_;
+  MonotonicCounterService* counters_;
+};
+
+}  // namespace snoopy
+
+#endif  // SNOOPY_SRC_ENCLAVE_ROLLBACK_H_

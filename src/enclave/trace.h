@@ -1,0 +1,102 @@
+// Memory-access / communication trace recording for the abstract enclave model.
+//
+// The Snoopy paper (Appendix B) models the adversary as seeing a *trace*: the sequence
+// of memory addresses an enclave touches plus the communication pattern between
+// enclaves. Security is proven by showing the trace is simulatable from public
+// information alone. Real SGX cannot surface its own trace, but this substitute enclave
+// substrate can: oblivious algorithms emit logical access events here, and the test
+// suite asserts that traces are *byte-identical* across different secret inputs with
+// the same public parameters (tests/obliviousness_test.cc).
+//
+// Recording is off by default and costs one predictable branch per event when disabled,
+// so production/bench paths are unaffected.
+
+#ifndef SNOOPY_SRC_ENCLAVE_TRACE_H_
+#define SNOOPY_SRC_ENCLAVE_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace snoopy {
+
+// Logical operation kinds appearing in a trace. The numeric values are part of the
+// trace encoding and must stay stable.
+enum class TraceOp : uint8_t {
+  kCondSwap = 1,    // oblivious compare-and-swap of slots (a, b)
+  kCondSet = 2,     // oblivious compare-and-set touching slot a (source b)
+  kRead = 3,        // plain read of slot a
+  kWrite = 4,       // plain write of slot a
+  kBucketScan = 5,  // full scan of hash-table bucket a (tier b)
+  kAppend = 6,      // append of b records at position a
+  kMsgSend = 7,     // message of b bytes to endpoint a
+  kMsgRecv = 8,     // message of b bytes from endpoint a
+  kEpoch = 9,       // epoch boundary marker
+};
+
+struct TraceEvent {
+  TraceOp op;
+  uint64_t a;
+  uint64_t b;
+
+  friend bool operator==(const TraceEvent& x, const TraceEvent& y) {
+    return x.op == y.op && x.a == y.a && x.b == y.b;
+  }
+};
+
+// Process-global trace recorder. Not thread-safe by design: obliviousness tests run
+// the algorithm under test single-threaded so the event order is deterministic.
+class TraceRecorder {
+ public:
+  static TraceRecorder& Global();
+
+  void Enable() { enabled_ = true; }
+  void Disable() { enabled_ = false; }
+  bool enabled() const { return enabled_; }
+
+  void Clear() { events_.clear(); }
+
+  void Record(TraceOp op, uint64_t a, uint64_t b) {
+    if (enabled_) {
+      events_.push_back(TraceEvent{op, a, b});
+    }
+  }
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+
+  // FNV-1a digest of the event stream; two traces are equal iff (with overwhelming
+  // probability) their digests are equal. Used by tests for cheap comparison.
+  uint64_t Digest() const;
+
+  // Human-readable rendering of the first `limit` events, for test failure messages.
+  std::string ToString(size_t limit = 64) const;
+
+ private:
+  bool enabled_ = false;
+  std::vector<TraceEvent> events_;
+};
+
+inline void TraceRecord(TraceOp op, uint64_t a, uint64_t b = 0) {
+  TraceRecorder::Global().Record(op, a, b);
+}
+
+// RAII capture: clears the global recorder, enables it for the scope's lifetime, and
+// leaves the captured events in place for inspection after destruction.
+class TraceScope {
+ public:
+  TraceScope() {
+    TraceRecorder::Global().Clear();
+    TraceRecorder::Global().Enable();
+  }
+  ~TraceScope() { TraceRecorder::Global().Disable(); }
+
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+  uint64_t Digest() const { return TraceRecorder::Global().Digest(); }
+  std::vector<TraceEvent> Events() const { return TraceRecorder::Global().events(); }
+};
+
+}  // namespace snoopy
+
+#endif  // SNOOPY_SRC_ENCLAVE_TRACE_H_

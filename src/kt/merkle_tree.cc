@@ -1,0 +1,73 @@
+#include "src/kt/merkle_tree.h"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace snoopy {
+
+MerkleTree::Hash MerkleTree::HashLeaf(const void* data, size_t len) {
+  // Domain separation between leaves and inner nodes (second-preimage hardening).
+  Sha256 h;
+  const uint8_t tag = 0x00;
+  h.Update(&tag, 1);
+  h.Update(data, len);
+  return h.Finalize();
+}
+
+MerkleTree::Hash MerkleTree::HashInner(const Hash& left, const Hash& right) {
+  Sha256 h;
+  const uint8_t tag = 0x01;
+  h.Update(&tag, 1);
+  h.Update(left.data(), left.size());
+  h.Update(right.data(), right.size());
+  return h.Finalize();
+}
+
+MerkleTree::MerkleTree(const std::vector<Hash>& leaves) {
+  if (leaves.empty()) {
+    throw std::invalid_argument("Merkle tree needs at least one leaf");
+  }
+  num_leaves_ = leaves.size();
+  padded_leaves_ = 1;
+  depth_ = 0;
+  while (padded_leaves_ < num_leaves_) {
+    padded_leaves_ <<= 1;
+    ++depth_;
+  }
+  nodes_.assign(2 * padded_leaves_, Hash{});
+  for (uint64_t i = 0; i < num_leaves_; ++i) {
+    nodes_[padded_leaves_ + i] = leaves[i];
+  }
+  for (uint64_t i = padded_leaves_ - 1; i >= 1; --i) {
+    nodes_[i] = HashInner(nodes_[2 * i], nodes_[2 * i + 1]);
+  }
+}
+
+std::vector<MerkleTree::Hash> MerkleTree::InclusionProof(uint64_t index) const {
+  if (index >= num_leaves_) {
+    throw std::out_of_range("Merkle proof index out of range");
+  }
+  std::vector<Hash> proof;
+  uint64_t node = padded_leaves_ + index;
+  while (node > 1) {
+    proof.push_back(nodes_[node ^ 1]);
+    node >>= 1;
+  }
+  return proof;
+}
+
+bool MerkleTree::Verify(const Hash& leaf, uint64_t index, const std::vector<Hash>& proof,
+                        const Hash& root) {
+  Hash current = leaf;
+  for (const Hash& sibling : proof) {
+    if ((index & 1) == 0) {
+      current = HashInner(current, sibling);
+    } else {
+      current = HashInner(sibling, current);
+    }
+    index >>= 1;
+  }
+  return current == root;
+}
+
+}  // namespace snoopy

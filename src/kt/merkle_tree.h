@@ -1,0 +1,51 @@
+// Append-only Merkle tree for the key-transparency application (paper section 3.2 and
+// Figure 9b): a CONIKS/Trillian-style log where looking up a user's key requires the
+// leaf, the signed root, and a log2(n)-long inclusion proof -- hence log2(n) + 1
+// oblivious accesses per lookup when the tree nodes are stored in Snoopy.
+
+#ifndef SNOOPY_SRC_KT_MERKLE_TREE_H_
+#define SNOOPY_SRC_KT_MERKLE_TREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/crypto/sha256.h"
+
+namespace snoopy {
+
+class MerkleTree {
+ public:
+  using Hash = Sha256::Digest;
+
+  // Builds a complete tree over `leaves` (padded with zero hashes to a power of two).
+  explicit MerkleTree(const std::vector<Hash>& leaves);
+
+  const Hash& root() const { return nodes_[1]; }
+  uint64_t num_leaves() const { return num_leaves_; }
+  uint32_t depth() const { return depth_; }
+
+  // Sibling hashes from leaf `index` up to (excluding) the root.
+  std::vector<Hash> InclusionProof(uint64_t index) const;
+
+  // Verifies that `leaf` at `index` is included under `root`.
+  static bool Verify(const Hash& leaf, uint64_t index, const std::vector<Hash>& proof,
+                     const Hash& root);
+
+  // Internal node by heap index (1 = root); exposed so the transparency log can store
+  // every node as a Snoopy object.
+  const Hash& Node(uint64_t heap_index) const { return nodes_[heap_index]; }
+  uint64_t num_nodes() const { return nodes_.size() - 1; }
+
+  static Hash HashLeaf(const void* data, size_t len);
+  static Hash HashInner(const Hash& left, const Hash& right);
+
+ private:
+  uint64_t num_leaves_;
+  uint64_t padded_leaves_;
+  uint32_t depth_;
+  std::vector<Hash> nodes_;  // 1-indexed heap layout; nodes_[0] unused
+};
+
+}  // namespace snoopy
+
+#endif  // SNOOPY_SRC_KT_MERKLE_TREE_H_

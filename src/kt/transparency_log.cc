@@ -1,0 +1,119 @@
+#include "src/kt/transparency_log.h"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <stdexcept>
+
+namespace snoopy {
+
+namespace {
+constexpr size_t kNodeValueSize = 32;  // one SHA-256 hash per object (paper Fig. 9b)
+}  // namespace
+
+uint64_t TransparencyLog::NodeKey(uint64_t heap_index) {
+  return (uint64_t{1} << 62) | heap_index;
+}
+
+uint64_t TransparencyLog::UserKey(uint64_t user_id) { return user_id; }
+
+TransparencyLog::TransparencyLog(const std::vector<std::vector<uint8_t>>& users,
+                                 uint32_t load_balancers, uint32_t suborams, uint64_t seed) {
+  num_users_ = users.size();
+  std::vector<MerkleTree::Hash> leaves;
+  leaves.reserve(users.size());
+  for (const auto& key : users) {
+    leaves.push_back(MerkleTree::HashLeaf(key.data(), key.size()));
+  }
+  tree_ = std::make_unique<MerkleTree>(leaves);
+
+  SnoopyConfig cfg;
+  cfg.num_load_balancers = load_balancers;
+  cfg.num_suborams = suborams;
+  cfg.value_size = kNodeValueSize;
+  store_ = std::make_unique<Snoopy>(cfg, seed);
+
+  // Publish the signed root (one-time-signature chain; fresh key per epoch).
+  signer_ = std::make_unique<LamportChain>(seed ^ 0x5167);
+  signer_genesis_ = signer_->genesis_public();
+  root_statement_ = signer_->Sign(
+      std::span<const uint8_t>(tree_->root().data(), tree_->root().size()));
+
+  // Every tree node (inner nodes and leaves) becomes one 32-byte Snoopy object.
+  std::vector<std::pair<uint64_t, std::vector<uint8_t>>> objects;
+  objects.reserve(tree_->num_nodes());
+  for (uint64_t node = 1; node <= tree_->num_nodes(); ++node) {
+    const MerkleTree::Hash& h = tree_->Node(node);
+    objects.emplace_back(NodeKey(node), std::vector<uint8_t>(h.begin(), h.end()));
+  }
+  store_->Initialize(objects);
+}
+
+std::vector<KtLookupResult> TransparencyLog::LookupBatch(
+    const std::vector<uint64_t>& user_ids) {
+  // Phase 1: submit, per lookup, the leaf node and every sibling on its path to the
+  // root -- log2(n) + 1 oblivious accesses (the signed root itself is public).
+  const uint64_t padded = tree_->num_nodes() / 2 + 1;  // first leaf's heap index
+  struct Pending {
+    uint64_t user;
+    std::vector<uint64_t> node_keys;  // leaf first, then siblings bottom-up
+  };
+  std::vector<Pending> pending;
+  uint64_t base_seq = next_seq_;
+  for (const uint64_t user : user_ids) {
+    Pending p;
+    p.user = user;
+    uint64_t node = padded + user;
+    p.node_keys.push_back(NodeKey(node));
+    while (node > 1) {
+      p.node_keys.push_back(NodeKey(node ^ 1));
+      node >>= 1;
+    }
+    for (const uint64_t key : p.node_keys) {
+      store_->SubmitRead(/*client_id=*/p.user, next_seq_++, key);
+    }
+    pending.push_back(std::move(p));
+  }
+
+  std::map<uint64_t, MerkleTree::Hash> by_seq;
+  for (const ClientResponse& resp : store_->RunEpoch()) {
+    MerkleTree::Hash h{};
+    std::memcpy(h.data(), resp.value.data(), h.size());
+    by_seq[resp.client_seq] = h;
+  }
+
+  // Phase 2: verify each proof against the signed root.
+  std::vector<KtLookupResult> results;
+  uint64_t seq = base_seq;
+  for (const Pending& p : pending) {
+    KtLookupResult r;
+    r.found = p.user < num_users_;
+    r.leaf_index = p.user;
+    r.oblivious_accesses = static_cast<uint32_t>(p.node_keys.size());
+    const MerkleTree::Hash leaf = by_seq[seq++];
+    std::vector<MerkleTree::Hash> proof;
+    for (size_t i = 1; i < p.node_keys.size(); ++i) {
+      proof.push_back(by_seq[seq++]);
+    }
+    r.key_hash = leaf;
+    r.proof_valid = MerkleTree::Verify(leaf, p.user, proof, tree_->root());
+    results.push_back(r);
+  }
+  return results;
+}
+
+KtLookupResult TransparencyLog::Lookup(uint64_t user_id) {
+  return LookupBatch({user_id})[0];
+}
+
+bool TransparencyLog::VerifyRootStatement(const LamportKey::PublicKey& genesis,
+                                          const LamportChain::SignedStatement& statement,
+                                          const MerkleTree::Hash& root) {
+  if (statement.message.size() != root.size() ||
+      !std::equal(root.begin(), root.end(), statement.message.begin())) {
+    return false;
+  }
+  return LamportChain::VerifyChain(genesis, {statement});
+}
+
+}  // namespace snoopy

@@ -1,0 +1,20 @@
+#include "src/net/channel.h"
+
+namespace snoopy {
+
+std::vector<uint8_t> SecureChannel::Seal(std::span<const uint8_t> plaintext) {
+  const Aead::Nonce nonce = Aead::CounterNonce(send_counter_, channel_id_);
+  ++send_counter_;
+  return aead_.Seal(nonce, /*aad=*/{}, plaintext);
+}
+
+bool SecureChannel::Open(std::span<const uint8_t> sealed, std::vector<uint8_t>& plaintext_out) {
+  const Aead::Nonce nonce = Aead::CounterNonce(recv_counter_, channel_id_);
+  if (!aead_.Open(nonce, /*aad=*/{}, sealed, plaintext_out)) {
+    return false;
+  }
+  ++recv_counter_;
+  return true;
+}
+
+}  // namespace snoopy

@@ -1,0 +1,46 @@
+#include "src/net/network.h"
+
+#include <stdexcept>
+
+#include "src/enclave/trace.h"
+
+namespace snoopy {
+
+namespace {
+
+uint64_t EndpointTag(const std::string& name) {
+  // FNV-1a; only used as a trace label.
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : name) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+void Network::Register(const std::string& endpoint, Handler handler) {
+  endpoints_[endpoint] = std::move(handler);
+}
+
+bool Network::HasEndpoint(const std::string& endpoint) const {
+  return endpoints_.count(endpoint) != 0;
+}
+
+std::vector<uint8_t> Network::Call(const std::string& from, const std::string& to,
+                                   std::span<const uint8_t> payload) {
+  const auto it = endpoints_.find(to);
+  if (it == endpoints_.end()) {
+    throw std::out_of_range("unknown endpoint: " + to);
+  }
+  TraceRecord(TraceOp::kMsgSend, EndpointTag(to), payload.size());
+  ++stats_.messages;
+  stats_.bytes_sent += payload.size();
+  std::vector<uint8_t> response = it->second(payload);
+  TraceRecord(TraceOp::kMsgRecv, EndpointTag(from), response.size());
+  stats_.bytes_received += response.size();
+  return response;
+}
+
+}  // namespace snoopy

@@ -1,0 +1,48 @@
+// In-process message network.
+//
+// The functional Snoopy deployment runs its load balancers and subORAMs in one process
+// (the substitute for the paper's 18-machine gRPC mesh); this router carries their
+// messages, records the communication pattern into the enclave trace (Appendix B's
+// trace includes "network communication"), and keeps byte/message statistics that the
+// figure harnesses and the cluster cost model consume.
+
+#ifndef SNOOPY_SRC_NET_NETWORK_H_
+#define SNOOPY_SRC_NET_NETWORK_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace snoopy {
+
+class Network {
+ public:
+  // A handler consumes a request payload and produces a response payload.
+  using Handler = std::function<std::vector<uint8_t>(std::span<const uint8_t>)>;
+
+  void Register(const std::string& endpoint, Handler handler);
+  bool HasEndpoint(const std::string& endpoint) const;
+
+  // Synchronous request/response. Throws std::out_of_range for unknown endpoints.
+  std::vector<uint8_t> Call(const std::string& from, const std::string& to,
+                            std::span<const uint8_t> payload);
+
+  struct Stats {
+    uint64_t messages = 0;
+    uint64_t bytes_sent = 0;
+    uint64_t bytes_received = 0;
+  };
+  const Stats& stats() const { return stats_; }
+  void ResetStats() { stats_ = Stats{}; }
+
+ private:
+  std::map<std::string, Handler> endpoints_;
+  Stats stats_;
+};
+
+}  // namespace snoopy
+
+#endif  // SNOOPY_SRC_NET_NETWORK_H_

@@ -1,0 +1,127 @@
+#include "src/obl/bin_placement.h"
+
+#include <cstring>
+#include <vector>
+
+#include "src/enclave/trace.h"
+#include "src/obl/bitonic_sort.h"
+#include "src/obl/compaction.h"
+#include "src/obl/primitives.h"
+
+namespace snoopy {
+
+namespace {
+
+inline uint32_t LoadU32(const uint8_t* rec, size_t off) {
+  uint32_t v;
+  std::memcpy(&v, rec + off, sizeof(v));
+  return v;
+}
+
+inline uint64_t LoadU64(const uint8_t* rec, size_t off) {
+  uint64_t v;
+  std::memcpy(&v, rec + off, sizeof(v));
+  return v;
+}
+
+inline void StoreU32(uint8_t* rec, size_t off, uint32_t v) { std::memcpy(rec + off, &v, sizeof(v)); }
+inline void StoreU64(uint8_t* rec, size_t off, uint64_t v) { std::memcpy(rec + off, &v, sizeof(v)); }
+
+// Bitwise boolean helpers; && / || would short-circuit (branch) on secret data.
+inline bool BAnd(bool a, bool b) {
+  return static_cast<bool>(static_cast<unsigned>(a) & static_cast<unsigned>(b));
+}
+inline bool BOr(bool a, bool b) {
+  return static_cast<bool>(static_cast<unsigned>(a) | static_cast<unsigned>(b));
+}
+inline bool BNot(bool a) { return static_cast<bool>(static_cast<unsigned>(a) ^ 1u); }
+
+}  // namespace
+
+BinPlacementResult ObliviousBinPlacement(ByteSlab& slab, const BinSchema& schema,
+                                         const BinPlacementOptions& options,
+                                         const std::function<void(uint8_t*)>& make_dummy) {
+  const uint64_t m = options.num_bins;
+  const uint64_t z = options.bin_capacity;
+  const size_t n_real = slab.size();
+
+  // Step 1 (Fig. 5 step 2): append z padding dummies per bin. Dummy records sort after
+  // real records within a bin (order = max) and carry unique dedup keys so they can
+  // never be mistaken for duplicates.
+  uint64_t dummy_counter = 0;
+  for (uint64_t b = 0; b < m; ++b) {
+    for (uint64_t j = 0; j < z; ++j) {
+      uint8_t* rec = slab.AppendZero();
+      make_dummy(rec);
+      StoreU32(rec, schema.bin_offset, static_cast<uint32_t>(b));
+      rec[schema.dummy_offset] = 1;
+      StoreU64(rec, schema.order_offset, ~uint64_t{0});
+      StoreU64(rec, schema.dedup_offset, ~uint64_t{0} - dummy_counter);
+      ++dummy_counter;
+    }
+  }
+  TraceRecord(TraceOp::kAppend, n_real, m * z);
+
+  // Step 2 (Fig. 5 step 3): oblivious sort by (bin, dummy, dedup, order).
+  const auto key_of = [&schema](const uint8_t* rec) {
+    const uint64_t bin = LoadU32(rec, schema.bin_offset);
+    const uint64_t dummy = rec[schema.dummy_offset] & 1;
+    return (bin << 1) | dummy;
+  };
+  BitonicSortSlab(
+      slab,
+      [&](const uint8_t* a, const uint8_t* b) {
+        const uint64_t a1 = key_of(a);
+        const uint64_t b1 = key_of(b);
+        const uint64_t a2 = LoadU64(a, schema.dedup_offset);
+        const uint64_t b2 = LoadU64(b, schema.dedup_offset);
+        const uint64_t a3 = LoadU64(a, schema.order_offset);
+        const uint64_t b3 = LoadU64(b, schema.order_offset);
+        const bool lt3 = CtLt64(a3, b3);
+        const bool lt2 = BOr(CtLt64(a2, b2), BAnd(CtEq64(a2, b2), lt3));
+        return BOr(CtLt64(a1, b1), BAnd(CtEq64(a1, b1), lt2));
+      },
+      options.sort_threads);
+
+  // Step 3 (Fig. 5 step 4): one oblivious linear scan marks, per bin, the first z
+  // non-duplicate records (reals first, then padding).
+  const size_t total = slab.size();
+  std::vector<uint8_t> keep(total, 0);
+  uint64_t prev_bin = ~uint64_t{0};
+  uint64_t prev_dedup = ~uint64_t{0};
+  uint64_t count = 0;
+  uint64_t dropped_real = 0;
+  uint64_t placed_real = 0;
+  for (size_t i = 0; i < total; ++i) {
+    TraceRecord(TraceOp::kRead, i);
+    const uint8_t* rec = slab.Record(i);
+    const uint64_t bin = LoadU32(rec, schema.bin_offset);
+    const bool is_dummy = rec[schema.dummy_offset] != 0;
+    const uint64_t dedup = LoadU64(rec, schema.dedup_offset);
+
+    const bool same_bin = CtEq64(bin, prev_bin);
+    count = CtSelect64(same_bin, count, 0);
+    const bool is_dup = options.dedup ? BAnd(same_bin, CtEq64(dedup, prev_dedup)) : false;
+    const bool keep_i = BAnd(BNot(is_dup), CtLt64(count, z));
+    count += CtSelect64(keep_i, 1, 0);
+    keep[i] = static_cast<uint8_t>(keep_i);
+
+    // A dropped real, non-duplicate record means a bin overflowed: abort condition.
+    dropped_real += CtSelect64(BAnd(BAnd(BNot(keep_i), BNot(is_dummy)), BNot(is_dup)), 1, 0);
+    placed_real += CtSelect64(BAnd(keep_i, BNot(is_dummy)), 1, 0);
+    prev_bin = bin;
+    prev_dedup = dedup;
+  }
+
+  // Step 4 (Fig. 5 step 4, second half): compact the kept records to the front. The
+  // kept count is exactly m * z by construction, which is public.
+  const size_t kept = GoodrichCompact(slab, std::span<uint8_t>(keep.data(), keep.size()));
+  slab.Truncate(kept < m * z ? kept : m * z);
+
+  BinPlacementResult result;
+  result.ok = (dropped_real == 0) && (kept == m * z);
+  result.placed = placed_real;
+  return result;
+}
+
+}  // namespace snoopy

@@ -1,0 +1,58 @@
+// Oblivious bin placement.
+//
+// Given n records each tagged with a secret bin index in [0, m), produce a slab of
+// exactly m * z records where bin b occupies slots [b*z, (b+1)*z): the bin's real
+// records first (in sort-key order), padded to z with dummies. Nothing is revealed
+// beyond the public (n, m, z): the procedure is append + oblivious sort + oblivious
+// linear scan + oblivious compaction, the exact pipeline of the Snoopy load balancer
+// (paper Figure 5) and of oblivious hash-table construction (section 5).
+//
+// Records are raw fixed-stride byte strings; the caller describes where the secret
+// fields live via BinSchema. All field reads/writes inside the routine are branchless.
+
+#ifndef SNOOPY_SRC_OBL_BIN_PLACEMENT_H_
+#define SNOOPY_SRC_OBL_BIN_PLACEMENT_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "src/obl/slab.h"
+
+namespace snoopy {
+
+// Byte offsets of the fields bin placement manipulates. All fields are little-endian.
+struct BinSchema {
+  size_t bin_offset;    // uint32: secret bin index
+  size_t dummy_offset;  // uint8: 1 if the record is a padding dummy
+  size_t order_offset;  // uint64: secondary sort key (ties broken by it); for
+                        // deduplication this must order duplicates survivor-first
+  size_t dedup_offset;  // uint64: records in the same bin with equal dedup keys are
+                        // duplicates; only used when dedup is enabled
+};
+
+struct BinPlacementOptions {
+  uint32_t num_bins = 1;
+  uint32_t bin_capacity = 1;  // z
+  bool dedup = false;         // drop all but the first record of each duplicate group
+  int sort_threads = 1;
+};
+
+struct BinPlacementResult {
+  // False iff some bin had more eligible records than its capacity, i.e. real records
+  // were dropped. With capacities from analysis/batch_bound this happens with
+  // probability <= 2^-lambda; callers treat it as an abort.
+  bool ok = false;
+  // Number of real (non-dummy, non-duplicate) records placed.
+  uint64_t placed = 0;
+};
+
+// Rearranges `slab` in place into m * z slots as described above. `make_dummy` must
+// initialize a padding record in the provided buffer; bin placement then assigns its
+// bin/dummy fields itself. On return slab.size() == num_bins * bin_capacity.
+BinPlacementResult ObliviousBinPlacement(
+    ByteSlab& slab, const BinSchema& schema, const BinPlacementOptions& options,
+    const std::function<void(uint8_t*)>& make_dummy);
+
+}  // namespace snoopy
+
+#endif  // SNOOPY_SRC_OBL_BIN_PLACEMENT_H_

@@ -1,0 +1,129 @@
+// Batcher's bitonic sorting network for arbitrary n, with optional thread parallelism.
+//
+// Bitonic sort performs compare-and-swaps in a fixed, data-independent order, so it is
+// oblivious: the network shape depends only on n (public). This is the oblivious sort
+// the Snoopy load balancer uses to build batches (paper section 4.2.1); the paper also
+// parallelizes it across enclave threads (Figure 13a), which RunBitonicNetwork supports
+// by fanning the independent recursive halves out to a bounded thread pool.
+//
+// Complexity: O(n log^2 n) compare-swaps; depth O(log^2 n).
+
+#ifndef SNOOPY_SRC_OBL_BITONIC_SORT_H_
+#define SNOOPY_SRC_OBL_BITONIC_SORT_H_
+
+#include <cstddef>
+#include <span>
+#include <thread>
+#include <utility>
+
+#include "src/enclave/trace.h"
+#include "src/obl/primitives.h"
+#include "src/obl/slab.h"
+
+namespace snoopy {
+
+namespace internal {
+
+// Largest power of two strictly less than n (n >= 2).
+inline size_t GreatestPowerOfTwoBelow(size_t n) {
+  size_t k = 1;
+  while (k * 2 < n) {
+    k *= 2;
+  }
+  return k;
+}
+
+template <typename CSwap>
+void BitonicMerge(size_t lo, size_t n, bool asc, const CSwap& cswap, int threads) {
+  if (n <= 1) {
+    return;
+  }
+  const size_t m = GreatestPowerOfTwoBelow(n);
+  for (size_t i = lo; i < lo + n - m; ++i) {
+    cswap(i, i + m, asc);
+  }
+  if (threads > 1) {
+    std::thread t([&] { BitonicMerge(lo, m, asc, cswap, threads / 2); });
+    BitonicMerge(lo + m, n - m, asc, cswap, threads - threads / 2);
+    t.join();
+  } else {
+    BitonicMerge(lo, m, asc, cswap, 1);
+    BitonicMerge(lo + m, n - m, asc, cswap, 1);
+  }
+}
+
+template <typename CSwap>
+void BitonicSortRec(size_t lo, size_t n, bool asc, const CSwap& cswap, int threads) {
+  if (n <= 1) {
+    return;
+  }
+  const size_t m = n / 2;
+  if (threads > 1) {
+    std::thread t([&] { BitonicSortRec(lo, m, !asc, cswap, threads / 2); });
+    BitonicSortRec(lo + m, n - m, asc, cswap, threads - threads / 2);
+    t.join();
+  } else {
+    BitonicSortRec(lo, m, !asc, cswap, 1);
+    BitonicSortRec(lo + m, n - m, asc, cswap, 1);
+  }
+  BitonicMerge(lo, n, asc, cswap, threads);
+}
+
+}  // namespace internal
+
+// Runs the bitonic network over n elements. `cswap(i, j, asc)` must compare the
+// elements at positions i < j and swap them (obliviously) so that they end up in
+// ascending order if asc, descending otherwise. `threads` bounds the number of
+// concurrently running workers (1 = fully sequential).
+template <typename CSwap>
+void RunBitonicNetwork(size_t n, const CSwap& cswap, int threads = 1) {
+  internal::BitonicSortRec(0, n, /*asc=*/true, cswap, threads < 1 ? 1 : threads);
+}
+
+// Sorts a span of trivially-copyable records in place. `less(a, b)` must be a
+// branchless strict weak ordering (see obl/primitives.h helpers).
+template <typename T, typename Less>
+void BitonicSort(std::span<T> data, const Less& less, int threads = 1) {
+  RunBitonicNetwork(
+      data.size(),
+      [&](size_t i, size_t j, bool asc) {
+        TraceRecord(TraceOp::kCondSwap, i, j);
+        const bool out_of_order = asc ? less(data[j], data[i]) : less(data[i], data[j]);
+        OCmpSwap(out_of_order, data[i], data[j]);
+      },
+      threads);
+}
+
+// Sorts a ByteSlab of records in place; `less(a, b)` receives raw record pointers and
+// must be branchless.
+template <typename Less>
+void BitonicSortSlab(ByteSlab& slab, const Less& less, int threads = 1) {
+  const size_t stride = slab.record_bytes();
+  uint8_t* base = slab.data();
+  RunBitonicNetwork(
+      slab.size(),
+      [&](size_t i, size_t j, bool asc) {
+        TraceRecord(TraceOp::kCondSwap, i, j);
+        uint8_t* a = base + i * stride;
+        uint8_t* b = base + j * stride;
+        const bool out_of_order = asc ? less(b, a) : less(a, b);
+        CtCondSwapBytes(out_of_order, a, b, stride);
+      },
+      threads);
+}
+
+// The adaptive policy from the paper (Figure 13a): below a size threshold the thread
+// coordination overhead dominates, so fall back to a single thread.
+inline int AdaptiveSortThreads(size_t n, int max_threads) {
+  constexpr size_t kParallelThreshold = 1u << 13;
+  if (n < kParallelThreshold || max_threads < 2) {
+    return 1;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  const int cap = hw == 0 ? 1 : static_cast<int>(hw);
+  return max_threads < cap ? max_threads : cap;
+}
+
+}  // namespace snoopy
+
+#endif  // SNOOPY_SRC_OBL_BITONIC_SORT_H_

@@ -1,0 +1,86 @@
+#include "src/obl/compaction.h"
+
+#include <cassert>
+#include <vector>
+
+#include "src/enclave/trace.h"
+#include "src/obl/bitonic_sort.h"
+#include "src/obl/primitives.h"
+
+namespace snoopy {
+
+size_t GoodrichCompact(ByteSlab& slab, std::span<uint8_t> flags) {
+  const size_t n = slab.size();
+  assert(flags.size() == n);
+  if (n == 0) {
+    return 0;
+  }
+  const size_t stride = slab.record_bytes();
+  uint8_t* base = slab.data();
+
+  // Distance each kept record must travel left: the count of dropped records before
+  // it. Computed with a single oblivious linear scan. Dropped records are given
+  // distance 0 so they never move left (they are displaced rightwards by swaps).
+  std::vector<uint64_t> dist(n);
+  uint64_t dropped = 0;
+  uint64_t kept = 0;
+  for (size_t i = 0; i < n; ++i) {
+    TraceRecord(TraceOp::kRead, i);
+    const bool keep = flags[i] != 0;
+    dist[i] = CtSelect64(keep, dropped, 0);
+    dropped += CtSelect64(keep, 0, 1);
+    kept += CtSelect64(keep, 1, 0);
+  }
+
+  // Route through log n passes. In pass k, the record at position i + 2^k moves to
+  // position i iff bit k of its remaining distance is set. Distances of kept records
+  // are non-decreasing and, entering pass k, multiples of 2^k; a short induction shows
+  // a moving record's target slot never holds a kept record that stays put, so the
+  // conditional swap only ever displaces dropped records.
+  for (uint64_t shift = 1; shift < n; shift <<= 1) {
+    for (size_t i = 0; i + shift < n; ++i) {
+      TraceRecord(TraceOp::kCondSwap, i, i + shift);
+      const size_t j = i + shift;
+      // Bitwise & (not &&): short-circuiting would branch on secret data.
+      const bool move = static_cast<bool>(static_cast<unsigned>(flags[j] != 0) &
+                                          static_cast<unsigned>((dist[j] & shift) != 0));
+      dist[j] = CtSelect64(move, dist[j] - shift, dist[j]);
+      CtCondSwapBytes(move, base + i * stride, base + j * stride, stride);
+      CtCondSwapBytes(move, &flags[i], &flags[j], 1);
+      CtCondSwapBytes(move, &dist[i], &dist[j], sizeof(uint64_t));
+    }
+  }
+  return static_cast<size_t>(kept);
+}
+
+size_t SortCompact(ByteSlab& slab, std::span<uint8_t> flags) {
+  const size_t n = slab.size();
+  assert(flags.size() == n);
+  if (n == 0) {
+    return 0;
+  }
+  const size_t stride = slab.record_bytes();
+  uint8_t* base = slab.data();
+
+  uint64_t kept = 0;
+  std::vector<uint64_t> rank(n);
+  for (size_t i = 0; i < n; ++i) {
+    TraceRecord(TraceOp::kRead, i);
+    const bool keep = flags[i] != 0;
+    kept += CtSelect64(keep, 1, 0);
+    // Sort key: kept records first (in original order), dropped after (in original
+    // order). The key embeds the keep bit in the top bit so comparisons stay simple.
+    rank[i] = CtSelect64(keep, 0, uint64_t{1} << 63) | static_cast<uint64_t>(i);
+  }
+
+  RunBitonicNetwork(n, [&](size_t i, size_t j, bool asc) {
+    TraceRecord(TraceOp::kCondSwap, i, j);
+    const bool out_of_order = asc ? CtLt64(rank[j], rank[i]) : CtLt64(rank[i], rank[j]);
+    CtCondSwapBytes(out_of_order, &rank[i], &rank[j], sizeof(uint64_t));
+    CtCondSwapBytes(out_of_order, &flags[i], &flags[j], 1);
+    CtCondSwapBytes(out_of_order, base + i * stride, base + j * stride, stride);
+  });
+  return static_cast<size_t>(kept);
+}
+
+}  // namespace snoopy

@@ -1,0 +1,40 @@
+// Oblivious order-preserving compaction.
+//
+// Given n records each tagged with a secret keep-bit, compaction moves the kept records
+// to the front of the array, preserving their relative order, while revealing nothing
+// but the total number kept (which Snoopy treats as public; paper section 4.2.1).
+//
+// Two implementations are provided:
+//  - GoodrichCompact: Goodrich's O(n log n) routing network [Goodrich, SPAA'11].
+//    Each kept record must travel left by d_i = (number of dropped records before it);
+//    the d_i are non-decreasing, so routing them through log n passes that shift by
+//    2^k (k = 0, 1, ...) conditioned on bit k of the remaining distance never collides.
+//    This is the variant Snoopy's implementation uses (paper section 7).
+//  - SortCompact: an O(n log^2 n) reference built on bitonic sort over the key
+//    (1 - keep, original index). Trivially correct and oblivious; used by property
+//    tests to cross-check GoodrichCompact and available as a fallback.
+//
+// Both operate on a ByteSlab plus a parallel secret flag array which is permuted
+// alongside the records.
+
+#ifndef SNOOPY_SRC_OBL_COMPACTION_H_
+#define SNOOPY_SRC_OBL_COMPACTION_H_
+
+#include <cstdint>
+#include <span>
+
+#include "src/obl/slab.h"
+
+namespace snoopy {
+
+// Compacts records with flags[i] == 1 to the front, order-preserving, in O(n log n)
+// oblivious operations. Returns the number of kept records. flags must have
+// slab.size() entries each in {0, 1}; on return the first `kept` flags are 1.
+size_t GoodrichCompact(ByteSlab& slab, std::span<uint8_t> flags);
+
+// Reference implementation via bitonic sort; identical contract to GoodrichCompact.
+size_t SortCompact(ByteSlab& slab, std::span<uint8_t> flags);
+
+}  // namespace snoopy
+
+#endif  // SNOOPY_SRC_OBL_COMPACTION_H_

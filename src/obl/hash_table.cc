@@ -1,0 +1,287 @@
+#include "src/obl/hash_table.h"
+
+#include <cstring>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "src/analysis/batch_bound.h"
+#include "src/analysis/binomial.h"
+#include "src/enclave/trace.h"
+#include "src/obl/bin_placement.h"
+#include "src/obl/bitonic_sort.h"
+#include "src/obl/compaction.h"
+#include "src/obl/primitives.h"
+
+namespace snoopy {
+
+namespace {
+
+inline uint64_t LoadU64(const uint8_t* rec, size_t off) {
+  uint64_t v;
+  std::memcpy(&v, rec + off, sizeof(v));
+  return v;
+}
+inline void StoreU64(uint8_t* rec, size_t off, uint64_t v) { std::memcpy(rec + off, &v, sizeof(v)); }
+inline void StoreU32(uint8_t* rec, size_t off, uint32_t v) { std::memcpy(rec + off, &v, sizeof(v)); }
+inline uint32_t LoadU32(const uint8_t* rec, size_t off) {
+  uint32_t v;
+  std::memcpy(&v, rec + off, sizeof(v));
+  return v;
+}
+
+inline bool BAnd(bool a, bool b) {
+  return static_cast<bool>(static_cast<unsigned>(a) & static_cast<unsigned>(b));
+}
+inline bool BNot(bool a) { return static_cast<bool>(static_cast<unsigned>(a) ^ 1u); }
+
+constexpr uint64_t kMeanLoads[] = {1, 2, 3, 4, 6, 8, 12, 16, 24, 32};
+
+}  // namespace
+
+OhtParams ChooseSingleTierParams(uint64_t n, uint32_t lambda) {
+  OhtParams best;
+  best.n = n;
+  best.bins1 = 1;
+  best.z1 = n;
+  if (n <= 4) {
+    return best;
+  }
+  for (const uint64_t mu : kMeanLoads) {
+    const uint64_t bins = (n + mu - 1) / mu;
+    if (bins <= 1) {
+      continue;
+    }
+    const uint64_t z = BatchSize(n, bins, lambda);
+    if (z < best.z1 && bins * z <= 8 * n) {
+      best.bins1 = bins;
+      best.z1 = z;
+    }
+  }
+  return best;
+}
+
+OhtParams ChooseOhtParams(uint64_t n, uint32_t lambda) {
+  OhtParams best = ChooseSingleTierParams(n, lambda);
+  if (n <= 16) {
+    return best;  // Tiny batches: a single scanned bucket is already optimal.
+  }
+  for (const uint64_t mu1 : kMeanLoads) {
+    const uint64_t bins1 = (n + mu1 - 1) / mu1;
+    if (bins1 <= 1) {
+      continue;
+    }
+    // Tier-1 capacity only slightly above the mean; the tail goes to tier 2.
+    for (uint64_t z1 = mu1; z1 <= mu1 + 12; ++z1) {
+      const uint64_t cap = OverflowBound(n, bins1, z1, lambda);
+      if (cap == 0) {
+        if (z1 < best.z1 + best.z2 && bins1 * z1 <= 8 * n) {
+          best = OhtParams{n, bins1, z1, 0, 0, 0};
+        }
+        continue;
+      }
+      if (cap >= n) {
+        continue;  // Bound vacuous; not a useful configuration.
+      }
+      for (const uint64_t mu2 : kMeanLoads) {
+        const uint64_t bins2 = (cap + mu2 - 1) / mu2;
+        if (bins2 == 0) {
+          continue;
+        }
+        const uint64_t z2 = bins2 == 1 ? cap : BatchSize(cap, bins2, lambda);
+        const uint64_t cost = z1 + z2;
+        const uint64_t slots = bins1 * z1 + bins2 * z2;
+        if (slots > 8 * n) {
+          continue;
+        }
+        if (cost < best.z1 + best.z2 ||
+            (cost == best.z1 + best.z2 && slots < best.TotalSlots())) {
+          best = OhtParams{n, bins1, z1, cap, bins2, z2};
+        }
+      }
+    }
+  }
+  return best;
+}
+
+bool TwoTierOht::Build(ByteSlab&& batch, Rng& rng, int sort_threads) {
+  const uint64_t n = batch.size();
+  params_ = ChooseOhtParams(n, lambda_);
+  key1_ = rng.NextSipKey();
+  key2_ = rng.NextSipKey();
+  tier1_ = ByteSlab(0, batch.record_bytes());
+  tier2_ = ByteSlab(0, batch.record_bytes());
+  if (n == 0) {
+    return true;
+  }
+
+  ByteSlab slab = std::move(batch);
+
+  // Assign tier-1 bins and construction scratch fields with one linear scan.
+  for (size_t i = 0; i < n; ++i) {
+    uint8_t* rec = slab.Record(i);
+    const uint64_t key = LoadU64(rec, schema_.key_offset);
+    StoreU32(rec, schema_.bin_offset,
+             static_cast<uint32_t>(SipHash24(key1_, key) % params_.bins1));
+    rec[schema_.dummy_offset] = 0;
+    StoreU64(rec, schema_.order_offset, i);
+    StoreU64(rec, schema_.dedup_offset, key);
+  }
+
+  // Append tier-1 padding dummies (z1 per bin), then sort by (bin, dummy, order).
+  const uint64_t pad1 = params_.bins1 * params_.z1;
+  for (uint64_t b = 0; b < params_.bins1; ++b) {
+    for (uint64_t j = 0; j < params_.z1; ++j) {
+      uint8_t* rec = slab.AppendZero();
+      StoreU64(rec, schema_.key_offset, ~uint64_t{0});
+      StoreU32(rec, schema_.bin_offset, static_cast<uint32_t>(b));
+      rec[schema_.dummy_offset] = 1;
+      StoreU64(rec, schema_.order_offset, ~uint64_t{0});
+      StoreU64(rec, schema_.dedup_offset, ~uint64_t{0});
+    }
+  }
+  TraceRecord(TraceOp::kAppend, n, pad1);
+
+  BitonicSortSlab(
+      slab,
+      [this](const uint8_t* a, const uint8_t* b) {
+        const uint64_t a1 = (static_cast<uint64_t>(LoadU32(a, schema_.bin_offset)) << 1) |
+                            (a[schema_.dummy_offset] & 1);
+        const uint64_t b1 = (static_cast<uint64_t>(LoadU32(b, schema_.bin_offset)) << 1) |
+                            (b[schema_.dummy_offset] & 1);
+        const uint64_t a2 = LoadU64(a, schema_.order_offset);
+        const uint64_t b2 = LoadU64(b, schema_.order_offset);
+        const bool lt2 = CtLt64(a2, b2);
+        return static_cast<bool>(static_cast<unsigned>(CtLt64(a1, b1)) |
+                                 (static_cast<unsigned>(CtEq64(a1, b1)) &
+                                  static_cast<unsigned>(lt2)));
+      },
+      sort_threads);
+
+  // Mark tier-1 residents (first z1 per bin) and the overflow set; pad the overflow
+  // set to the public cap with surplus padding dummies so the compacted size reveals
+  // nothing about the true overflow count.
+  const size_t total = slab.size();
+  std::vector<uint8_t> keep1(total, 0);
+  std::vector<uint8_t> to_tier2(total, 0);
+  uint64_t prev_bin = ~uint64_t{0};
+  uint64_t count = 0;
+  uint64_t overflow_count = 0;
+  for (size_t i = 0; i < total; ++i) {
+    TraceRecord(TraceOp::kRead, i);
+    const uint8_t* rec = slab.Record(i);
+    const uint64_t bin = LoadU32(rec, schema_.bin_offset);
+    const bool is_dummy = rec[schema_.dummy_offset] != 0;
+    const bool same_bin = CtEq64(bin, prev_bin);
+    count = CtSelect64(same_bin, count, 0);
+    const bool keep = CtLt64(count, params_.z1);
+    count += CtSelect64(keep, 1, 0);
+    keep1[i] = static_cast<uint8_t>(keep);
+    const bool overflow_real = BAnd(BNot(keep), BNot(is_dummy));
+    to_tier2[i] = static_cast<uint8_t>(overflow_real);
+    overflow_count += CtSelect64(overflow_real, 1, 0);
+    prev_bin = bin;
+  }
+  const bool tier1_ok = CtLe64(overflow_count, params_.overflow_cap);
+
+  // Second scan: recruit dropped padding dummies as tier-2 filler until the overflow
+  // set reaches the cap.
+  const uint64_t fill_needed =
+      CtSelect64(tier1_ok, params_.overflow_cap - overflow_count, 0);
+  uint64_t filled = 0;
+  for (size_t i = 0; i < total; ++i) {
+    TraceRecord(TraceOp::kRead, i);
+    const uint8_t* rec = slab.Record(i);
+    const bool is_dummy = rec[schema_.dummy_offset] != 0;
+    const bool avail = BAnd(is_dummy, keep1[i] == 0);
+    const bool take = BAnd(avail, CtLt64(filled, fill_needed));
+    filled += CtSelect64(take, 1, 0);
+    to_tier2[i] = static_cast<uint8_t>(to_tier2[i] | static_cast<uint8_t>(take));
+  }
+
+  // Split: tier-1 residents into tier1_, overflow set into tier2 input.
+  ByteSlab overflow = slab;  // copy; each record goes to exactly one side
+  (void)GoodrichCompact(slab, std::span<uint8_t>(keep1.data(), keep1.size()));
+  slab.Truncate(pad1);
+  tier1_ = std::move(slab);
+
+  (void)GoodrichCompact(overflow, std::span<uint8_t>(to_tier2.data(), to_tier2.size()));
+  overflow.Truncate(params_.overflow_cap);
+
+  if (params_.overflow_cap == 0 || params_.bins2 == 0) {
+    return tier1_ok;
+  }
+
+  // Tier 2: rehash reals under the fresh key2; filler dummies get uniformly random
+  // bins so bin loads keep the balls-into-bins distribution that z2 was sized for.
+  for (size_t i = 0; i < overflow.size(); ++i) {
+    uint8_t* rec = overflow.Record(i);
+    const uint64_t key = LoadU64(rec, schema_.key_offset);
+    const bool is_dummy = rec[schema_.dummy_offset] != 0;
+    const uint64_t h = SipHash24(key2_, key) % params_.bins2;
+    const uint64_t r = rng.Uniform(params_.bins2);  // drawn for every record
+    StoreU32(rec, schema_.bin_offset, static_cast<uint32_t>(CtSelect64(is_dummy, r, h)));
+    StoreU64(rec, schema_.order_offset, i);
+    StoreU64(rec, schema_.dedup_offset, ~uint64_t{0} - i);
+  }
+  BinSchema bin_schema{schema_.bin_offset, schema_.dummy_offset, schema_.order_offset,
+                       schema_.dedup_offset};
+  BinPlacementOptions options;
+  options.num_bins = static_cast<uint32_t>(params_.bins2);
+  options.bin_capacity = static_cast<uint32_t>(params_.z2);
+  options.dedup = false;
+  options.sort_threads = sort_threads;
+  const size_t key_off = schema_.key_offset;
+  const BinPlacementResult r2 = ObliviousBinPlacement(
+      overflow, bin_schema, options,
+      [key_off](uint8_t* rec) { StoreU64(rec, key_off, ~uint64_t{0}); });
+  tier2_ = std::move(overflow);
+  return tier1_ok && r2.ok;
+}
+
+uint64_t TwoTierOht::Tier1BucketIndex(uint64_t key) const {
+  return SipHash24(key1_, key) % params_.bins1;
+}
+
+uint64_t TwoTierOht::Tier2BucketIndex(uint64_t key) const {
+  return params_.bins2 == 0 ? 0 : SipHash24(key2_, key) % params_.bins2;
+}
+
+std::span<uint8_t> TwoTierOht::Tier1Bucket(uint64_t key) {
+  const uint64_t b = Tier1BucketIndex(key);
+  TraceRecord(TraceOp::kBucketScan, b, 1);
+  const size_t stride = tier1_.record_bytes();
+  return {tier1_.data() + b * params_.z1 * stride, params_.z1 * stride};
+}
+
+std::span<uint8_t> TwoTierOht::Tier2Bucket(uint64_t key) {
+  if (params_.bins2 == 0) {
+    return {};
+  }
+  const uint64_t b = Tier2BucketIndex(key);
+  TraceRecord(TraceOp::kBucketScan, b, 2);
+  const size_t stride = tier2_.record_bytes();
+  return {tier2_.data() + b * params_.z2 * stride, params_.z2 * stride};
+}
+
+ByteSlab TwoTierOht::ExtractAll() {
+  ByteSlab all(0, tier1_.record_bytes());
+  for (size_t i = 0; i < tier1_.size(); ++i) {
+    all.Append(tier1_.Record(i));
+  }
+  for (size_t i = 0; i < tier2_.size(); ++i) {
+    all.Append(tier2_.Record(i));
+  }
+  std::vector<uint8_t> flags(all.size());
+  for (size_t i = 0; i < all.size(); ++i) {
+    TraceRecord(TraceOp::kRead, i);
+    flags[i] = static_cast<uint8_t>(all.Record(i)[schema_.dummy_offset] == 0);
+  }
+  (void)GoodrichCompact(all, std::span<uint8_t>(flags.data(), flags.size()));
+  all.Truncate(params_.n);
+  tier1_ = ByteSlab(0, all.record_bytes());
+  tier2_ = ByteSlab(0, all.record_bytes());
+  return all;
+}
+
+}  // namespace snoopy

@@ -1,0 +1,97 @@
+#include "src/oram/path_oram.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace snoopy {
+
+PathOram::PathOram(const PathOramConfig& config, uint64_t seed)
+    : config_(config), rng_(seed) {
+  if (config_.num_blocks == 0) {
+    throw std::invalid_argument("Path ORAM needs at least one block");
+  }
+  levels_ = 1;
+  while ((uint64_t{1} << (levels_ - 1)) < config_.num_blocks) {
+    ++levels_;
+  }
+  num_leaves_ = uint64_t{1} << (levels_ - 1);
+  buckets_.resize((uint64_t{1} << levels_) - 1);
+  position_.resize(config_.num_blocks);
+  for (uint64_t a = 0; a < config_.num_blocks; ++a) {
+    position_[a] = rng_.Uniform(num_leaves_);
+  }
+}
+
+uint64_t PathOram::BucketIndex(uint64_t leaf, uint32_t level) const {
+  // Node on the path to `leaf` at `level` (0 = root), heap-indexed from 0.
+  const uint64_t node = (num_leaves_ + leaf) >> (levels_ - 1 - level);
+  return node - 1;
+}
+
+bool PathOram::PathContains(uint64_t leaf, uint32_t level, uint64_t block_leaf) const {
+  return BucketIndex(leaf, level) == BucketIndex(block_leaf, level);
+}
+
+std::vector<uint8_t> PathOram::Access(uint64_t addr, const std::vector<uint8_t>* new_data) {
+  if (addr >= config_.num_blocks) {
+    throw std::out_of_range("Path ORAM address out of range");
+  }
+  const uint64_t x = position_[addr];
+  position_[addr] = rng_.Uniform(num_leaves_);
+  return AccessAt(addr, x, position_[addr], new_data);
+}
+
+std::vector<uint8_t> PathOram::AccessAt(uint64_t addr, uint64_t x, uint64_t new_leaf,
+                                        const std::vector<uint8_t>* new_data) {
+  ++accesses_;
+  position_[addr] = new_leaf;
+
+  // Read the path into the stash.
+  for (uint32_t level = 0; level < levels_; ++level) {
+    std::vector<Block>& bucket = buckets_[BucketIndex(x, level)];
+    blocks_moved_ += config_.bucket_capacity;
+    for (Block& b : bucket) {
+      stash_.push_back(std::move(b));
+    }
+    bucket.clear();
+  }
+
+  // Find (or create) the block in the stash; read and optionally update it.
+  std::vector<uint8_t> result(config_.block_size, 0);
+  Block* target = nullptr;
+  for (Block& b : stash_) {
+    if (b.addr == addr) {
+      target = &b;
+      break;
+    }
+  }
+  if (target == nullptr) {
+    stash_.push_back(Block{addr, position_[addr], std::vector<uint8_t>(config_.block_size, 0)});
+    target = &stash_.back();
+  }
+  result = target->data;
+  target->leaf = position_[addr];
+  if (new_data != nullptr) {
+    target->data = *new_data;
+    target->data.resize(config_.block_size, 0);
+  }
+
+  // Greedy write-back, deepest level first.
+  for (uint32_t level = levels_; level-- > 0;) {
+    std::vector<Block>& bucket = buckets_[BucketIndex(x, level)];
+    for (size_t i = 0; i < stash_.size() && bucket.size() < config_.bucket_capacity;) {
+      if (PathContains(x, level, stash_[i].leaf)) {
+        bucket.push_back(std::move(stash_[i]));
+        stash_[i] = std::move(stash_.back());
+        stash_.pop_back();
+      } else {
+        ++i;
+      }
+    }
+    blocks_moved_ += config_.bucket_capacity;
+  }
+  max_stash_ = std::max(max_stash_, stash_.size());
+  return result;
+}
+
+}  // namespace snoopy

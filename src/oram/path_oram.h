@@ -1,0 +1,84 @@
+// Path ORAM (Stefanov et al., CCS'13): the tree-based ORAM underlying the Oblix
+// baseline (paper section 8.1) and, indirectly, Obladi's Ring ORAM ancestor.
+//
+// Standard construction: a binary tree of Z-slot buckets, a position map assigning
+// every block a uniformly random leaf, and a stash. Each access reads one root-to-leaf
+// path, remaps the block, and greedily writes the path back. Per-access cost is
+// O(Z log N) blocks -- the polylogarithmic baseline Snoopy's linear-scan subORAM is
+// compared against.
+//
+// This implementation is the *client logic* that would run inside the enclave. The
+// doubly-oblivious hardening Oblix adds (oblivious stash/posmap access) multiplies
+// constants but not the asymptotics; the cluster cost model accounts for it (see
+// sim/cost_model.h). Functional correctness here is what the baselines' results rest
+// on, and it is tested against a reference map.
+
+#ifndef SNOOPY_SRC_ORAM_PATH_ORAM_H_
+#define SNOOPY_SRC_ORAM_PATH_ORAM_H_
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "src/crypto/rng.h"
+
+namespace snoopy {
+
+struct PathOramConfig {
+  uint64_t num_blocks = 0;
+  size_t block_size = 160;
+  uint32_t bucket_capacity = 4;  // Z
+};
+
+class PathOram {
+ public:
+  PathOram(const PathOramConfig& config, uint64_t seed);
+
+  // Reads block `addr`; if `new_data` is non-null, installs it after reading (the
+  // returned value is the previous content). Addresses must be < num_blocks.
+  std::vector<uint8_t> Access(uint64_t addr, const std::vector<uint8_t>* new_data);
+
+  // Externally-managed-position variant used by the recursive construction: the caller
+  // supplies the block's current leaf and the fresh leaf it must move to.
+  std::vector<uint8_t> AccessAt(uint64_t addr, uint64_t leaf, uint64_t new_leaf,
+                                const std::vector<uint8_t>* new_data);
+
+  std::vector<uint8_t> Read(uint64_t addr) { return Access(addr, nullptr); }
+  void Write(uint64_t addr, const std::vector<uint8_t>& data) { Access(addr, &data); }
+
+  uint64_t num_leaves() const { return num_leaves_; }
+
+  uint64_t num_blocks() const { return config_.num_blocks; }
+  uint32_t tree_levels() const { return levels_; }
+  size_t stash_size() const { return stash_.size(); }
+  size_t max_stash_seen() const { return max_stash_; }
+  uint64_t accesses() const { return accesses_; }
+  // Total blocks moved (read + written) so far; the unit the cost model prices.
+  uint64_t blocks_moved() const { return blocks_moved_; }
+
+ private:
+  struct Block {
+    uint64_t addr;
+    uint64_t leaf;
+    std::vector<uint8_t> data;
+  };
+
+  uint64_t BucketIndex(uint64_t leaf, uint32_t level) const;
+  bool PathContains(uint64_t leaf, uint32_t level, uint64_t bucket_leaf) const;
+
+  PathOramConfig config_;
+  Rng rng_;
+  uint32_t levels_;      // tree has `levels_` levels; 2^(levels_-1) leaves
+  uint64_t num_leaves_;
+  std::vector<std::vector<Block>> buckets_;  // bucket index -> up to Z blocks
+  std::vector<uint64_t> position_;           // addr -> leaf
+  std::vector<Block> stash_;
+  size_t max_stash_ = 0;
+  uint64_t accesses_ = 0;
+  uint64_t blocks_moved_ = 0;
+};
+
+}  // namespace snoopy
+
+#endif  // SNOOPY_SRC_ORAM_PATH_ORAM_H_

@@ -1,0 +1,91 @@
+#include "src/oram/position_map.h"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace snoopy {
+
+RecursivePathOram::RecursivePathOram(const RecursivePathOramConfig& config, uint64_t seed)
+    : config_(config), rng_(seed) {
+  if (config_.num_blocks == 0 || config_.entries_per_block == 0) {
+    throw std::invalid_argument("invalid recursive Path ORAM configuration");
+  }
+  uint64_t n = config_.num_blocks;
+  size_t block_size = config_.block_size;
+  while (true) {
+    PathOramConfig poc;
+    poc.num_blocks = n;
+    poc.block_size = block_size;
+    poc.bucket_capacity = config_.bucket_capacity;
+    orams_.push_back(std::make_unique<PathOram>(poc, rng_.Next64()));
+    if (n <= config_.flat_threshold) {
+      break;
+    }
+    n = (n + config_.entries_per_block - 1) / config_.entries_per_block;
+    block_size = 8 * config_.entries_per_block;  // a block of packed leaf values
+  }
+  // The deepest level's positions live in (simulated) enclave memory. Start at the
+  // ORAMs' own initial assignments so the chain is consistent from the first access.
+  flat_map_.resize(orams_.back()->num_blocks());
+  for (uint64_t i = 0; i < flat_map_.size(); ++i) {
+    flat_map_[i] = rng_.Uniform(orams_.back()->num_leaves());
+  }
+  // Lazy tree initialization: blocks absent from a tree read as zero, so every
+  // position-map entry starts as "leaf 0"; since absent data blocks also read as zero
+  // regardless of the path searched, the zero state is consistent (see tests).
+}
+
+uint64_t RecursivePathOram::SwapPosition(uint32_t level, uint64_t addr, uint64_t new_leaf) {
+  const uint32_t next = level + 1;
+  if (next == orams_.size()) {
+    // Deepest level: the flat in-enclave map.
+    const uint64_t old = flat_map_[addr];
+    flat_map_[addr] = new_leaf;
+    return old;
+  }
+  // The position of level-`level` block `addr` is entry (addr % C) of map block
+  // (addr / C) at level `next`. Fetch-and-update that map block with one access.
+  const uint64_t c = config_.entries_per_block;
+  const uint64_t map_addr = addr / c;
+  const uint64_t entry = addr % c;
+  PathOram& map_oram = *orams_[next];
+  const uint64_t map_new_leaf = rng_.Uniform(map_oram.num_leaves());
+  const uint64_t map_leaf = SwapPosition(next, map_addr, map_new_leaf);
+
+  // Read-modify-write the map block along the path we just resolved.
+  std::vector<uint8_t> block = map_oram.AccessAt(map_addr, map_leaf, map_new_leaf, nullptr);
+  uint64_t old = 0;
+  std::memcpy(&old, block.data() + 8 * entry, 8);
+  std::memcpy(block.data() + 8 * entry, &new_leaf, 8);
+  map_oram.AccessAt(map_addr, map_new_leaf, map_new_leaf, &block);
+  return old;
+}
+
+std::vector<uint8_t> RecursivePathOram::Access(uint64_t addr,
+                                               const std::vector<uint8_t>* new_data) {
+  if (addr >= config_.num_blocks) {
+    throw std::out_of_range("recursive Path ORAM address out of range");
+  }
+  PathOram& data_oram = *orams_[0];
+  const uint64_t new_leaf = rng_.Uniform(data_oram.num_leaves());
+  const uint64_t leaf = SwapPosition(0, addr, new_leaf);
+  return data_oram.AccessAt(addr, leaf, new_leaf, new_data);
+}
+
+uint64_t RecursivePathOram::blocks_moved() const {
+  uint64_t total = 0;
+  for (const auto& oram : orams_) {
+    total += oram->blocks_moved();
+  }
+  return total;
+}
+
+size_t RecursivePathOram::max_stash_seen() const {
+  size_t m = 0;
+  for (const auto& oram : orams_) {
+    m = m < oram->max_stash_seen() ? oram->max_stash_seen() : m;
+  }
+  return m;
+}
+
+}  // namespace snoopy

@@ -1,0 +1,59 @@
+// Recursive Path ORAM: the position map is itself stored in a chain of smaller Path
+// ORAMs, as in the original construction and as deployed by Oblix (paper section 8.1:
+// "simulate the overhead of recursively storing the position map").
+//
+// Level 0 is the data ORAM over N blocks. Level i > 0 stores the positions of level
+// i-1's blocks, packed kEntriesPerBlock to a block, until the map fits in enclave
+// memory (kFlatThreshold), where it is kept flat. One logical access therefore costs
+// one path per level -- the recursion-depth steps visible in the paper's Figure 10
+// (Snoopy-Oblix throughput jumps when a recursion level disappears).
+
+#ifndef SNOOPY_SRC_ORAM_POSITION_MAP_H_
+#define SNOOPY_SRC_ORAM_POSITION_MAP_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/oram/path_oram.h"
+
+namespace snoopy {
+
+struct RecursivePathOramConfig {
+  uint64_t num_blocks = 0;
+  size_t block_size = 160;
+  uint32_t bucket_capacity = 4;
+  uint32_t entries_per_block = 16;   // position-map fan-out per recursion level
+  uint64_t flat_threshold = 128;     // keep maps at most this large in enclave memory
+};
+
+class RecursivePathOram {
+ public:
+  RecursivePathOram(const RecursivePathOramConfig& config, uint64_t seed);
+
+  std::vector<uint8_t> Access(uint64_t addr, const std::vector<uint8_t>* new_data);
+  std::vector<uint8_t> Read(uint64_t addr) { return Access(addr, nullptr); }
+  void Write(uint64_t addr, const std::vector<uint8_t>& data) { Access(addr, &data); }
+
+  uint32_t recursion_depth() const { return static_cast<uint32_t>(orams_.size()); }
+  uint64_t num_blocks() const { return config_.num_blocks; }
+  // Total blocks moved across all levels (the cost model's bandwidth unit).
+  uint64_t blocks_moved() const;
+  size_t max_stash_seen() const;
+
+ private:
+  // Reads-and-replaces the position of `addr` at recursion level `level` (level 0 =
+  // data ORAM): returns the current leaf and installs `new_leaf` in its place,
+  // recursing into level+1 to locate the map block.
+  uint64_t SwapPosition(uint32_t level, uint64_t addr, uint64_t new_leaf);
+
+  RecursivePathOramConfig config_;
+  Rng rng_;
+  // orams_[0] = data ORAM; orams_[i] = position-map ORAM for level i-1.
+  std::vector<std::unique_ptr<PathOram>> orams_;
+  std::vector<uint64_t> flat_map_;  // positions for the deepest level's blocks
+};
+
+}  // namespace snoopy
+
+#endif  // SNOOPY_SRC_ORAM_POSITION_MAP_H_

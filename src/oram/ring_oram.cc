@@ -1,0 +1,181 @@
+#include "src/oram/ring_oram.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace snoopy {
+
+RingOram::RingOram(const RingOramConfig& config, uint64_t seed)
+    : config_(config), rng_(seed) {
+  if (config_.num_blocks == 0 || config_.z == 0 || config_.s == 0) {
+    throw std::invalid_argument("invalid Ring ORAM configuration");
+  }
+  levels_ = 1;
+  while ((uint64_t{1} << (levels_ - 1)) < config_.num_blocks) {
+    ++levels_;
+  }
+  num_leaves_ = uint64_t{1} << (levels_ - 1);
+  buckets_.resize((uint64_t{1} << levels_) - 1);
+  for (Bucket& bucket : buckets_) {
+    bucket.slots.resize(config_.z + config_.s);
+    for (uint32_t i = 0; i < config_.s; ++i) {
+      bucket.slots[config_.z + i].valid = true;  // fresh dummies
+    }
+  }
+  position_.resize(config_.num_blocks);
+  for (uint64_t a = 0; a < config_.num_blocks; ++a) {
+    position_[a] = rng_.Uniform(num_leaves_);
+  }
+}
+
+uint64_t RingOram::BucketIndex(uint64_t leaf, uint32_t level) const {
+  return ((num_leaves_ + leaf) >> (levels_ - 1 - level)) - 1;
+}
+
+uint64_t RingOram::ReverseBits(uint64_t v, uint32_t bits) const {
+  uint64_t r = 0;
+  for (uint32_t i = 0; i < bits; ++i) {
+    r = (r << 1) | ((v >> i) & 1);
+  }
+  return r;
+}
+
+void RingOram::ReadPath(uint64_t leaf, uint64_t addr) {
+  for (uint32_t level = 0; level < levels_; ++level) {
+    const uint64_t bi = BucketIndex(leaf, level);
+    Bucket& bucket = buckets_[bi];
+    // A bucket out of fresh dummies must be reshuffled before it can serve a read.
+    const bool has_valid_dummy = std::any_of(
+        bucket.slots.begin(), bucket.slots.end(),
+        [](const Slot& s) { return !s.real && s.valid; });
+    if (!has_valid_dummy) {
+      ReshuffleBucket(bi);
+    }
+    // Read exactly one slot: the valid real block if this bucket holds `addr`,
+    // otherwise a fresh dummy (the server cannot tell which case occurred).
+    Slot* hit = nullptr;
+    for (Slot& s : bucket.slots) {
+      if (s.real && s.valid && s.addr == addr) {
+        hit = &s;
+        break;
+      }
+    }
+    ++slots_read_;
+    ++bucket.reads_since_shuffle;
+    if (hit != nullptr) {
+      stash_.push_back(StashBlock{hit->addr, hit->leaf, std::move(hit->data)});
+      hit->real = false;
+      hit->valid = false;  // the slot was consumed
+    } else {
+      for (Slot& s : bucket.slots) {
+        if (!s.real && s.valid) {
+          s.valid = false;  // consume one dummy
+          break;
+        }
+      }
+    }
+    if (bucket.reads_since_shuffle >= config_.s) {
+      ReshuffleBucket(bi);
+      ++early_reshuffles_;
+    }
+  }
+}
+
+void RingOram::ReshuffleBucket(uint64_t bucket_index) {
+  Bucket& bucket = buckets_[bucket_index];
+  // Pull the remaining real blocks into the stash, rebuild the bucket with fresh
+  // dummies. (The write-back happens at the next eviction touching this subtree; the
+  // real protocol reshuffles in place -- the stash detour is functionally equivalent
+  // and keeps the code single-sourced with eviction.)
+  for (Slot& s : bucket.slots) {
+    if (s.real && s.valid) {
+      stash_.push_back(StashBlock{s.addr, s.leaf, std::move(s.data)});
+    }
+    s.real = false;
+    s.valid = true;  // becomes a fresh dummy slot
+  }
+  bucket.reads_since_shuffle = 0;
+  max_stash_ = std::max(max_stash_, stash_.size());
+}
+
+void RingOram::EvictPath() {
+  ++evictions_;
+  const uint64_t leaf = ReverseBits(evict_counter_ % num_leaves_, levels_ - 1);
+  ++evict_counter_;
+
+  // Read all remaining real blocks on the path into the stash.
+  for (uint32_t level = 0; level < levels_; ++level) {
+    Bucket& bucket = buckets_[BucketIndex(leaf, level)];
+    for (Slot& s : bucket.slots) {
+      if (s.real && s.valid) {
+        stash_.push_back(StashBlock{s.addr, s.leaf, std::move(s.data)});
+      }
+      s.real = false;
+      s.valid = true;
+    }
+    bucket.reads_since_shuffle = 0;
+  }
+
+  // Greedy write-back, deepest level first, up to Z real blocks per bucket.
+  for (uint32_t level = levels_; level-- > 0;) {
+    Bucket& bucket = buckets_[BucketIndex(leaf, level)];
+    uint32_t placed = 0;
+    for (size_t i = 0; i < stash_.size() && placed < config_.z;) {
+      if (BucketIndex(stash_[i].leaf, level) == BucketIndex(leaf, level)) {
+        Slot& s = bucket.slots[placed];
+        s.real = true;
+        s.valid = true;
+        s.addr = stash_[i].addr;
+        s.leaf = stash_[i].leaf;
+        s.data = std::move(stash_[i].data);
+        stash_[i] = std::move(stash_.back());
+        stash_.pop_back();
+        ++placed;
+      } else {
+        ++i;
+      }
+    }
+  }
+  max_stash_ = std::max(max_stash_, stash_.size());
+}
+
+std::vector<uint8_t> RingOram::Access(uint64_t addr, const std::vector<uint8_t>* new_data) {
+  if (addr >= config_.num_blocks) {
+    throw std::out_of_range("Ring ORAM address out of range");
+  }
+  ++accesses_;
+  const uint64_t leaf = position_[addr];
+  position_[addr] = rng_.Uniform(num_leaves_);
+  ReadPath(leaf, addr);
+
+  // Serve from the stash (the block is either freshly read or was already there).
+  std::vector<uint8_t> result(config_.block_size, 0);
+  StashBlock* target = nullptr;
+  for (StashBlock& b : stash_) {
+    if (b.addr == addr) {
+      target = &b;
+      break;
+    }
+  }
+  if (target == nullptr) {
+    stash_.push_back(
+        StashBlock{addr, position_[addr], std::vector<uint8_t>(config_.block_size, 0)});
+    target = &stash_.back();
+  }
+  result = target->data;
+  result.resize(config_.block_size, 0);
+  target->leaf = position_[addr];
+  if (new_data != nullptr) {
+    target->data = *new_data;
+    target->data.resize(config_.block_size, 0);
+  }
+  max_stash_ = std::max(max_stash_, stash_.size());
+
+  if (++round_ >= config_.evict_rate) {
+    round_ = 0;
+    EvictPath();
+  }
+  return result;
+}
+
+}  // namespace snoopy

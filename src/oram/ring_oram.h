@@ -1,0 +1,93 @@
+// Ring ORAM (Ren et al., USENIX Security'15): the tree ORAM Obladi parallelizes and
+// batches over (paper section 8.1).
+//
+// Ring ORAM decouples reads from evictions: a read touches *one* slot per bucket on
+// the path (the real block if present, a fresh dummy otherwise), and full-path
+// evictions happen only every A accesses, in reverse-lexicographic leaf order. Buckets
+// hold Z real slots plus S dummy slots; a bucket whose dummies are exhausted is
+// reshuffled early. Per-access online bandwidth is ~1 block per level instead of
+// Path ORAM's Z -- the property that makes Obladi's batching profitable.
+//
+// As with Path ORAM, this is the functional client logic; bucket metadata handling
+// that a deployment would push to the server is kept in-process, and the statistics
+// (slots read, evictions, reshuffles) are what the cluster cost model prices.
+
+#ifndef SNOOPY_SRC_ORAM_RING_ORAM_H_
+#define SNOOPY_SRC_ORAM_RING_ORAM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/crypto/rng.h"
+
+namespace snoopy {
+
+struct RingOramConfig {
+  uint64_t num_blocks = 0;
+  size_t block_size = 160;
+  uint32_t z = 4;           // real slots per bucket
+  uint32_t s = 6;           // dummy slots per bucket
+  uint32_t evict_rate = 3;  // A: one EvictPath every A accesses
+};
+
+class RingOram {
+ public:
+  RingOram(const RingOramConfig& config, uint64_t seed);
+
+  // Reads block `addr`; if `new_data` is non-null installs it (returns prior value).
+  std::vector<uint8_t> Access(uint64_t addr, const std::vector<uint8_t>* new_data);
+  std::vector<uint8_t> Read(uint64_t addr) { return Access(addr, nullptr); }
+  void Write(uint64_t addr, const std::vector<uint8_t>& data) { Access(addr, &data); }
+
+  uint64_t num_blocks() const { return config_.num_blocks; }
+  uint32_t tree_levels() const { return levels_; }
+  size_t stash_size() const { return stash_.size(); }
+  size_t max_stash_seen() const { return max_stash_; }
+  uint64_t accesses() const { return accesses_; }
+  uint64_t slots_read() const { return slots_read_; }    // online bandwidth units
+  uint64_t evictions() const { return evictions_; }
+  uint64_t early_reshuffles() const { return early_reshuffles_; }
+
+ private:
+  struct Slot {
+    bool real = false;   // real block vs dummy
+    bool valid = false;  // unread since last shuffle
+    uint64_t addr = 0;
+    uint64_t leaf = 0;
+    std::vector<uint8_t> data;
+  };
+  struct Bucket {
+    std::vector<Slot> slots;
+    uint32_t reads_since_shuffle = 0;
+  };
+  struct StashBlock {
+    uint64_t addr;
+    uint64_t leaf;
+    std::vector<uint8_t> data;
+  };
+
+  uint64_t BucketIndex(uint64_t leaf, uint32_t level) const;
+  void ReadPath(uint64_t leaf, uint64_t addr);
+  void EvictPath();
+  void ReshuffleBucket(uint64_t bucket_index);
+  uint64_t ReverseBits(uint64_t v, uint32_t bits) const;
+
+  RingOramConfig config_;
+  Rng rng_;
+  uint32_t levels_;
+  uint64_t num_leaves_;
+  std::vector<Bucket> buckets_;
+  std::vector<uint64_t> position_;
+  std::vector<StashBlock> stash_;
+  uint64_t evict_counter_ = 0;  // reverse-lex eviction cursor (g)
+  uint64_t round_ = 0;          // accesses since last EvictPath
+  size_t max_stash_ = 0;
+  uint64_t accesses_ = 0;
+  uint64_t slots_read_ = 0;
+  uint64_t evictions_ = 0;
+  uint64_t early_reshuffles_ = 0;
+};
+
+}  // namespace snoopy
+
+#endif  // SNOOPY_SRC_ORAM_RING_ORAM_H_

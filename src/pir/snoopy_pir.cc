@@ -1,0 +1,136 @@
+#include "src/pir/snoopy_pir.h"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace snoopy {
+
+SnoopyPir::SnoopyPir(const SnoopyPirConfig& config, uint64_t seed)
+    : config_(config), rng_(seed) {
+  if (config_.num_shards == 0) {
+    throw std::invalid_argument("Snoopy-PIR needs at least one shard");
+  }
+  LoadBalancerConfig lbc;
+  lbc.num_suborams = config_.num_shards;
+  lbc.value_size = config_.value_size;
+  lbc.lambda = config_.lambda;
+  lb_ = std::make_unique<LoadBalancer>(lbc, rng_.NextSipKey(), rng_.Next64());
+  servers_a_.resize(config_.num_shards);
+  servers_b_.resize(config_.num_shards);
+  shard_index_.resize(config_.num_shards);
+}
+
+void SnoopyPir::Initialize(
+    const std::vector<std::pair<uint64_t, std::vector<uint8_t>>>& objects) {
+  const size_t stride = 8 + config_.value_size;
+  std::vector<ByteSlab> shards(config_.num_shards, ByteSlab(0, stride));
+  for (const auto& [key, value] : objects) {
+    if (key >= kDummyKeyBase) {
+      throw std::invalid_argument("object keys must be below 2^63");
+    }
+    const uint32_t shard = lb_->SubOramOf(key);
+    shard_index_[shard][key] = shards[shard].size();
+    uint8_t* rec = shards[shard].AppendZero();
+    std::memcpy(rec, &key, 8);
+    const size_t n = value.size() < config_.value_size ? value.size() : config_.value_size;
+    std::memcpy(rec + 8, value.data(), n);
+  }
+  for (uint32_t s = 0; s < config_.num_shards; ++s) {
+    // Replicate the shard database onto the two non-colluding servers.
+    ByteSlab copy = shards[s];
+    servers_a_[s] = std::make_unique<XorPirServer>(std::move(shards[s]));
+    servers_b_[s] = std::make_unique<XorPirServer>(std::move(copy));
+  }
+}
+
+std::vector<SnoopyPir::Result> SnoopyPir::LookupBatch(const std::vector<uint64_t>& keys) {
+  ++epochs_;
+  // Stage 1: the standard oblivious load-balancer pipeline (dedup + pad + sort +
+  // compact) produces one equal-sized batch per shard.
+  RequestBatch requests(config_.value_size);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    RequestHeader h;
+    h.key = keys[i];
+    h.op = kOpRead;
+    h.client_seq = i;
+    requests.Append(h, {});
+  }
+  LoadBalancer::PreparedEpoch epoch = lb_->PrepareBatches(std::move(requests));
+
+  // Stage 2: per shard, turn the batch into PIR query pairs and answer with one scan
+  // per server. Dummy requests (and absent keys) query a random position -- the
+  // servers cannot tell.
+  std::vector<RequestBatch> responses;
+  for (uint32_t s = 0; s < config_.num_shards; ++s) {
+    RequestBatch& batch = epoch.suboram_batches[s];
+    const size_t db = servers_a_[s]->num_records();
+    RequestBatch shard_resp(config_.value_size);
+    if (db == 0) {
+      for (size_t i = 0; i < batch.size(); ++i) {
+        RequestHeader h = batch.Header(i);
+        h.resp = 1;
+        shard_resp.Append(h, {});
+      }
+      responses.push_back(std::move(shard_resp));
+      continue;
+    }
+    std::vector<BitVector> queries_a;
+    std::vector<BitVector> queries_b;
+    std::vector<bool> is_real;
+    for (size_t i = 0; i < batch.size(); ++i) {
+      const uint64_t key = batch.Header(i).key;
+      const auto it = shard_index_[s].find(key);
+      const size_t index = it == shard_index_[s].end() ? rng_.Uniform(db) : it->second;
+      PirQueryPair pair = MakePirQuery(db, index, rng_);
+      queries_a.push_back(std::move(pair.for_a));
+      queries_b.push_back(std::move(pair.for_b));
+      is_real.push_back(it != shard_index_[s].end());
+    }
+    const auto ans_a = servers_a_[s]->Answer(queries_a);
+    const auto ans_b = servers_b_[s]->Answer(queries_b);
+    for (size_t i = 0; i < batch.size(); ++i) {
+      const std::vector<uint8_t> record = CombinePirAnswers(ans_a[i], ans_b[i]);
+      RequestHeader h = batch.Header(i);
+      h.resp = 1;
+      h.granted = is_real[i] ? 1 : 0;  // reuse: marks "found" for absent keys
+      if (is_real[i]) {
+        shard_resp.Append(h, std::span<const uint8_t>(record.data() + 8,
+                                                      config_.value_size));
+      } else {
+        shard_resp.Append(h, {});
+      }
+    }
+    responses.push_back(std::move(shard_resp));
+  }
+
+  // Stage 3: match responses back to the original requests (Figure 6 pipeline).
+  // Temporarily mark originals granted so the access-control nulling stays inert.
+  RequestBatch matched = lb_->MatchResponses(std::move(epoch), std::move(responses));
+  std::vector<Result> results(matched.size());
+  for (size_t i = 0; i < matched.size(); ++i) {
+    const RequestHeader& h = matched.Header(i);
+    Result& r = results[h.client_seq];
+    r.key = h.key;
+    r.value.assign(matched.Value(i), matched.Value(i) + config_.value_size);
+    r.found = false;
+    for (const uint8_t b : r.value) {
+      r.found = r.found || b != 0;
+    }
+    // A present key with an all-zero value still counts as found.
+    const uint32_t shard = lb_->SubOramOf(h.key);
+    r.found = r.found || shard_index_[shard].count(h.key) != 0;
+  }
+  return results;
+}
+
+uint64_t SnoopyPir::total_server_scans() const {
+  uint64_t total = 0;
+  for (uint32_t s = 0; s < config_.num_shards; ++s) {
+    if (servers_a_[s] != nullptr) {
+      total += servers_a_[s]->scans_performed() + servers_b_[s]->scans_performed();
+    }
+  }
+  return total;
+}
+
+}  // namespace snoopy

@@ -1,0 +1,65 @@
+// Snoopy-PIR (paper section 9): the Snoopy load-balancer pipeline with PIR server
+// pairs in place of enclave subORAMs.
+//
+// The load balancer still assembles equal-sized, deduplicated, padded batches per
+// shard -- that is what hides *which shard* holds each requested object, the part PIR
+// alone cannot hide. Each shard is then served by two non-colluding XOR-PIR servers,
+// and the whole per-shard batch is answered with one database scan per server (batch
+// PIR). Read-only, as PIR fundamentally is.
+
+#ifndef SNOOPY_SRC_PIR_SNOOPY_PIR_H_
+#define SNOOPY_SRC_PIR_SNOOPY_PIR_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/core/load_balancer.h"
+#include "src/pir/xor_pir.h"
+
+namespace snoopy {
+
+struct SnoopyPirConfig {
+  uint32_t num_shards = 1;
+  size_t value_size = 160;
+  uint32_t lambda = kDefaultLambda;
+};
+
+class SnoopyPir {
+ public:
+  SnoopyPir(const SnoopyPirConfig& config, uint64_t seed);
+
+  // Loads the object store; each shard's database is replicated onto its server pair.
+  void Initialize(const std::vector<std::pair<uint64_t, std::vector<uint8_t>>>& objects);
+
+  struct Result {
+    uint64_t key = 0;
+    bool found = false;
+    std::vector<uint8_t> value;
+  };
+
+  // One epoch of private reads: deduplicated, padded to f(R, S) per shard, answered
+  // with one PIR scan per (shard, server). Unknown keys come back found = false.
+  std::vector<Result> LookupBatch(const std::vector<uint64_t>& keys);
+
+  // Server-side scans performed so far (the PIR cost unit; 2 per shard per epoch).
+  uint64_t total_server_scans() const;
+  uint32_t ShardOf(uint64_t key) const { return lb_->SubOramOf(key); }
+  uint64_t batches_processed() const { return epochs_; }
+
+ private:
+  SnoopyPirConfig config_;
+  Rng rng_;
+  std::unique_ptr<LoadBalancer> lb_;
+  // Per shard: the replicated server pair plus the (public-to-the-balancer) key ->
+  // position index used to form queries.
+  std::vector<std::unique_ptr<XorPirServer>> servers_a_;
+  std::vector<std::unique_ptr<XorPirServer>> servers_b_;
+  std::vector<std::map<uint64_t, size_t>> shard_index_;
+  uint64_t epochs_ = 0;
+};
+
+}  // namespace snoopy
+
+#endif  // SNOOPY_SRC_PIR_SNOOPY_PIR_H_

@@ -1,0 +1,66 @@
+#include "src/pir/xor_pir.h"
+
+#include <stdexcept>
+
+namespace snoopy {
+
+void BitVector::Randomize(Rng& rng) {
+  for (uint64_t& w : words_) {
+    w = rng.Next64();
+  }
+  // Clear slack bits beyond size() so equality/combine semantics stay clean.
+  const size_t slack = words_.size() * 64 - bits_;
+  if (slack > 0 && !words_.empty()) {
+    words_.back() &= (~uint64_t{0}) >> slack;
+  }
+}
+
+std::vector<std::vector<uint8_t>> XorPirServer::Answer(
+    const std::vector<BitVector>& queries) const {
+  for (const BitVector& q : queries) {
+    if (q.size() != db_.size()) {
+      throw std::invalid_argument("PIR query length does not match database size");
+    }
+  }
+  ++scans_;
+  const size_t stride = db_.record_bytes();
+  std::vector<std::vector<uint8_t>> acc(queries.size(), std::vector<uint8_t>(stride, 0));
+  // One pass over the database; every record folds into every selecting accumulator.
+  for (size_t j = 0; j < db_.size(); ++j) {
+    const uint8_t* rec = db_.Record(j);
+    for (size_t q = 0; q < queries.size(); ++q) {
+      if (queries[q].Get(j)) {
+        uint8_t* a = acc[q].data();
+        for (size_t b = 0; b < stride; ++b) {
+          a[b] ^= rec[b];
+        }
+      }
+    }
+  }
+  return acc;
+}
+
+PirQueryPair MakePirQuery(size_t db_size, size_t index, Rng& rng) {
+  if (index >= db_size) {
+    throw std::out_of_range("PIR index out of range");
+  }
+  PirQueryPair pair{BitVector(db_size), BitVector(db_size)};
+  pair.for_a.Randomize(rng);
+  pair.for_b = pair.for_a;
+  pair.for_b.Flip(index);
+  return pair;
+}
+
+std::vector<uint8_t> CombinePirAnswers(const std::vector<uint8_t>& from_a,
+                                       const std::vector<uint8_t>& from_b) {
+  if (from_a.size() != from_b.size()) {
+    throw std::invalid_argument("PIR answers have mismatched sizes");
+  }
+  std::vector<uint8_t> out(from_a.size());
+  for (size_t i = 0; i < out.size(); ++i) {
+    out[i] = static_cast<uint8_t>(from_a[i] ^ from_b[i]);
+  }
+  return out;
+}
+
+}  // namespace snoopy

@@ -1,0 +1,78 @@
+// Two-server XOR PIR (Chor-Goldreich-Kushilevitz-Sudan) with batched answering.
+//
+// Paper section 9 ("Private Information Retrieval"): Snoopy's load balancer can route
+// oblivious batches to PIR server pairs instead of enclave subORAMs. The fundamental
+// PIR limitation is that a server must scan the whole store per request; *batch*
+// answering amortizes that scan over every query in a batch -- each object is read
+// once and XOR-folded into all accumulators that want it -- which is exactly the shape
+// of Snoopy's subORAM scan.
+//
+// Protocol: to fetch record i from two non-colluding servers holding identical
+// databases, the client samples a random bit vector r, sends r to server A and
+// r XOR e_i to server B, and XORs the two replies. Each server's view is a uniformly
+// random vector, independent of i (information-theoretic privacy).
+
+#ifndef SNOOPY_SRC_PIR_XOR_PIR_H_
+#define SNOOPY_SRC_PIR_XOR_PIR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/crypto/rng.h"
+#include "src/obl/slab.h"
+
+namespace snoopy {
+
+// Dense bit vector over database positions.
+class BitVector {
+ public:
+  explicit BitVector(size_t bits) : bits_(bits), words_((bits + 63) / 64, 0) {}
+
+  size_t size() const { return bits_; }
+  bool Get(size_t i) const { return (words_[i / 64] >> (i % 64)) & 1; }
+  void Flip(size_t i) { words_[i / 64] ^= uint64_t{1} << (i % 64); }
+  void Randomize(Rng& rng);
+
+  const std::vector<uint64_t>& words() const { return words_; }
+
+ private:
+  size_t bits_;
+  std::vector<uint64_t> words_;
+};
+
+class XorPirServer {
+ public:
+  // The database: fixed-stride records, addressed by position.
+  explicit XorPirServer(ByteSlab&& records) : db_(std::move(records)) {}
+
+  size_t num_records() const { return db_.size(); }
+  size_t record_bytes() const { return db_.record_bytes(); }
+
+  // Answers a batch of queries with ONE scan over the database: record j is read once
+  // and folded into accumulator q iff queries[q].Get(j). Returns one record-sized XOR
+  // accumulation per query.
+  std::vector<std::vector<uint8_t>> Answer(const std::vector<BitVector>& queries) const;
+
+  uint64_t scans_performed() const { return scans_; }
+
+ private:
+  ByteSlab db_;
+  mutable uint64_t scans_ = 0;
+};
+
+// Client-side query pair for one retrieval.
+struct PirQueryPair {
+  BitVector for_a;
+  BitVector for_b;
+};
+
+// Builds the (r, r XOR e_index) pair.
+PirQueryPair MakePirQuery(size_t db_size, size_t index, Rng& rng);
+
+// Combines the two servers' answers into the requested record.
+std::vector<uint8_t> CombinePirAnswers(const std::vector<uint8_t>& from_a,
+                                       const std::vector<uint8_t>& from_b);
+
+}  // namespace snoopy
+
+#endif  // SNOOPY_SRC_PIR_XOR_PIR_H_

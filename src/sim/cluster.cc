@@ -1,0 +1,191 @@
+#include "src/sim/cluster.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "src/analysis/batch_bound.h"
+#include "src/crypto/rng.h"
+
+namespace snoopy {
+
+ClusterMetrics ClusterSimulator::Run(double ops_per_second, double duration,
+                                     uint64_t seed) const {
+  const uint32_t l = config_.load_balancers;
+  const uint32_t s = config_.suborams;
+  const double t_epoch = config_.epoch_seconds;
+  const uint64_t per_suboram_objects =
+      config_.num_objects / s + (config_.num_objects % s != 0);
+  Rng rng(seed);
+
+  // Poisson arrivals, drawn as per-(epoch, load balancer) counts: the epoch pipeline
+  // only needs counts and the within-epoch mean arrival time (uniform given the
+  // count), which keeps the simulation O(L + S) per epoch at any load.
+  const double rate = ops_per_second * config_.accesses_per_op;
+  auto draw_poisson = [&rng](double mean) -> uint64_t {
+    if (mean <= 0) {
+      return 0;
+    }
+    auto uniform01 = [&rng] {
+      return (static_cast<double>(rng.Next64() >> 11) + 0.5) / 9007199254740992.0;
+    };
+    if (mean < 32.0) {
+      // Knuth's method.
+      const double limit = std::exp(-mean);
+      double p = 1.0;
+      uint64_t k = 0;
+      do {
+        ++k;
+        p *= uniform01();
+      } while (p > limit);
+      return k - 1;
+    }
+    // Normal approximation with continuity correction.
+    const double u1 = uniform01();
+    const double u2 = uniform01();
+    const double z = std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+    const double v = mean + std::sqrt(mean) * z + 0.5;
+    return v < 0 ? 0 : static_cast<uint64_t>(v);
+  };
+
+  // Pipeline state: when each stage becomes free.
+  std::vector<double> lb_free(l, 0.0);
+  std::vector<double> so_free(s, 0.0);
+
+  ClusterMetrics metrics;
+  metrics.offered_load = ops_per_second;
+  double latency_sum = 0;
+  double batch_sum = 0;
+  uint64_t epochs = 0;
+  uint64_t completed = 0;
+  double last_done = 0;
+
+  const auto n_epochs = static_cast<uint64_t>(std::ceil(duration / t_epoch));
+  std::vector<uint64_t> lb_requests(l, 0);
+  for (uint64_t e = 0; e < n_epochs; ++e) {
+    const double boundary = static_cast<double>(e + 1) * t_epoch;
+    const double epoch_mean_arrival = boundary - t_epoch / 2.0;
+    for (uint32_t i = 0; i < l; ++i) {
+      lb_requests[i] = draw_poisson(rate * t_epoch / static_cast<double>(l));
+    }
+
+    // Stage 1: each load balancer prepares its batches (parallel machines).
+    std::vector<double> prep_done(l, boundary);
+    std::vector<uint64_t> batch(l, 0);
+    for (uint32_t i = 0; i < l; ++i) {
+      const uint64_t r = lb_requests[i];
+      if (r == 0) {
+        continue;
+      }
+      batch[i] = BatchSize(r, s, model_.config().lambda);
+      const double start = std::max(boundary, lb_free[i]);
+      const double svc = model_.config().lb_fixed_s +
+                         model_.LbPrepareSeconds(r, s, model_.config().cores);
+      prep_done[i] = start + svc;
+      lb_free[i] = prep_done[i];
+      batch_sum += static_cast<double>(batch[i]);
+      ++epochs;
+    }
+
+    // Stage 2: every subORAM executes one batch per load balancer, in LB order.
+    double epoch_so_done = boundary;
+    for (uint32_t j = 0; j < s; ++j) {
+      double ready = so_free[j];
+      for (uint32_t i = 0; i < l; ++i) {
+        if (batch[i] == 0) {
+          continue;
+        }
+        const double arrive = prep_done[i] + model_.NetworkBatchSeconds(batch[i]);
+        ready = std::max(ready, arrive) +
+                model_.SubOramBatchSeconds(batch[i], per_suboram_objects);
+      }
+      so_free[j] = ready;
+      epoch_so_done = std::max(epoch_so_done, ready);
+    }
+
+    // Stage 3: responses return and each load balancer matches them.
+    for (uint32_t i = 0; i < l; ++i) {
+      const uint64_t r = lb_requests[i];
+      if (r == 0) {
+        continue;
+      }
+      const double resp_arrive = epoch_so_done + model_.NetworkBatchSeconds(batch[i] * s);
+      const double done =
+          resp_arrive + model_.LbMatchSeconds(r, s, model_.config().cores);
+      lb_free[i] = std::max(lb_free[i], done);
+      // Arrivals are uniform within the epoch given their count, so the aggregate
+      // latency contribution is r * (done - mean arrival time).
+      latency_sum += static_cast<double>(r) * (done - epoch_mean_arrival);
+      metrics.max_latency_s = std::max(metrics.max_latency_s, done - (boundary - t_epoch));
+      completed += r;
+      last_done = std::max(last_done, done);
+    }
+  }
+
+  metrics.completed_ops = static_cast<double>(completed) / config_.accesses_per_op;
+  metrics.throughput = metrics.completed_ops / duration;
+  metrics.mean_latency_s = completed == 0 ? 0.0 : latency_sum / static_cast<double>(completed);
+  metrics.mean_batch_size = epochs == 0 ? 0.0 : batch_sum / static_cast<double>(epochs);
+  // Saturation heuristic: the pipeline finished far behind the arrival window.
+  metrics.saturated = last_done > duration + 4 * config_.epoch_seconds;
+  return metrics;
+}
+
+ClusterMetrics ClusterSimulator::MaxThroughput(uint32_t load_balancers, uint32_t suborams,
+                                               uint64_t num_objects, double latency_bound,
+                                               const CostModel& model,
+                                               double accesses_per_op) {
+  ClusterMetrics best;
+  // Sweep epoch lengths; for each, binary-search the largest load meeting the bound.
+  for (double t_epoch : {0.2 * latency_bound, 0.3 * latency_bound, 0.4 * latency_bound}) {
+    ClusterConfig cfg;
+    cfg.load_balancers = load_balancers;
+    cfg.suborams = suborams;
+    cfg.num_objects = num_objects;
+    cfg.epoch_seconds = t_epoch;
+    cfg.accesses_per_op = accesses_per_op;
+    const ClusterSimulator sim(cfg, model);
+    const double duration = std::max(20 * t_epoch, 4.0);
+
+    double lo = 0;
+    double hi = 4e6 / accesses_per_op;
+    ClusterMetrics at_lo;
+    for (int iter = 0; iter < 24; ++iter) {
+      const double mid = 0.5 * (lo + hi);
+      const ClusterMetrics m = sim.Run(mid, duration, /*seed=*/42);
+      const bool ok = !m.saturated && m.mean_latency_s <= latency_bound &&
+                      m.throughput >= 0.85 * mid;
+      if (ok) {
+        lo = mid;
+        at_lo = m;
+      } else {
+        hi = mid;
+      }
+    }
+    if (at_lo.throughput > best.throughput) {
+      best = at_lo;
+    }
+  }
+  return best;
+}
+
+ClusterSimulator::SplitResult ClusterSimulator::BestSplit(uint32_t total_machines,
+                                                          uint64_t num_objects,
+                                                          double latency_bound,
+                                                          const CostModel& model,
+                                                          double accesses_per_op) {
+  SplitResult best;
+  for (uint32_t l = 1; l < total_machines; ++l) {
+    const uint32_t s = total_machines - l;
+    const ClusterMetrics m =
+        MaxThroughput(l, s, num_objects, latency_bound, model, accesses_per_op);
+    if (m.throughput > best.metrics.throughput) {
+      best.load_balancers = l;
+      best.suborams = s;
+      best.metrics = m;
+    }
+  }
+  return best;
+}
+
+}  // namespace snoopy

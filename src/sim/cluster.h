@@ -1,0 +1,76 @@
+// Epoch-pipeline cluster simulator.
+//
+// Simulates a Snoopy deployment (L load balancers, S subORAMs) serving a Poisson
+// request stream, using the calibrated cost model for per-stage service times and the
+// real batch-size mathematics for batch shapes. The pipeline follows the paper's
+// section 6 structure: requests wait for the next epoch boundary, the load balancer
+// prepares batches, every subORAM executes one batch per load balancer, and responses
+// are matched and returned. Stages are pipelined: a load balancer may prepare epoch
+// k+1 while the subORAMs execute epoch k.
+//
+// MaxThroughput inverts the simulation: the largest offered load whose simulated mean
+// latency stays within a bound -- this is what Figures 9a/9b/10 plot against machine
+// count.
+
+#ifndef SNOOPY_SRC_SIM_CLUSTER_H_
+#define SNOOPY_SRC_SIM_CLUSTER_H_
+
+#include <cstdint>
+
+#include "src/sim/cost_model.h"
+
+namespace snoopy {
+
+struct ClusterConfig {
+  uint32_t load_balancers = 1;
+  uint32_t suborams = 1;
+  uint64_t num_objects = 0;
+  double epoch_seconds = 0.1;
+  // Requests per client-visible operation (key transparency issues log2(n)+1 ORAM
+  // accesses per lookup, paper section 8.2).
+  double accesses_per_op = 1.0;
+};
+
+struct ClusterMetrics {
+  double offered_load = 0;       // operations per second offered
+  double completed_ops = 0;      // operations answered within the simulated window
+  double throughput = 0;         // completed / duration
+  double mean_latency_s = 0;
+  double max_latency_s = 0;
+  double mean_batch_size = 0;    // per-subORAM batch size f(R, S) averaged over epochs
+  bool saturated = false;        // backlog kept growing: offered load is unsustainable
+};
+
+class ClusterSimulator {
+ public:
+  ClusterSimulator(const ClusterConfig& config, const CostModel& model)
+      : config_(config), model_(model) {}
+
+  // Simulates `duration` seconds of Poisson arrivals at `ops_per_second`.
+  ClusterMetrics Run(double ops_per_second, double duration, uint64_t seed) const;
+
+  // Largest sustainable throughput with mean latency <= latency_bound, searching over
+  // epoch lengths up to 2/5 * latency_bound (paper Equation 2).
+  static ClusterMetrics MaxThroughput(uint32_t load_balancers, uint32_t suborams,
+                                      uint64_t num_objects, double latency_bound,
+                                      const CostModel& model, double accesses_per_op = 1.0);
+
+  // Best machine split for a total machine budget (what Figure 9a's boxed points
+  // encode: sometimes the next machine is a load balancer, sometimes a subORAM).
+  struct SplitResult {
+    uint32_t load_balancers = 0;
+    uint32_t suborams = 0;
+    ClusterMetrics metrics;
+  };
+  static SplitResult BestSplit(uint32_t total_machines, uint64_t num_objects,
+                               double latency_bound, const CostModel& model,
+                               double accesses_per_op = 1.0);
+
+ private:
+  ClusterConfig config_;
+  CostModel model_;
+};
+
+}  // namespace snoopy
+
+#endif  // SNOOPY_SRC_SIM_CLUSTER_H_

@@ -1,0 +1,62 @@
+#include "src/sim/workload.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace snoopy {
+
+bool WorkloadGenerator::NextIsWrite() {
+  return static_cast<double>(rng_.Uniform(1u << 20)) / static_cast<double>(1u << 20) <
+         write_fraction_;
+}
+
+std::vector<WorkloadRequest> WorkloadGenerator::Uniform(size_t n) {
+  std::vector<WorkloadRequest> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back({rng_.Uniform(key_space_), NextIsWrite()});
+  }
+  return out;
+}
+
+std::vector<WorkloadRequest> WorkloadGenerator::Zipfian(size_t n, double theta) {
+  if (cached_theta_ != theta) {
+    zipf_cdf_.resize(key_space_);
+    double total = 0.0;
+    for (uint64_t k = 0; k < key_space_; ++k) {
+      total += 1.0 / std::pow(static_cast<double>(k + 1), theta);
+      zipf_cdf_[k] = total;
+    }
+    for (double& v : zipf_cdf_) {
+      v /= total;
+    }
+    cached_theta_ = theta;
+  }
+  std::vector<WorkloadRequest> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const double u =
+        static_cast<double>(rng_.Uniform(uint64_t{1} << 53)) / static_cast<double>(uint64_t{1} << 53);
+    const auto it = std::lower_bound(zipf_cdf_.begin(), zipf_cdf_.end(), u);
+    const auto rank = static_cast<uint64_t>(it - zipf_cdf_.begin());
+    // Scatter ranks over the key space so the hot keys are not clustered.
+    const uint64_t key = (rank * 0x9e3779b97f4a7c15ULL) % key_space_;
+    out.push_back({key, NextIsWrite()});
+  }
+  return out;
+}
+
+std::vector<WorkloadRequest> WorkloadGenerator::Hotspot(size_t n, double hot_fraction) {
+  std::vector<WorkloadRequest> out;
+  out.reserve(n);
+  const uint64_t hot_key = rng_.Uniform(key_space_);
+  for (size_t i = 0; i < n; ++i) {
+    const bool hot = static_cast<double>(rng_.Uniform(1u << 20)) /
+                         static_cast<double>(1u << 20) <
+                     hot_fraction;
+    out.push_back({hot ? hot_key : rng_.Uniform(key_space_), NextIsWrite()});
+  }
+  return out;
+}
+
+}  // namespace snoopy

@@ -1,0 +1,50 @@
+// Workload generators for benchmarks and property tests: uniform, Zipfian, hotspot,
+// and read/write mixes. Snoopy's security guarantee implies its *performance* is
+// independent of the request distribution (paper section 8: "the oblivious security
+// guarantees ... ensure that the request distribution does not impact their
+// performance") -- the skew ablation uses these generators to check exactly that.
+
+#ifndef SNOOPY_SRC_SIM_WORKLOAD_H_
+#define SNOOPY_SRC_SIM_WORKLOAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/crypto/rng.h"
+
+namespace snoopy {
+
+struct WorkloadRequest {
+  uint64_t key = 0;
+  bool is_write = false;
+};
+
+class WorkloadGenerator {
+ public:
+  WorkloadGenerator(uint64_t key_space, double write_fraction, uint64_t seed)
+      : key_space_(key_space), write_fraction_(write_fraction), rng_(seed) {}
+
+  // Uniform over the key space.
+  std::vector<WorkloadRequest> Uniform(size_t n);
+
+  // Zipfian with exponent `theta` (typical YCSB-style skew: 0.99).
+  std::vector<WorkloadRequest> Zipfian(size_t n, double theta);
+
+  // `hot_fraction` of requests hit a single key; the rest are uniform.
+  std::vector<WorkloadRequest> Hotspot(size_t n, double hot_fraction);
+
+ private:
+  bool NextIsWrite();
+
+  uint64_t key_space_;
+  double write_fraction_;
+  Rng rng_;
+  // Zipf sampling state (Gray et al. rejection-inversion is overkill at our sizes; we
+  // precompute the CDF for the configured key space once per theta).
+  double cached_theta_ = -1.0;
+  std::vector<double> zipf_cdf_;
+};
+
+}  // namespace snoopy
+
+#endif  // SNOOPY_SRC_SIM_WORKLOAD_H_

@@ -1,0 +1,55 @@
+#include "src/enclave/attestation.h"
+
+#include <gtest/gtest.h>
+
+#include "src/enclave/enclave.h"
+
+namespace snoopy {
+namespace {
+
+TEST(Attestation, QuoteVerifies) {
+  const Measurement m = AttestationService::Measure("snoopy-suboram-v1");
+  Mac256 report{};
+  report[0] = 42;
+  const AttestationQuote quote = AttestationService::Quote(m, report);
+  EXPECT_TRUE(AttestationService::Verify(quote));
+}
+
+TEST(Attestation, TamperedQuoteFails) {
+  const Measurement m = AttestationService::Measure("snoopy-suboram-v1");
+  AttestationQuote quote = AttestationService::Quote(m, Mac256{});
+  quote.measurement[0] ^= 1;
+  EXPECT_FALSE(AttestationService::Verify(quote));
+  quote.measurement[0] ^= 1;
+  quote.signature[5] ^= 1;
+  EXPECT_FALSE(AttestationService::Verify(quote));
+  quote.signature[5] ^= 1;
+  quote.report_data[0] ^= 1;
+  EXPECT_FALSE(AttestationService::Verify(quote));
+}
+
+TEST(Attestation, ChannelKeyIsSymmetric) {
+  const Measurement a = AttestationService::Measure("snoopy-lb");
+  const Measurement b = AttestationService::Measure("snoopy-suboram");
+  EXPECT_EQ(AttestationService::ChannelKey(a, b), AttestationService::ChannelKey(b, a));
+  const Measurement c = AttestationService::Measure("snoopy-client");
+  EXPECT_NE(AttestationService::ChannelKey(a, b), AttestationService::ChannelKey(a, c));
+}
+
+TEST(Enclave, EstablishChannelAgreesAcrossPeers) {
+  const Enclave lb("snoopy-lb-v1", 0);
+  const Enclave so("snoopy-suboram-v1", 1);
+  const Aead::Key k1 = lb.EstablishChannel(so.quote());
+  const Aead::Key k2 = so.EstablishChannel(lb.quote());
+  EXPECT_EQ(k1, k2);
+}
+
+TEST(Enclave, RejectsForgedPeer) {
+  const Enclave lb("snoopy-lb-v1", 0);
+  AttestationQuote forged = Enclave("snoopy-suboram-v1", 1).quote();
+  forged.measurement[3] ^= 0xff;  // forged program hash, stale signature
+  EXPECT_THROW(lb.EstablishChannel(forged), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace snoopy

@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <vector>
+
+#include "src/baseline/obladi.h"
+#include "src/baseline/oblix.h"
+#include "src/baseline/plaintext_store.h"
+#include "src/crypto/rng.h"
+
+namespace snoopy {
+namespace {
+
+std::vector<uint8_t> Val(uint64_t tag, size_t size = 32) {
+  std::vector<uint8_t> v(size, 0);
+  std::memcpy(v.data(), &tag, 8);
+  return v;
+}
+
+std::vector<std::pair<uint64_t, std::vector<uint8_t>>> Objects(uint64_t n) {
+  std::vector<std::pair<uint64_t, std::vector<uint8_t>>> objects;
+  for (uint64_t k = 0; k < n; ++k) {
+    objects.emplace_back(k * 3, Val(k * 3));  // sparse keys
+  }
+  return objects;
+}
+
+// ------------------------------------------------------------------------------ Oblix
+
+TEST(Oblix, ReadsAndWrites) {
+  OblixStore store(256, 32, 1);
+  store.Initialize(Objects(100));
+  EXPECT_EQ(store.Read(9), Val(9));
+  store.Write(9, Val(999));
+  EXPECT_EQ(store.Read(9), Val(999));
+  EXPECT_EQ(store.Read(5000), std::vector<uint8_t>(32, 0)) << "absent key reads null";
+  EXPECT_GT(store.recursion_depth(), 1u);
+}
+
+TEST(Oblix, RandomizedAgainstReferenceMap) {
+  OblixStore store(512, 32, 2);
+  store.Initialize(Objects(200));
+  Rng rng(3);
+  std::map<uint64_t, std::vector<uint8_t>> model;
+  for (uint64_t k = 0; k < 200; ++k) {
+    model[k * 3] = Val(k * 3);
+  }
+  for (int i = 0; i < 500; ++i) {
+    const uint64_t key = rng.Uniform(200) * 3;
+    if (rng.Uniform(2) == 0) {
+      ASSERT_EQ(store.Read(key), model[key]) << "i=" << i;
+    } else {
+      auto v = Val(rng.Next64());
+      store.Write(key, v);
+      model[key] = v;
+    }
+  }
+}
+
+TEST(Oblix, RejectsDuplicateInit) {
+  OblixStore store(16, 32, 4);
+  EXPECT_THROW(store.Initialize({{1, Val(1)}, {1, Val(2)}}), std::invalid_argument);
+}
+
+// ----------------------------------------------------------------------------- Obladi
+
+TEST(Obladi, BatchedExecutionMatchesSemantics) {
+  ObladiConfig cfg;
+  cfg.capacity = 256;
+  cfg.value_size = 32;
+  cfg.batch_size = 4;
+  ObladiProxy proxy(cfg, 5);
+  proxy.Initialize(Objects(50));
+
+  proxy.Submit({/*seq=*/1, /*key=*/3, /*write=*/false, {}});
+  proxy.Submit({2, 3, true, Val(1000)});
+  proxy.Submit({3, 3, false, {}});
+  proxy.Submit({4, 6, false, {}});
+  auto responses = proxy.ExecuteBatches();
+  ASSERT_EQ(responses.size(), 4u);
+  std::map<uint64_t, std::vector<uint8_t>> by_seq;
+  for (const auto& r : responses) {
+    by_seq[r.client_seq] = r.value;
+  }
+  // Delayed visibility: all reads in the batch see the pre-batch state.
+  EXPECT_EQ(by_seq[1], Val(3));
+  EXPECT_EQ(by_seq[3], Val(3));
+  EXPECT_EQ(by_seq[4], Val(6));
+
+  // The write applied at batch end.
+  proxy.Submit({5, 3, false, {}});
+  auto r2 = proxy.ExecuteBatches();
+  ASSERT_EQ(r2.size(), 1u);
+  EXPECT_EQ(r2[0].value, Val(1000));
+}
+
+TEST(Obladi, DeduplicationSavesOramAccesses) {
+  ObladiConfig cfg;
+  cfg.capacity = 128;
+  cfg.value_size = 32;
+  cfg.batch_size = 100;
+  ObladiProxy proxy(cfg, 6);
+  proxy.Initialize(Objects(10));
+  const uint64_t before = proxy.oram_accesses();
+  for (uint64_t i = 0; i < 100; ++i) {
+    proxy.Submit({i, /*key=*/3, false, {}});  // 100 requests, one object
+  }
+  auto responses = proxy.ExecuteBatches();
+  EXPECT_EQ(responses.size(), 100u);
+  EXPECT_EQ(proxy.oram_accesses() - before, 1u) << "one ORAM read serves all duplicates";
+}
+
+TEST(Obladi, LastWriteWinsWithinBatch) {
+  ObladiConfig cfg;
+  cfg.capacity = 64;
+  cfg.value_size = 32;
+  cfg.batch_size = 3;
+  ObladiProxy proxy(cfg, 7);
+  proxy.Initialize(Objects(5));
+  proxy.Submit({1, 3, true, Val(10)});
+  proxy.Submit({2, 3, true, Val(20)});
+  proxy.Submit({3, 3, true, Val(30)});
+  proxy.ExecuteBatches();
+  proxy.Submit({4, 3, false, {}});
+  auto r = proxy.ExecuteBatches();
+  EXPECT_EQ(r[0].value, Val(30));
+}
+
+TEST(Obladi, PartialBatchesOnlyOnFlush) {
+  ObladiConfig cfg;
+  cfg.capacity = 64;
+  cfg.value_size = 32;
+  cfg.batch_size = 10;
+  ObladiProxy proxy(cfg, 8);
+  proxy.Initialize(Objects(5));
+  proxy.Submit({1, 3, false, {}});
+  EXPECT_TRUE(proxy.ExecuteBatches(/*flush=*/false).empty());
+  EXPECT_EQ(proxy.ExecuteBatches(/*flush=*/true).size(), 1u);
+}
+
+// -------------------------------------------------------------------------- Plaintext
+
+TEST(PlaintextStore, BasicOperationsAndLeakage) {
+  PlaintextStore store(4, 32);
+  store.Initialize(Objects(100));
+  EXPECT_EQ(store.Read(30), Val(30));
+  store.Write(30, Val(7));
+  EXPECT_EQ(store.Read(30), Val(7));
+  EXPECT_EQ(store.Read(99999), std::vector<uint8_t>(32, 0));
+
+  // The leakage that motivates Snoopy: shard access counts reveal the workload.
+  PlaintextStore skewed(4, 32);
+  skewed.Initialize(Objects(100));
+  for (int i = 0; i < 50; ++i) {
+    skewed.Read(30);
+  }
+  uint64_t hot = 0;
+  for (const uint64_t c : skewed.shard_accesses()) {
+    hot = c > hot ? c : hot;
+  }
+  EXPECT_EQ(hot, 50u) << "a skewed plaintext workload is fully visible per shard";
+}
+
+}  // namespace
+}  // namespace snoopy

@@ -1,0 +1,123 @@
+#include "src/analysis/batch_bound.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "src/crypto/rng.h"
+#include "src/crypto/siphash.h"
+
+namespace snoopy {
+namespace {
+
+TEST(BatchSize, EdgeCases) {
+  EXPECT_EQ(BatchSize(0, 10, 128), 0u);
+  EXPECT_EQ(BatchSize(100, 1, 128), 100u);     // one subORAM takes everything
+  EXPECT_LE(BatchSize(100, 10, 128), 100u);    // never exceeds R
+  EXPECT_EQ(BatchSize(5, 10, 128), 5u);        // tiny R: bound collapses to R
+}
+
+TEST(BatchSize, NoSecurityModeIsMeanLoad) {
+  EXPECT_EQ(BatchSize(1000, 10, 0), 100u);
+  EXPECT_EQ(BatchSize(1001, 10, 0), 101u);
+}
+
+TEST(BatchSize, AboveMeanAndBelowRInHighThroughputRegime) {
+  const uint64_t b = BatchSize(100000, 10, 128);
+  EXPECT_GT(b, 10000u);   // must exceed the mean R/S
+  EXPECT_LT(b, 100000u);  // and be far below R (that is the whole point)
+}
+
+TEST(BatchSize, ChernoffBoundIsActuallyNegligible) {
+  // Theorem 3's guarantee: the closed-form batch size drives the overflow probability
+  // below 2^-lambda. Verified against the Chernoff expression it was inverted from.
+  for (const uint32_t lambda : {80u, 128u}) {
+    for (const uint64_t s : {2ull, 10ull, 20ull, 100ull}) {
+      for (const uint64_t r : {1000ull, 10000ull, 100000ull, 1000000ull}) {
+        const uint64_t b = BatchSize(r, s, lambda);
+        if (b >= r) {
+          continue;  // f = R: overflow impossible
+        }
+        EXPECT_LE(OverflowProbLog2(r, s, b), -static_cast<double>(lambda))
+            << "R=" << r << " S=" << s << " lambda=" << lambda;
+      }
+    }
+  }
+}
+
+TEST(BatchSize, MonotoneInRequests) {
+  // CapacityForBatchLimit binary-searches on this property.
+  for (const uint64_t s : {2ull, 10ull, 20ull}) {
+    uint64_t prev = 0;
+    for (uint64_t r = 100; r <= 200000; r = r * 3 / 2) {
+      const uint64_t b = BatchSize(r, s, 128);
+      EXPECT_GE(b, prev) << "R=" << r << " S=" << s;
+      prev = b;
+    }
+  }
+}
+
+TEST(BatchSize, OverheadShrinksWithMoreRequests) {
+  // Figure 3: dummy overhead decreases as R grows.
+  const double at_1k = DummyOverheadPercent(1000, 10, 128);
+  const double at_10k = DummyOverheadPercent(10000, 10, 128);
+  const double at_100k = DummyOverheadPercent(100000, 10, 128);
+  EXPECT_GT(at_1k, at_10k);
+  EXPECT_GT(at_10k, at_100k);
+}
+
+TEST(BatchSize, OverheadGrowsWithMoreSubOrams) {
+  // Figure 3: more subORAMs means proportionally more dummies.
+  const double s2 = DummyOverheadPercent(10000, 2, 128);
+  const double s10 = DummyOverheadPercent(10000, 10, 128);
+  const double s20 = DummyOverheadPercent(10000, 20, 128);
+  EXPECT_LT(s2, s10);
+  EXPECT_LT(s10, s20);
+}
+
+TEST(CapacityForBatchLimit, MatchesDefinition) {
+  for (const uint64_t s : {2ull, 5ull, 10ull, 20ull}) {
+    const uint64_t cap = CapacityForBatchLimit(s, 1000, 128);
+    EXPECT_LE(BatchSize(cap, s, 128), 1000u);
+    EXPECT_GT(BatchSize(cap + 1, s, 128), 1000u);
+  }
+}
+
+TEST(CapacityForBatchLimit, SublinearButGrowing) {
+  // Figure 4: capacity grows with S but stays below the no-security line S * limit.
+  uint64_t prev = 0;
+  for (uint64_t s = 2; s <= 20; s += 2) {
+    const uint64_t cap = CapacityForBatchLimit(s, 1000, 128);
+    EXPECT_GT(cap, prev);
+    EXPECT_LT(cap, s * 1000);
+    EXPECT_EQ(CapacityForBatchLimit(s, 1000, 0), s * 1000);
+    prev = cap;
+  }
+}
+
+// Empirical validation: throw R keyed-hash-distributed distinct requests at S bins many
+// times and confirm no bin ever exceeds f(R, S). With lambda = 128 a single failure in
+// this test would be a once-per-2^128 event, i.e. a bug.
+TEST(BatchSize, EmpiricalNoOverflow) {
+  Rng rng(7);
+  const std::vector<std::pair<uint64_t, uint64_t>> configs = {
+      {1000, 2}, {1000, 10}, {5000, 10}, {5000, 20}, {20000, 20}};
+  for (const auto& [r, s] : configs) {
+    const uint64_t b = BatchSize(r, s, 128);
+    for (int trial = 0; trial < 20; ++trial) {
+      const SipKey key = rng.NextSipKey();
+      std::vector<uint64_t> load(s, 0);
+      for (uint64_t i = 0; i < r; ++i) {
+        // Distinct keys 0..r-1 (dedup guarantees distinctness in the real system).
+        ++load[SipHash24(key, i) % s];
+      }
+      for (uint64_t bin = 0; bin < s; ++bin) {
+        ASSERT_LE(load[bin], b) << "R=" << r << " S=" << s << " trial=" << trial;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace snoopy

@@ -1,0 +1,214 @@
+#include "src/obl/bin_placement.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "src/crypto/rng.h"
+#include "src/enclave/trace.h"
+
+namespace snoopy {
+namespace {
+
+// Test record layout: key(8) | bin(4) | dummy(1) | pad(3) | order(8) | dedup(8)
+constexpr size_t kStride = 32;
+constexpr BinSchema kSchema{/*bin_offset=*/8, /*dummy_offset=*/12, /*order_offset=*/16,
+                            /*dedup_offset=*/24};
+
+void SetField64(uint8_t* rec, size_t off, uint64_t v) { std::memcpy(rec + off, &v, 8); }
+uint64_t GetField64(const uint8_t* rec, size_t off) {
+  uint64_t v;
+  std::memcpy(&v, rec + off, 8);
+  return v;
+}
+void SetBin(uint8_t* rec, uint32_t bin) { std::memcpy(rec + kSchema.bin_offset, &bin, 4); }
+uint32_t GetBin(const uint8_t* rec) {
+  uint32_t v;
+  std::memcpy(&v, rec + kSchema.bin_offset, 4);
+  return v;
+}
+
+ByteSlab MakeRequests(const std::vector<std::pair<uint64_t, uint32_t>>& key_bins) {
+  ByteSlab slab(key_bins.size(), kStride);
+  for (size_t i = 0; i < key_bins.size(); ++i) {
+    uint8_t* rec = slab.Record(i);
+    SetField64(rec, 0, key_bins[i].first);
+    SetBin(rec, key_bins[i].second);
+    rec[kSchema.dummy_offset] = 0;
+    SetField64(rec, kSchema.order_offset, i);
+    SetField64(rec, kSchema.dedup_offset, key_bins[i].first);
+  }
+  return slab;
+}
+
+void MakeDummy(uint8_t* rec) { SetField64(rec, 0, ~uint64_t{0}); }
+
+TEST(BinPlacement, PlacesEachRecordInItsBin) {
+  // 7 records over 3 bins, capacity 4.
+  ByteSlab slab = MakeRequests({{10, 0}, {11, 1}, {12, 2}, {13, 0}, {14, 1}, {15, 0}, {16, 2}});
+  BinPlacementOptions opts;
+  opts.num_bins = 3;
+  opts.bin_capacity = 4;
+  const BinPlacementResult r = ObliviousBinPlacement(slab, kSchema, opts, MakeDummy);
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.placed, 7u);
+  ASSERT_EQ(slab.size(), 12u);
+
+  std::map<uint32_t, std::vector<uint64_t>> bins;
+  for (size_t i = 0; i < slab.size(); ++i) {
+    const uint8_t* rec = slab.Record(i);
+    const uint32_t expected_bin = static_cast<uint32_t>(i / 4);
+    EXPECT_EQ(GetBin(rec), expected_bin) << "slot " << i;
+    if (rec[kSchema.dummy_offset] == 0) {
+      bins[expected_bin].push_back(GetField64(rec, 0));
+    }
+  }
+  EXPECT_EQ(bins[0], (std::vector<uint64_t>{10, 13, 15}));
+  EXPECT_EQ(bins[1], (std::vector<uint64_t>{11, 14}));
+  EXPECT_EQ(bins[2], (std::vector<uint64_t>{12, 16}));
+}
+
+TEST(BinPlacement, RealsPrecedeDummiesWithinBin) {
+  ByteSlab slab = MakeRequests({{5, 0}, {6, 0}});
+  BinPlacementOptions opts;
+  opts.num_bins = 1;
+  opts.bin_capacity = 5;
+  ASSERT_TRUE(ObliviousBinPlacement(slab, kSchema, opts, MakeDummy).ok);
+  ASSERT_EQ(slab.size(), 5u);
+  EXPECT_EQ(slab.Record(0)[kSchema.dummy_offset], 0);
+  EXPECT_EQ(slab.Record(1)[kSchema.dummy_offset], 0);
+  EXPECT_EQ(slab.Record(2)[kSchema.dummy_offset], 1);
+  EXPECT_EQ(slab.Record(3)[kSchema.dummy_offset], 1);
+  EXPECT_EQ(slab.Record(4)[kSchema.dummy_offset], 1);
+}
+
+TEST(BinPlacement, OverflowIsReported) {
+  ByteSlab slab = MakeRequests({{1, 0}, {2, 0}, {3, 0}});
+  BinPlacementOptions opts;
+  opts.num_bins = 2;
+  opts.bin_capacity = 2;  // bin 0 gets 3 records > 2
+  const BinPlacementResult r = ObliviousBinPlacement(slab, kSchema, opts, MakeDummy);
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(slab.size(), 4u);  // output shape is unchanged by the failure (public)
+}
+
+TEST(BinPlacement, DedupKeepsSurvivorOnly) {
+  // Three requests for key 42 with orders 2,0,1; survivor must be order 0 (the caller
+  // encodes "survivor-first" in the order field, e.g. latest write first).
+  ByteSlab slab(0, kStride);
+  const uint64_t orders[3] = {2, 0, 1};
+  for (int i = 0; i < 3; ++i) {
+    uint8_t* rec = slab.AppendZero();
+    SetField64(rec, 0, 100 + orders[i]);  // distinct payload marker per duplicate
+    SetBin(rec, 0);
+    rec[kSchema.dummy_offset] = 0;
+    SetField64(rec, kSchema.order_offset, orders[i]);
+    SetField64(rec, kSchema.dedup_offset, 42);  // same dedup key: duplicates
+  }
+  // Plus one non-duplicate.
+  {
+    uint8_t* rec = slab.AppendZero();
+    SetField64(rec, 0, 7);
+    SetBin(rec, 0);
+    rec[kSchema.dummy_offset] = 0;
+    SetField64(rec, kSchema.order_offset, 9);
+    SetField64(rec, kSchema.dedup_offset, 7);
+  }
+  BinPlacementOptions opts;
+  opts.num_bins = 1;
+  opts.bin_capacity = 3;
+  opts.dedup = true;
+  const BinPlacementResult r = ObliviousBinPlacement(slab, kSchema, opts, MakeDummy);
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.placed, 2u);  // survivor of the dup group + the single request
+  ASSERT_EQ(slab.size(), 3u);
+  // Output is ordered by dedup key within the bin (7 < 42); the dup group's survivor
+  // is the order-0 duplicate (payload marker 100).
+  EXPECT_EQ(GetField64(slab.Record(0), 0), 7u);
+  EXPECT_EQ(GetField64(slab.Record(1), 0), 100u);
+  EXPECT_EQ(slab.Record(2)[kSchema.dummy_offset], 1);
+}
+
+TEST(BinPlacement, DedupPreventsOverflowFromSkew) {
+  // 100 requests, all for the same key: after dedup one slot suffices (the paper's
+  // skew argument in section 4.1).
+  std::vector<std::pair<uint64_t, uint32_t>> reqs(100, {77, 1});
+  ByteSlab slab = MakeRequests(reqs);
+  // dedup keys must all match for dedup to fire (MakeRequests sets dedup = key).
+  BinPlacementOptions opts;
+  opts.num_bins = 4;
+  opts.bin_capacity = 2;
+  opts.dedup = true;
+  const BinPlacementResult r = ObliviousBinPlacement(slab, kSchema, opts, MakeDummy);
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.placed, 1u);
+}
+
+TEST(BinPlacement, RandomizedAgainstReferenceModel) {
+  Rng rng(31337);
+  for (int trial = 0; trial < 30; ++trial) {
+    const uint32_t m = static_cast<uint32_t>(1 + rng.Uniform(8));
+    const uint32_t z = static_cast<uint32_t>(1 + rng.Uniform(10));
+    const size_t n = rng.Uniform(m * z + 5);
+    std::vector<std::pair<uint64_t, uint32_t>> reqs;
+    std::map<uint32_t, std::vector<uint64_t>> expected;
+    for (size_t i = 0; i < n; ++i) {
+      const uint64_t key = 1000 + i;
+      const auto bin = static_cast<uint32_t>(rng.Uniform(m));
+      reqs.push_back({key, bin});
+      expected[bin].push_back(key);
+    }
+    bool should_fail = false;
+    for (auto& [bin, keys] : expected) {
+      if (keys.size() > z) {
+        should_fail = true;
+      }
+    }
+    ByteSlab slab = MakeRequests(reqs);
+    BinPlacementOptions opts;
+    opts.num_bins = m;
+    opts.bin_capacity = z;
+    const BinPlacementResult r = ObliviousBinPlacement(slab, kSchema, opts, MakeDummy);
+    ASSERT_EQ(r.ok, !should_fail) << "trial=" << trial;
+    ASSERT_EQ(slab.size(), size_t{m} * z);
+    if (should_fail) {
+      continue;
+    }
+    for (uint32_t b = 0; b < m; ++b) {
+      std::vector<uint64_t> got;
+      for (uint32_t j = 0; j < z; ++j) {
+        const uint8_t* rec = slab.Record(b * z + j);
+        if (rec[kSchema.dummy_offset] == 0) {
+          got.push_back(GetField64(rec, 0));
+        }
+      }
+      ASSERT_EQ(got, expected[b]) << "trial=" << trial << " bin=" << b;
+    }
+  }
+}
+
+TEST(BinPlacement, TraceIndependentOfAssignment) {
+  // Same n, m, z, different secret bin assignments: identical traces.
+  auto trace_for = [](uint64_t seed) {
+    Rng rng(seed);
+    std::vector<std::pair<uint64_t, uint32_t>> reqs;
+    for (size_t i = 0; i < 40; ++i) {
+      reqs.push_back({i, static_cast<uint32_t>(rng.Uniform(4))});
+    }
+    ByteSlab slab = MakeRequests(reqs);
+    BinPlacementOptions opts;
+    opts.num_bins = 4;
+    opts.bin_capacity = 40;  // capacity large enough that neither input overflows
+    TraceScope scope;
+    ObliviousBinPlacement(slab, kSchema, opts, MakeDummy);
+    return scope.Digest();
+  };
+  EXPECT_EQ(trace_for(1), trace_for(2));
+  EXPECT_EQ(trace_for(3), trace_for(17));
+}
+
+}  // namespace
+}  // namespace snoopy

@@ -1,0 +1,82 @@
+#include "src/analysis/binomial.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace snoopy {
+namespace {
+
+TEST(LogBinomialPmf, SumsToOne) {
+  for (const auto& [n, p] : std::vector<std::pair<uint64_t, double>>{
+           {10, 0.5}, {100, 0.1}, {1000, 0.01}, {4096, 1.0 / 256}}) {
+    double sum = 0.0;
+    for (uint64_t k = 0; k <= n; ++k) {
+      const double lp = LogBinomialPmf(n, p, k);
+      if (lp > -700) {
+        sum += std::exp(lp);
+      }
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9) << "n=" << n << " p=" << p;
+  }
+}
+
+TEST(LogBinomialPmf, DegenerateProbabilities) {
+  EXPECT_NEAR(LogBinomialPmf(10, 0.0, 0), 0.0, 1e-12);
+  EXPECT_LT(LogBinomialPmf(10, 0.0, 1), -1e100);
+  EXPECT_NEAR(LogBinomialPmf(10, 1.0, 10), 0.0, 1e-12);
+  EXPECT_LT(LogBinomialPmf(10, 1.0, 3), -1e100);
+  EXPECT_LT(LogBinomialPmf(10, 0.5, 11), -1e100);  // k > n
+}
+
+TEST(BinomialTailAbove, MatchesDirectSummation) {
+  const uint64_t n = 100;
+  const double p = 0.3;
+  for (uint64_t k : {0ull, 10ull, 30ull, 50ull, 99ull, 100ull}) {
+    double direct = 0.0;
+    for (uint64_t j = k + 1; j <= n; ++j) {
+      direct += std::exp(LogBinomialPmf(n, p, j));
+    }
+    EXPECT_NEAR(BinomialTailAbove(n, p, k), direct, 1e-9);
+  }
+}
+
+TEST(BinomialTailAbove, MonotoneDecreasingInThreshold) {
+  double prev = 1.1;
+  for (uint64_t k = 0; k <= 64; k += 4) {
+    const double t = BinomialTailAbove(4096, 1.0 / 256, k);
+    EXPECT_LE(t, prev);
+    prev = t;
+  }
+}
+
+TEST(ExpectedExcess, ZeroCapacityIsMean) {
+  // E[(X - 0)^+] = E[X] = n p.
+  EXPECT_NEAR(ExpectedExcess(1000, 0.01, 0), 10.0, 1e-6);
+}
+
+TEST(ExpectedExcess, DecreasesWithCapacity) {
+  double prev = 1e18;
+  for (uint64_t z = 0; z < 40; z += 4) {
+    const double e = ExpectedExcess(4096, 1.0 / 256, z);
+    EXPECT_LT(e, prev);
+    prev = e;
+  }
+  EXPECT_LT(ExpectedExcess(4096, 1.0 / 256, 64), 1e-6);
+}
+
+TEST(OverflowBound, BasicShape) {
+  EXPECT_EQ(OverflowBound(0, 16, 4, 128), 0u);
+  // Bound never exceeds n.
+  EXPECT_LE(OverflowBound(4096, 1024, 4, 128), 4096u);
+  // Larger capacity -> smaller bound.
+  const uint64_t loose = OverflowBound(4096, 1024, 2, 128);
+  const uint64_t tight = OverflowBound(4096, 1024, 16, 128);
+  EXPECT_LE(tight, loose);
+  // The McDiarmid slack term alone: sqrt(n * lambda * ln2 / 2).
+  const double slack = std::sqrt(4096.0 * 128.0 * M_LN2 / 2.0);
+  EXPECT_GE(OverflowBound(4096, 1024, 64, 128), static_cast<uint64_t>(slack));
+}
+
+}  // namespace
+}  // namespace snoopy

@@ -1,0 +1,133 @@
+#include "src/obl/bitonic_sort.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "src/crypto/rng.h"
+#include "src/enclave/trace.h"
+#include "src/obl/primitives.h"
+
+namespace snoopy {
+namespace {
+
+struct Rec {
+  uint64_t key;
+  uint64_t payload;
+};
+
+bool RecLess(const Rec& a, const Rec& b) { return CtLt64(a.key, b.key); }
+
+class BitonicSortSizes : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(BitonicSortSizes, SortsRandomInput) {
+  const size_t n = GetParam();
+  Rng rng(n * 31 + 1);
+  std::vector<Rec> data(n);
+  for (size_t i = 0; i < n; ++i) {
+    data[i] = Rec{rng.Uniform(1 + n / 2), i};  // duplicates likely
+  }
+  std::vector<uint64_t> expected;
+  for (const Rec& r : data) {
+    expected.push_back(r.key);
+  }
+  std::sort(expected.begin(), expected.end());
+
+  BitonicSort(std::span<Rec>(data), RecLess);
+  for (size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(data[i].key, expected[i]) << "n=" << n << " i=" << i;
+  }
+  // Payloads must still be a permutation of 0..n-1 (records move as units).
+  std::vector<uint64_t> payloads;
+  for (const Rec& r : data) {
+    payloads.push_back(r.payload);
+  }
+  std::sort(payloads.begin(), payloads.end());
+  for (size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(payloads[i], i);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ArbitrarySizes, BitonicSortSizes,
+                         ::testing::Values(0, 1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 31, 33, 64,
+                                           100, 127, 128, 129, 255, 500, 1000, 1024, 1025));
+
+TEST(BitonicSort, AlreadySortedAndReversed) {
+  for (const bool reversed : {false, true}) {
+    std::vector<Rec> data(200);
+    for (size_t i = 0; i < data.size(); ++i) {
+      data[i].key = reversed ? data.size() - i : i;
+    }
+    BitonicSort(std::span<Rec>(data), RecLess);
+    for (size_t i = 1; i < data.size(); ++i) {
+      ASSERT_LE(data[i - 1].key, data[i].key);
+    }
+  }
+}
+
+TEST(BitonicSort, MultithreadedMatchesSequential) {
+  Rng rng(99);
+  std::vector<Rec> a(777);
+  for (size_t i = 0; i < a.size(); ++i) {
+    a[i] = Rec{rng.Next64(), i};
+  }
+  std::vector<Rec> b = a;
+  BitonicSort(std::span<Rec>(a), RecLess, 1);
+  BitonicSort(std::span<Rec>(b), RecLess, 3);
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].key, b[i].key);
+  }
+}
+
+TEST(BitonicSort, SlabVariantSortsRuntimeSizedRecords) {
+  const size_t n = 300;
+  const size_t stride = 48;
+  ByteSlab slab(n, stride);
+  Rng rng(4);
+  std::vector<uint64_t> keys(n);
+  for (size_t i = 0; i < n; ++i) {
+    keys[i] = rng.Uniform(1000);
+    std::memcpy(slab.Record(i), &keys[i], 8);
+    std::memset(slab.Record(i) + 8, static_cast<int>(i & 0xff), stride - 8);
+  }
+  BitonicSortSlab(slab, [](const uint8_t* a, const uint8_t* b) {
+    uint64_t ka;
+    uint64_t kb;
+    std::memcpy(&ka, a, 8);
+    std::memcpy(&kb, b, 8);
+    return CtLt64(ka, kb);
+  });
+  std::sort(keys.begin(), keys.end());
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t k;
+    std::memcpy(&k, slab.Record(i), 8);
+    ASSERT_EQ(k, keys[i]);
+  }
+}
+
+TEST(BitonicSort, NetworkShapeIsDataIndependent) {
+  // Core obliviousness property: the compare-swap sequence depends only on n.
+  auto trace_for = [](uint64_t seed) {
+    Rng rng(seed);
+    std::vector<Rec> data(173);
+    for (size_t i = 0; i < data.size(); ++i) {
+      data[i] = Rec{rng.Next64(), i};
+    }
+    TraceScope scope;
+    BitonicSort(std::span<Rec>(data), RecLess);
+    return scope.Digest();
+  };
+  EXPECT_EQ(trace_for(1), trace_for(2));
+  EXPECT_EQ(trace_for(2), trace_for(999));
+}
+
+TEST(AdaptiveSortThreads, SmallInputsStaySequential) {
+  EXPECT_EQ(AdaptiveSortThreads(100, 4), 1);
+  EXPECT_EQ(AdaptiveSortThreads(1u << 20, 1), 1);
+  EXPECT_GE(AdaptiveSortThreads(1u << 20, 4), 1);
+}
+
+}  // namespace
+}  // namespace snoopy

@@ -1,0 +1,73 @@
+#include "src/sim/cluster.h"
+
+#include <gtest/gtest.h>
+
+namespace snoopy {
+namespace {
+
+ClusterConfig SmallConfig() {
+  ClusterConfig cfg;
+  cfg.load_balancers = 1;
+  cfg.suborams = 3;
+  cfg.num_objects = 2000000;
+  cfg.epoch_seconds = 0.2;
+  return cfg;
+}
+
+TEST(ClusterSimulator, LightLoadMeetsLatency) {
+  const CostModel model;
+  const ClusterSimulator sim(SmallConfig(), model);
+  const ClusterMetrics m = sim.Run(/*ops_per_second=*/2000, /*duration=*/6.0, /*seed=*/1);
+  EXPECT_FALSE(m.saturated);
+  EXPECT_GT(m.throughput, 1500.0);
+  // Latency at least half an epoch (the average wait) and bounded by a few epochs.
+  EXPECT_GT(m.mean_latency_s, 0.1);
+  EXPECT_LT(m.mean_latency_s, 1.5);
+}
+
+TEST(ClusterSimulator, OverloadSaturates) {
+  const CostModel model;
+  const ClusterSimulator sim(SmallConfig(), model);
+  const ClusterMetrics m = sim.Run(/*ops_per_second=*/400000, /*duration=*/6.0, /*seed=*/2);
+  EXPECT_TRUE(m.saturated || m.mean_latency_s > 2.0)
+      << "an unsustainable load must be visible in the metrics";
+}
+
+TEST(ClusterSimulator, MoreSubOramsRaiseSustainableLoad) {
+  const CostModel model;
+  const ClusterMetrics small =
+      ClusterSimulator::MaxThroughput(1, 3, 2000000, /*latency=*/1.0, model);
+  const ClusterMetrics large =
+      ClusterSimulator::MaxThroughput(2, 8, 2000000, /*latency=*/1.0, model);
+  EXPECT_GT(small.throughput, 0.0);
+  EXPECT_GT(large.throughput, 1.3 * small.throughput)
+      << "adding machines must raise throughput (Figure 9a)";
+}
+
+TEST(ClusterSimulator, LatencyBoundTradesOffThroughput) {
+  const CostModel model;
+  const ClusterMetrics tight = ClusterSimulator::MaxThroughput(2, 8, 2000000, 0.3, model);
+  const ClusterMetrics loose = ClusterSimulator::MaxThroughput(2, 8, 2000000, 1.0, model);
+  EXPECT_GE(loose.throughput, tight.throughput)
+      << "relaxing the latency requirement improves throughput (section 8.2)";
+}
+
+TEST(ClusterSimulator, AccessAmplificationDividesThroughput) {
+  const CostModel model;
+  const ClusterMetrics plain = ClusterSimulator::MaxThroughput(2, 6, 1000000, 1.0, model, 1.0);
+  const ClusterMetrics kt = ClusterSimulator::MaxThroughput(2, 6, 1000000, 1.0, model, 24.0);
+  EXPECT_GT(plain.throughput, 5 * kt.throughput)
+      << "24 accesses per op must cost roughly 24x throughput (Figure 9b)";
+}
+
+TEST(ClusterSimulator, BestSplitUsesAllMachines) {
+  const CostModel model;
+  const auto split = ClusterSimulator::BestSplit(6, 2000000, 1.0, model);
+  EXPECT_EQ(split.load_balancers + split.suborams, 6u);
+  EXPECT_GE(split.load_balancers, 1u);
+  EXPECT_GE(split.suborams, 1u);
+  EXPECT_GT(split.metrics.throughput, 0.0);
+}
+
+}  // namespace
+}  // namespace snoopy

@@ -1,0 +1,134 @@
+#include "src/obl/compaction.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "src/crypto/rng.h"
+#include "src/enclave/trace.h"
+
+namespace snoopy {
+namespace {
+
+// Builds a slab of n records: first 8 bytes hold the record id, rest is id-derived.
+ByteSlab MakeSlab(size_t n, size_t stride = 24) {
+  ByteSlab slab(n, stride);
+  for (size_t i = 0; i < n; ++i) {
+    const uint64_t id = i;
+    std::memcpy(slab.Record(i), &id, 8);
+    std::memset(slab.Record(i) + 8, static_cast<int>(i % 251), stride - 8);
+  }
+  return slab;
+}
+
+uint64_t IdOf(const ByteSlab& slab, size_t i) {
+  uint64_t id;
+  std::memcpy(&id, slab.Record(i), 8);
+  return id;
+}
+
+void CheckCompaction(size_t (*compact)(ByteSlab&, std::span<uint8_t>), size_t n,
+                     uint64_t seed, double keep_prob) {
+  Rng rng(seed);
+  ByteSlab slab = MakeSlab(n);
+  std::vector<uint8_t> flags(n);
+  std::vector<uint64_t> expected;
+  for (size_t i = 0; i < n; ++i) {
+    flags[i] = static_cast<uint8_t>(rng.Uniform(1000) < keep_prob * 1000);
+    if (flags[i]) {
+      expected.push_back(i);
+    }
+  }
+  const size_t kept = compact(slab, std::span<uint8_t>(flags.data(), flags.size()));
+  ASSERT_EQ(kept, expected.size()) << "n=" << n << " seed=" << seed;
+  for (size_t i = 0; i < kept; ++i) {
+    ASSERT_EQ(IdOf(slab, i), expected[i]) << "n=" << n << " i=" << i << " (order violated)";
+    ASSERT_EQ(flags[i], 1) << "flags must travel with records";
+    // Payload must have moved with the record.
+    ASSERT_EQ(slab.Record(i)[9], static_cast<uint8_t>(expected[i] % 251));
+  }
+}
+
+class CompactionSizes : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(CompactionSizes, GoodrichMatchesStablePartition) {
+  const size_t n = GetParam();
+  for (const double p : {0.0, 0.1, 0.5, 0.9, 1.0}) {
+    CheckCompaction(&GoodrichCompact, n, n * 13 + static_cast<uint64_t>(p * 100), p);
+  }
+}
+
+TEST_P(CompactionSizes, SortCompactMatchesStablePartition) {
+  const size_t n = GetParam();
+  for (const double p : {0.0, 0.3, 0.7, 1.0}) {
+    CheckCompaction(&SortCompact, n, n * 17 + static_cast<uint64_t>(p * 100), p);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ArbitrarySizes, CompactionSizes,
+                         ::testing::Values(0, 1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 31, 32, 33,
+                                           63, 64, 65, 100, 127, 128, 129, 255, 256, 500,
+                                           1000, 1023, 1024, 1025));
+
+TEST(GoodrichCompact, ExhaustiveSmallCases) {
+  // Every flag pattern up to n = 10: 2^10 cases per size.
+  for (size_t n = 1; n <= 10; ++n) {
+    for (uint32_t pattern = 0; pattern < (1u << n); ++pattern) {
+      ByteSlab slab = MakeSlab(n);
+      std::vector<uint8_t> flags(n);
+      std::vector<uint64_t> expected;
+      for (size_t i = 0; i < n; ++i) {
+        flags[i] = (pattern >> i) & 1;
+        if (flags[i]) {
+          expected.push_back(i);
+        }
+      }
+      const size_t kept = GoodrichCompact(slab, std::span<uint8_t>(flags.data(), flags.size()));
+      ASSERT_EQ(kept, expected.size());
+      for (size_t i = 0; i < kept; ++i) {
+        ASSERT_EQ(IdOf(slab, i), expected[i])
+            << "n=" << n << " pattern=" << pattern << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(Compaction, AccessPatternIndependentOfFlags) {
+  // Two different secret flag vectors of the same length must produce identical traces.
+  auto trace_for = [](uint32_t pattern) {
+    ByteSlab slab = MakeSlab(64);
+    std::vector<uint8_t> flags(64);
+    for (size_t i = 0; i < 64; ++i) {
+      flags[i] = static_cast<uint8_t>((pattern >> (i % 32)) & 1);
+    }
+    TraceScope scope;
+    GoodrichCompact(slab, std::span<uint8_t>(flags.data(), flags.size()));
+    return scope.Digest();
+  };
+  EXPECT_EQ(trace_for(0x0), trace_for(0xffffffff));
+  EXPECT_EQ(trace_for(0x12345678), trace_for(0xdeadbeef));
+}
+
+TEST(Compaction, GoodrichAndSortAgreeOnRandomInputs) {
+  Rng rng(2024);
+  for (int trial = 0; trial < 50; ++trial) {
+    const size_t n = 1 + rng.Uniform(400);
+    ByteSlab a = MakeSlab(n);
+    ByteSlab b = MakeSlab(n);
+    std::vector<uint8_t> fa(n);
+    std::vector<uint8_t> fb(n);
+    for (size_t i = 0; i < n; ++i) {
+      fa[i] = fb[i] = static_cast<uint8_t>(rng.Uniform(2));
+    }
+    const size_t ka = GoodrichCompact(a, std::span<uint8_t>(fa.data(), n));
+    const size_t kb = SortCompact(b, std::span<uint8_t>(fb.data(), n));
+    ASSERT_EQ(ka, kb);
+    for (size_t i = 0; i < ka; ++i) {
+      ASSERT_EQ(IdOf(a, i), IdOf(b, i)) << "trial=" << trial << " n=" << n;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace snoopy

@@ -1,0 +1,104 @@
+#include "src/sim/cost_model.h"
+
+#include <gtest/gtest.h>
+
+namespace snoopy {
+namespace {
+
+TEST(CostModel, SubOramScanDominatedByDataSize) {
+  const CostModel m;
+  const double small = m.SubOramBatchSeconds(1024, 1u << 15, 3);
+  const double large = m.SubOramBatchSeconds(1024, 1u << 20, 3);
+  EXPECT_GT(large, 5 * small) << "Figure 12: the jump between 2^15 and 2^20 objects";
+}
+
+TEST(CostModel, EpcCliffVisible) {
+  // The *marginal* per-object cost rises once the partition exceeds the EPC
+  // (2M x 168B = 336MB > 188MB usable): each additional object is streamed through
+  // the host loader rather than served from protected memory.
+  const CostModel m;
+  const double in_epc =
+      (m.SubOramBatchSeconds(4096, 1000000, 3) - m.SubOramBatchSeconds(4096, 500000, 3)) /
+      500000.0;
+  const double over_epc =
+      (m.SubOramBatchSeconds(4096, 4000000, 3) - m.SubOramBatchSeconds(4096, 3000000, 3)) /
+      1000000.0;
+  EXPECT_GT(over_epc, 1.2 * in_epc);
+}
+
+TEST(CostModel, CalibrationAnchorA1) {
+  // One subORAM, 2M 160-byte objects: epoch service time in the vicinity of the
+  // paper's ~339 ms (we accept a generous band; the *shape* claims matter).
+  const CostModel m;
+  const double t = m.SubOramBatchSeconds(4096, 2000000, 3);
+  EXPECT_GT(t, 0.15);
+  EXPECT_LT(t, 0.7);
+}
+
+TEST(CostModel, ThreadsReduceServiceTime) {
+  const CostModel m;
+  const double t1 = m.SubOramBatchSeconds(4096, 1u << 20, 1);
+  const double t2 = m.SubOramBatchSeconds(4096, 1u << 20, 2);
+  const double t3 = m.SubOramBatchSeconds(4096, 1u << 20, 3);
+  EXPECT_GT(t1, t2);
+  EXPECT_GT(t2, t3);
+  EXPECT_LT(t1 / t3, 3.0) << "sub-linear scaling (Figure 13b)";
+}
+
+TEST(CostModel, LbCostGrowsWithRequestsAndSubOrams) {
+  const CostModel m;
+  EXPECT_LT(m.LbPrepareSeconds(1000, 2, 4), m.LbPrepareSeconds(10000, 2, 4));
+  EXPECT_LT(m.LbPrepareSeconds(10000, 2, 4), m.LbPrepareSeconds(10000, 20, 4));
+  EXPECT_EQ(m.LbPrepareSeconds(0, 4, 4), 0.0);
+}
+
+TEST(CostModel, SortAnchorA4) {
+  const CostModel m;
+  const double t = m.BitonicSortSeconds(1u << 16, 208, 1);
+  EXPECT_GT(t, 0.3);
+  EXPECT_LT(t, 3.0);
+}
+
+TEST(CostModel, OblixRecursionStepMatchesFigure10) {
+  // The Figure 10 throughput spike: 2M/8 partitions need one fewer recursion level
+  // than 2M/7 partitions.
+  const CostModel m;
+  EXPECT_EQ(m.OblixRecursionLevels(2000000 / 7), 3u);
+  EXPECT_EQ(m.OblixRecursionLevels(2000000 / 8), 2u);
+  EXPECT_LT(m.OblixAccessSeconds(2000000 / 8), m.OblixAccessSeconds(2000000 / 7));
+}
+
+TEST(CostModel, OblixAnchorA5) {
+  const CostModel m;
+  const double t = m.OblixAccessSeconds(2000000);
+  EXPECT_GT(t, 0.4e-3);
+  EXPECT_LT(t, 1.6e-3);  // paper: ~0.87 ms/access (1,153 reqs/s)
+}
+
+TEST(CostModel, BaselineConstants) {
+  const CostModel m;
+  EXPECT_NEAR(m.ObladiThroughput(), 6716.0, 1.0);
+  EXPECT_NEAR(m.RedisThroughput(15), 4.2e6, 0.3e6);
+}
+
+TEST(CostModel, OhtGeometryCacheIsConsistent) {
+  const CostModel m;
+  const uint64_t a = m.OhtLookupSlots(5000);
+  const uint64_t b = m.OhtLookupSlots(5000);
+  EXPECT_EQ(a, b);
+  EXPECT_GT(a, 0u);
+  // Quantization must be monotone-ish: a much larger batch never gets a radically
+  // smaller table cost.
+  EXPECT_LE(m.OhtBuildSeconds(1000, 3), m.OhtBuildSeconds(64000, 3));
+}
+
+TEST(CostModel, NetworkCostHasLatencyAndBandwidthTerms) {
+  const CostModel m;
+  const double small = m.NetworkBatchSeconds(1);
+  const double large = m.NetworkBatchSeconds(100000);
+  EXPECT_GT(small, 0.0);
+  EXPECT_GT(large, 10 * small);
+}
+
+}  // namespace
+}  // namespace snoopy

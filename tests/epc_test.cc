@@ -1,0 +1,45 @@
+#include "src/enclave/epc.h"
+
+#include <gtest/gtest.h>
+
+namespace snoopy {
+namespace {
+
+TEST(EpcModel, ResidentScansAreLinearInBytes) {
+  const EpcModel model;
+  const uint64_t mb = 1024 * 1024;
+  const double t1 = model.ScanSeconds(10 * mb, 10 * mb);
+  const double t2 = model.ScanSeconds(20 * mb, 20 * mb);
+  EXPECT_NEAR(t2 / t1, 2.0, 1e-9);
+}
+
+TEST(EpcModel, PagingCliffBeyondEpc) {
+  // The jump in Figure 12 between 2^15 and 2^20 objects: per-byte cost rises sharply
+  // once the working set exceeds the usable EPC.
+  const EpcModel model;
+  const uint64_t epc = model.config().usable_epc_bytes;
+  const double in_epc_per_byte = model.ScanSeconds(epc / 2, epc / 2) / (epc / 2.0);
+  const double over_epc_per_byte = model.ScanSeconds(4 * epc, 4 * epc) / (4.0 * epc);
+  EXPECT_GT(over_epc_per_byte, 1.5 * in_epc_per_byte);
+}
+
+TEST(EpcModel, HostLoaderBeatsPageFaults) {
+  // The paper's section 7 optimization: streaming through a shared buffer must
+  // dramatically beat demand paging for scans over large working sets.
+  const EpcModel model;
+  const uint64_t ws = 4ull * 1024 * 1024 * 1024;  // 4 GB working set
+  const double with_loader = model.ScanSeconds(ws, ws, /*use_host_loader=*/true);
+  const double with_faults = model.ScanSeconds(ws, ws, /*use_host_loader=*/false);
+  EXPECT_LT(with_loader, with_faults / 2.0);
+}
+
+TEST(EpcModel, FitsMatchesConfig) {
+  EpcConfig cfg;
+  cfg.usable_epc_bytes = 1000;
+  const EpcModel model(cfg);
+  EXPECT_TRUE(model.Fits(1000));
+  EXPECT_FALSE(model.Fits(1001));
+}
+
+}  // namespace
+}  // namespace snoopy

@@ -1,0 +1,95 @@
+// Epoch-level public-view properties: beyond memory traces (obliviousness_test), the
+// *communication pattern* -- message counts and byte counts on the wire -- must be a
+// function of public parameters only (paper Appendix B includes network communication
+// in the adversary's trace).
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+
+#include "src/analysis/batch_bound.h"
+#include "src/core/snoopy.h"
+#include "src/sim/workload.h"
+
+namespace snoopy {
+namespace {
+
+constexpr size_t kValueSize = 32;
+
+struct WireView {
+  uint64_t messages;
+  uint64_t bytes_sent;
+  uint64_t bytes_received;
+};
+
+WireView EpochWireView(const std::vector<WorkloadRequest>& reqs, uint32_t lbs, uint32_t sos,
+                       uint64_t seed) {
+  SnoopyConfig cfg;
+  cfg.num_load_balancers = lbs;
+  cfg.num_suborams = sos;
+  cfg.value_size = kValueSize;
+  cfg.lambda = 40;
+  auto store = std::make_unique<Snoopy>(cfg, seed);
+  std::vector<std::pair<uint64_t, std::vector<uint8_t>>> objects;
+  for (uint64_t k = 0; k < 100; ++k) {
+    objects.emplace_back(k, std::vector<uint8_t>(kValueSize, 1));
+  }
+  store->Initialize(objects);
+  for (size_t i = 0; i < reqs.size(); ++i) {
+    const auto lb = static_cast<uint32_t>(i % lbs);  // public: equal counts per LB
+    if (reqs[i].is_write) {
+      store->SubmitWriteWithLb(lb, 1, i, reqs[i].key,
+                               std::vector<uint8_t>(kValueSize, 2));
+    } else {
+      store->SubmitReadWithLb(lb, 1, i, reqs[i].key);
+    }
+  }
+  store->RunEpoch();
+  const auto& s = store->network().stats();
+  return WireView{s.messages, s.bytes_sent, s.bytes_received};
+}
+
+TEST(EpochProperties, WirePatternIndependentOfWorkload) {
+  WorkloadGenerator gen(100, 0.3, 1);
+  const auto uniform = gen.Uniform(36);
+  const auto zipf = gen.Zipfian(36, 0.99);
+  const auto hotspot = gen.Hotspot(36, 0.95);
+  const WireView a = EpochWireView(uniform, 2, 3, 7);
+  const WireView b = EpochWireView(zipf, 2, 3, 7);
+  const WireView c = EpochWireView(hotspot, 2, 3, 7);
+  EXPECT_EQ(a.messages, b.messages);
+  EXPECT_EQ(a.bytes_sent, b.bytes_sent);
+  EXPECT_EQ(a.bytes_received, b.bytes_received);
+  EXPECT_EQ(a.messages, c.messages);
+  EXPECT_EQ(a.bytes_sent, c.bytes_sent);
+  EXPECT_EQ(a.bytes_received, c.bytes_received);
+}
+
+TEST(EpochProperties, WireBytesMatchTheBatchBound) {
+  // The total request bytes on the wire are exactly S batches of f(R,S) records per
+  // load balancer (plus AEAD tags): the padding really is on the wire.
+  WorkloadGenerator gen(100, 0.0, 2);
+  const auto reqs = gen.Uniform(24);
+  const WireView v = EpochWireView(reqs, 1, 4, 9);
+  const uint64_t batch = BatchSize(24, 4, 40);
+  const uint64_t record_bytes = 48 + kValueSize;
+  // Serialized batch: 16-byte header + records; sealed adds a 16-byte tag.
+  const uint64_t per_message = 16 + batch * record_bytes + 16;
+  EXPECT_EQ(v.messages, 4u);
+  EXPECT_EQ(v.bytes_sent, 4 * per_message);
+  EXPECT_EQ(v.bytes_received, 4 * per_message) << "responses mirror request batches";
+}
+
+TEST(EpochProperties, WirePatternScalesWithPublicParameters) {
+  WorkloadGenerator gen(100, 0.0, 3);
+  const auto reqs = gen.Uniform(30);
+  const WireView base = EpochWireView(reqs, 2, 3, 7);
+  const WireView more_sos = EpochWireView(reqs, 2, 4, 7);
+  const WireView more_reqs = EpochWireView(gen.Uniform(60), 2, 3, 7);
+  EXPECT_GT(more_sos.messages, base.messages);
+  EXPECT_GT(more_reqs.bytes_sent, base.bytes_sent);
+}
+
+}  // namespace
+}  // namespace snoopy

@@ -1,0 +1,40 @@
+#include "src/analysis/lambert.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace snoopy {
+namespace {
+
+TEST(LambertW0, KnownValues) {
+  EXPECT_NEAR(LambertW0(0.0), 0.0, 1e-12);
+  EXPECT_NEAR(LambertW0(std::exp(1.0)), 1.0, 1e-10);          // W(e) = 1
+  EXPECT_NEAR(LambertW0(2.0 * std::exp(2.0)), 2.0, 1e-10);    // W(2e^2) = 2
+  EXPECT_NEAR(LambertW0(-1.0 / std::exp(1.0)), -1.0, 1e-5);   // branch point
+  EXPECT_NEAR(LambertW0(1.0), 0.5671432904097838, 1e-10);     // Omega constant
+}
+
+TEST(LambertW0, InverseProperty) {
+  // W0(x) e^{W0(x)} == x across many magnitudes.
+  for (double x : {-0.36, -0.2, -0.05, 0.01, 0.5, 1.0, 3.0, 10.0, 1e3, 1e6, 1e12}) {
+    const double w = LambertW0(x);
+    EXPECT_NEAR(w * std::exp(w), x, 1e-8 * std::max(1.0, std::fabs(x))) << "x=" << x;
+  }
+}
+
+TEST(LambertW0, MonotonicOnPositiveAxis) {
+  double prev = LambertW0(0.001);
+  for (double x = 0.01; x < 1e6; x *= 3.0) {
+    const double w = LambertW0(x);
+    EXPECT_GT(w, prev);
+    prev = w;
+  }
+}
+
+TEST(LambertW0, BelowBranchPointIsNan) {
+  EXPECT_TRUE(std::isnan(LambertW0(-0.5)));
+}
+
+}  // namespace
+}  // namespace snoopy

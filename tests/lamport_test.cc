@@ -1,0 +1,79 @@
+#include "src/crypto/lamport.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace snoopy {
+namespace {
+
+std::span<const uint8_t> Bytes(const std::string& s) {
+  return {reinterpret_cast<const uint8_t*>(s.data()), s.size()};
+}
+
+TEST(LamportKey, SignVerifyRoundTrip) {
+  Rng rng(1);
+  LamportKey key(rng);
+  const std::string msg = "merkle root v1";
+  const auto sig = key.Sign(Bytes(msg));
+  EXPECT_TRUE(LamportKey::Verify(key.public_key(), Bytes(msg), sig));
+}
+
+TEST(LamportKey, RejectsWrongMessageAndTamperedSignature) {
+  Rng rng(2);
+  LamportKey key(rng);
+  const std::string msg = "merkle root v1";
+  auto sig = key.Sign(Bytes(msg));
+  EXPECT_FALSE(LamportKey::Verify(key.public_key(), Bytes("merkle root v2"), sig));
+  sig[17][3] ^= 1;
+  EXPECT_FALSE(LamportKey::Verify(key.public_key(), Bytes(msg), sig));
+}
+
+TEST(LamportKey, RefusesKeyReuse) {
+  Rng rng(3);
+  LamportKey key(rng);
+  key.Sign(Bytes("first"));
+  EXPECT_THROW(key.Sign(Bytes("second")), std::logic_error);
+}
+
+TEST(LamportKey, WrongPublicKeyFails) {
+  Rng rng(4);
+  LamportKey a(rng);
+  LamportKey b(rng);
+  const auto sig = a.Sign(Bytes("hello"));
+  EXPECT_FALSE(LamportKey::Verify(b.public_key(), Bytes("hello"), sig));
+}
+
+TEST(LamportChain, MultiEpochChainVerifies) {
+  LamportChain chain(5);
+  std::vector<LamportChain::SignedStatement> statements;
+  for (int epoch = 0; epoch < 5; ++epoch) {
+    const std::string root = "root-epoch-" + std::to_string(epoch);
+    statements.push_back(chain.Sign(Bytes(root)));
+  }
+  EXPECT_TRUE(LamportChain::VerifyChain(chain.genesis_public(), statements));
+}
+
+TEST(LamportChain, DetectsTamperingAnywhereInTheChain) {
+  LamportChain chain(6);
+  std::vector<LamportChain::SignedStatement> statements;
+  for (int epoch = 0; epoch < 4; ++epoch) {
+    statements.push_back(chain.Sign(Bytes("root-" + std::to_string(epoch))));
+  }
+  // Tamper with a middle statement's message.
+  auto bad = statements;
+  bad[2].message[0] ^= 1;
+  EXPECT_FALSE(LamportChain::VerifyChain(chain.genesis_public(), bad));
+  // Splice: replace a middle next-key (equivocation attempt).
+  bad = statements;
+  bad[1].next_public[0][0] ^= 1;
+  EXPECT_FALSE(LamportChain::VerifyChain(chain.genesis_public(), bad));
+  // Drop the genesis trust anchor.
+  auto genesis = chain.genesis_public();
+  genesis[0][0] ^= 1;
+  EXPECT_FALSE(LamportChain::VerifyChain(genesis, statements));
+}
+
+}  // namespace
+}  // namespace snoopy

@@ -1,0 +1,183 @@
+#include "src/core/load_balancer.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "src/analysis/batch_bound.h"
+#include "src/enclave/trace.h"
+
+namespace snoopy {
+namespace {
+
+constexpr size_t kValueSize = 16;
+
+LoadBalancer MakeLb(uint32_t num_suborams, uint32_t lambda = 40) {
+  LoadBalancerConfig cfg;
+  cfg.num_suborams = num_suborams;
+  cfg.value_size = kValueSize;
+  cfg.lambda = lambda;
+  SipKey pk{};
+  pk[0] = 1;
+  return LoadBalancer(cfg, pk, /*rng_seed=*/7);
+}
+
+RequestBatch MakeRequests(const std::vector<std::tuple<uint64_t, uint8_t, uint64_t>>&
+                              reqs /* key, op, client_seq */) {
+  RequestBatch batch(kValueSize);
+  for (const auto& [key, op, seq] : reqs) {
+    RequestHeader h;
+    h.key = key;
+    h.op = op;
+    h.client_id = 1;
+    h.client_seq = seq;
+    std::vector<uint8_t> value(kValueSize, static_cast<uint8_t>(seq & 0xff));
+    batch.Append(h, value);
+  }
+  return batch;
+}
+
+TEST(LoadBalancer, BatchesHaveTheBoundSizeAndCorrectBins) {
+  LoadBalancer lb = MakeLb(4);
+  std::vector<std::tuple<uint64_t, uint8_t, uint64_t>> reqs;
+  for (uint64_t i = 0; i < 100; ++i) {
+    reqs.push_back({i, kOpRead, i});
+  }
+  auto epoch = lb.PrepareBatches(MakeRequests(reqs));
+  const uint64_t b = BatchSize(100, 4, 40);
+  EXPECT_EQ(epoch.batch_size, b);
+  ASSERT_EQ(epoch.suboram_batches.size(), 4u);
+  std::set<uint64_t> seen_real;
+  for (uint32_t so = 0; so < 4; ++so) {
+    RequestBatch& batch = epoch.suboram_batches[so];
+    ASSERT_EQ(batch.size(), b) << "every batch must have exactly f(R,S) requests";
+    std::set<uint64_t> keys_in_batch;
+    for (size_t i = 0; i < batch.size(); ++i) {
+      const RequestHeader& h = batch.Header(i);
+      ASSERT_TRUE(keys_in_batch.insert(h.key).second) << "duplicate key in batch";
+      if (h.key < kDummyKeyBase) {
+        EXPECT_EQ(lb.SubOramOf(h.key), so) << "request routed to wrong subORAM";
+        seen_real.insert(h.key);
+      }
+    }
+  }
+  EXPECT_EQ(seen_real.size(), 100u) << "every distinct request must be represented";
+}
+
+TEST(LoadBalancer, SkewedWorkloadDeduplicatesToOneRequest) {
+  LoadBalancer lb = MakeLb(4);
+  std::vector<std::tuple<uint64_t, uint8_t, uint64_t>> reqs(500, {77, kOpRead, 0});
+  auto epoch = lb.PrepareBatches(MakeRequests(reqs));
+  size_t real = 0;
+  for (auto& batch : epoch.suboram_batches) {
+    for (size_t i = 0; i < batch.size(); ++i) {
+      real += batch.Header(i).key < kDummyKeyBase;
+    }
+  }
+  EXPECT_EQ(real, 1u) << "500 requests for one object collapse to one";
+}
+
+TEST(LoadBalancer, LastWriteWinsSurvivorSelection) {
+  LoadBalancer lb = MakeLb(2);
+  // Same key: read(seq 1), write(seq 2), write(seq 5), read(seq 7). Survivor must be
+  // the seq-5 write (its value byte is 5).
+  auto epoch = lb.PrepareBatches(MakeRequests(
+      {{9, kOpRead, 1}, {9, kOpWrite, 2}, {9, kOpWrite, 5}, {9, kOpRead, 7}}));
+  const RequestHeader* survivor = nullptr;
+  const uint8_t* value = nullptr;
+  for (auto& batch : epoch.suboram_batches) {
+    for (size_t i = 0; i < batch.size(); ++i) {
+      if (batch.Header(i).key == 9) {
+        ASSERT_EQ(survivor, nullptr) << "key must appear exactly once";
+        survivor = &batch.Header(i);
+        value = batch.Value(i);
+      }
+    }
+  }
+  ASSERT_NE(survivor, nullptr);
+  EXPECT_EQ(survivor->op, kOpWrite);
+  EXPECT_EQ(value[0], 5) << "latest write's payload must survive";
+}
+
+TEST(LoadBalancer, MatchResponsesRoutesToAllDuplicates) {
+  LoadBalancer lb = MakeLb(2);
+  // Three readers of key 4 and one of key 11.
+  auto epoch = lb.PrepareBatches(
+      MakeRequests({{4, kOpRead, 0}, {4, kOpRead, 1}, {11, kOpRead, 2}, {4, kOpRead, 3}}));
+  // Simulate subORAM responses: echo each batch, fill values with key-derived bytes.
+  std::vector<RequestBatch> responses;
+  for (auto& batch : epoch.suboram_batches) {
+    RequestBatch resp(kValueSize);
+    for (size_t i = 0; i < batch.size(); ++i) {
+      RequestHeader h = batch.Header(i);
+      h.resp = 1;
+      std::vector<uint8_t> value(kValueSize, static_cast<uint8_t>(h.key * 3));
+      resp.Append(h, value);
+    }
+    responses.push_back(std::move(resp));
+  }
+  RequestBatch out = lb.MatchResponses(std::move(epoch), std::move(responses));
+  ASSERT_EQ(out.size(), 4u);
+  std::map<uint64_t, std::vector<uint8_t>> by_seq;
+  for (size_t i = 0; i < out.size(); ++i) {
+    by_seq[out.Header(i).client_seq] =
+        std::vector<uint8_t>(out.Value(i), out.Value(i) + kValueSize);
+  }
+  ASSERT_EQ(by_seq.size(), 4u);
+  EXPECT_EQ(by_seq[0], std::vector<uint8_t>(kValueSize, 12));
+  EXPECT_EQ(by_seq[1], std::vector<uint8_t>(kValueSize, 12));
+  EXPECT_EQ(by_seq[3], std::vector<uint8_t>(kValueSize, 12));
+  EXPECT_EQ(by_seq[2], std::vector<uint8_t>(kValueSize, 33));
+}
+
+TEST(LoadBalancer, EmptyEpoch) {
+  LoadBalancer lb = MakeLb(3);
+  auto epoch = lb.PrepareBatches(RequestBatch(kValueSize));
+  EXPECT_EQ(epoch.batch_size, 0u);
+  for (auto& batch : epoch.suboram_batches) {
+    EXPECT_EQ(batch.size(), 0u);
+  }
+  RequestBatch out = lb.MatchResponses(
+      std::move(epoch), std::vector<RequestBatch>(3, RequestBatch(kValueSize)));
+  EXPECT_EQ(out.size(), 0u);
+}
+
+TEST(LoadBalancer, PrepareTraceIndependentOfRequestContents) {
+  // Equal request counts, different keys/ops/distributions: identical traces.
+  auto trace_for = [](std::vector<std::tuple<uint64_t, uint8_t, uint64_t>> reqs) {
+    LoadBalancer lb = MakeLb(4);
+    RequestBatch batch = MakeRequests(reqs);
+    TraceScope scope;
+    lb.PrepareBatches(std::move(batch));
+    return scope.Digest();
+  };
+  const uint64_t uniform =
+      trace_for({{1, kOpRead, 0}, {2, kOpRead, 1}, {3, kOpRead, 2}, {4, kOpRead, 3}});
+  const uint64_t skewed =
+      trace_for({{7, kOpWrite, 0}, {7, kOpWrite, 1}, {7, kOpRead, 2}, {7, kOpRead, 3}});
+  EXPECT_EQ(uniform, skewed);
+}
+
+TEST(LoadBalancer, BatchSizeVariesAcrossEpochsWithLoad) {
+  // R is public and bursty; B must track it epoch by epoch (section 4.1).
+  LoadBalancer lb = MakeLb(4);
+  std::vector<std::tuple<uint64_t, uint8_t, uint64_t>> small;
+  std::vector<std::tuple<uint64_t, uint8_t, uint64_t>> large;
+  for (uint64_t i = 0; i < 20; ++i) {
+    small.push_back({i, kOpRead, i});
+  }
+  for (uint64_t i = 0; i < 2000; ++i) {
+    large.push_back({i, kOpRead, i});
+  }
+  const auto e1 = lb.PrepareBatches(MakeRequests(small));
+  const auto e2 = lb.PrepareBatches(MakeRequests(large));
+  EXPECT_LT(e1.batch_size, e2.batch_size);
+  EXPECT_EQ(e1.batch_size, BatchSize(20, 4, 40));
+  EXPECT_EQ(e2.batch_size, BatchSize(2000, 4, 40));
+}
+
+}  // namespace
+}  // namespace snoopy

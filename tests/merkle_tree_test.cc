@@ -1,0 +1,80 @@
+#include "src/kt/merkle_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace snoopy {
+namespace {
+
+std::vector<MerkleTree::Hash> MakeLeaves(size_t n) {
+  std::vector<MerkleTree::Hash> leaves;
+  for (size_t i = 0; i < n; ++i) {
+    const std::string data = "user-key-" + std::to_string(i);
+    leaves.push_back(MerkleTree::HashLeaf(data.data(), data.size()));
+  }
+  return leaves;
+}
+
+class MerkleSizes : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(MerkleSizes, AllProofsVerify) {
+  const size_t n = GetParam();
+  const auto leaves = MakeLeaves(n);
+  const MerkleTree tree(leaves);
+  for (size_t i = 0; i < n; ++i) {
+    const auto proof = tree.InclusionProof(i);
+    EXPECT_EQ(proof.size(), tree.depth());
+    EXPECT_TRUE(MerkleTree::Verify(leaves[i], i, proof, tree.root())) << "i=" << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MerkleSizes, ::testing::Values(1, 2, 3, 4, 5, 8, 9, 31, 64, 100));
+
+TEST(MerkleTree, WrongLeafOrIndexOrRootFails) {
+  const auto leaves = MakeLeaves(16);
+  const MerkleTree tree(leaves);
+  const auto proof = tree.InclusionProof(5);
+  EXPECT_TRUE(MerkleTree::Verify(leaves[5], 5, proof, tree.root()));
+  EXPECT_FALSE(MerkleTree::Verify(leaves[6], 5, proof, tree.root()));
+  EXPECT_FALSE(MerkleTree::Verify(leaves[5], 6, proof, tree.root()));
+  MerkleTree::Hash bad_root = tree.root();
+  bad_root[0] ^= 1;
+  EXPECT_FALSE(MerkleTree::Verify(leaves[5], 5, proof, bad_root));
+  auto bad_proof = proof;
+  bad_proof[2][4] ^= 1;
+  EXPECT_FALSE(MerkleTree::Verify(leaves[5], 5, bad_proof, tree.root()));
+}
+
+TEST(MerkleTree, LeafAndInnerDomainsAreSeparated) {
+  // HashLeaf(x) != HashInner over the same bytes: second-preimage hardening.
+  MerkleTree::Hash a{};
+  MerkleTree::Hash b{};
+  uint8_t concat[64] = {};
+  EXPECT_NE(MerkleTree::HashLeaf(concat, 64), MerkleTree::HashInner(a, b));
+}
+
+TEST(MerkleTree, RootChangesWithAnyLeaf) {
+  auto leaves = MakeLeaves(32);
+  const MerkleTree t1(leaves);
+  leaves[17][0] ^= 1;
+  const MerkleTree t2(leaves);
+  EXPECT_NE(t1.root(), t2.root());
+}
+
+TEST(MerkleTree, RejectsBadInputs) {
+  EXPECT_THROW(MerkleTree(std::vector<MerkleTree::Hash>{}), std::invalid_argument);
+  const MerkleTree tree(MakeLeaves(8));
+  EXPECT_THROW(tree.InclusionProof(8), std::out_of_range);
+}
+
+TEST(MerkleTree, DepthMatchesGeometry) {
+  EXPECT_EQ(MerkleTree(MakeLeaves(1)).depth(), 0u);
+  EXPECT_EQ(MerkleTree(MakeLeaves(2)).depth(), 1u);
+  EXPECT_EQ(MerkleTree(MakeLeaves(5)).depth(), 3u);
+  EXPECT_EQ(MerkleTree(MakeLeaves(64)).depth(), 6u);
+}
+
+}  // namespace
+}  // namespace snoopy

@@ -1,0 +1,142 @@
+// End-to-end obliviousness: the adversary's view of a whole Snoopy epoch -- every
+// memory access inside the (simulated) enclaves plus the communication pattern -- must
+// be a function of public information only (paper Definition 1 / Appendix B).
+//
+// These tests run complete epochs over *different secret workloads with identical
+// public parameters* (request count per load balancer, data size, topology) and assert
+// byte-identical traces. They then vary each public parameter and assert the trace
+// *does* change, i.e. the checks are not vacuous.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "src/core/snoopy.h"
+#include "src/crypto/rng.h"
+#include "src/enclave/trace.h"
+
+namespace snoopy {
+namespace {
+
+constexpr size_t kValueSize = 32;
+
+struct Workload {
+  // One (key, is_write) pair per request; requests are pinned round-robin to load
+  // balancers so the per-balancer request counts (public) are equal across workloads.
+  std::vector<std::pair<uint64_t, bool>> requests;
+};
+
+uint64_t EpochTraceDigest(uint32_t lbs, uint32_t sos, uint64_t objects,
+                          const Workload& workload, uint64_t seed) {
+  SnoopyConfig cfg;
+  cfg.num_load_balancers = lbs;
+  cfg.num_suborams = sos;
+  cfg.value_size = kValueSize;
+  cfg.lambda = 40;
+  auto store = std::make_unique<Snoopy>(cfg, seed);
+  std::vector<std::pair<uint64_t, std::vector<uint8_t>>> objs;
+  for (uint64_t k = 0; k < objects; ++k) {
+    objs.emplace_back(k, std::vector<uint8_t>(kValueSize, 1));
+  }
+  store->Initialize(objs);
+
+  for (size_t i = 0; i < workload.requests.size(); ++i) {
+    const auto [key, is_write] = workload.requests[i];
+    const auto lb = static_cast<uint32_t>(i % lbs);
+    if (is_write) {
+      const std::vector<uint8_t> v(kValueSize, static_cast<uint8_t>(i));
+      store->SubmitWriteWithLb(lb, 1, i, key, v);
+    } else {
+      store->SubmitReadWithLb(lb, 1, i, key);
+    }
+  }
+  TraceScope scope;
+  store->RunEpoch();
+  return scope.Digest();
+}
+
+Workload UniformReads(uint64_t n, uint64_t key_space, uint64_t seed) {
+  Rng rng(seed);
+  Workload w;
+  for (uint64_t i = 0; i < n; ++i) {
+    w.requests.push_back({rng.Uniform(key_space), false});
+  }
+  return w;
+}
+
+Workload SkewedMixed(uint64_t n, uint64_t hot_key) {
+  Workload w;
+  for (uint64_t i = 0; i < n; ++i) {
+    w.requests.push_back({hot_key, i % 3 == 0});
+  }
+  return w;
+}
+
+TEST(Obliviousness, EpochTraceIndependentOfRequestContents) {
+  // Same public parameters (24 requests over 2 LBs, 3 subORAMs, 100 objects); wildly
+  // different secret workloads: uniform reads vs. fully skewed read/write mix.
+  const uint64_t uniform = EpochTraceDigest(2, 3, 100, UniformReads(24, 100, 1), 7);
+  const uint64_t skewed = EpochTraceDigest(2, 3, 100, SkewedMixed(24, 55), 7);
+  const uint64_t uniform2 = EpochTraceDigest(2, 3, 100, UniformReads(24, 100, 999), 7);
+  EXPECT_EQ(uniform, skewed)
+      << "the adversary could distinguish a skewed workload from a uniform one";
+  EXPECT_EQ(uniform, uniform2);
+}
+
+TEST(Obliviousness, ReadsAndWritesIndistinguishable) {
+  Workload all_reads;
+  Workload all_writes;
+  for (uint64_t i = 0; i < 16; ++i) {
+    all_reads.requests.push_back({i, false});
+    all_writes.requests.push_back({i, true});
+  }
+  EXPECT_EQ(EpochTraceDigest(1, 2, 64, all_reads, 3),
+            EpochTraceDigest(1, 2, 64, all_writes, 3))
+      << "request type must not be visible in the trace";
+}
+
+TEST(Obliviousness, PublicParametersDoShapeTheTrace) {
+  // Sanity: the check above is meaningful only if the trace actually responds to
+  // public changes. Request count, topology, and data size are all public.
+  const uint64_t base = EpochTraceDigest(2, 3, 100, UniformReads(24, 100, 1), 7);
+  EXPECT_NE(base, EpochTraceDigest(2, 3, 100, UniformReads(25, 100, 1), 7))
+      << "request count is public and should alter the trace";
+  EXPECT_NE(base, EpochTraceDigest(2, 4, 100, UniformReads(24, 100, 1), 7))
+      << "subORAM count is public and should alter the trace";
+  EXPECT_NE(base, EpochTraceDigest(2, 3, 140, UniformReads(24, 100, 1), 7))
+      << "data size is public and should alter the trace";
+}
+
+TEST(Obliviousness, MultiEpochTraceStillIndependent) {
+  // Two epochs back to back; the second epoch's trace must not depend on what the
+  // first epoch did (fresh hash-table keys per batch, stateless load balancers).
+  auto run_two = [](uint64_t hot) {
+    SnoopyConfig cfg;
+    cfg.num_suborams = 2;
+    cfg.value_size = kValueSize;
+    cfg.lambda = 40;
+    auto store = std::make_unique<Snoopy>(cfg, 11);
+    std::vector<std::pair<uint64_t, std::vector<uint8_t>>> objs;
+    for (uint64_t k = 0; k < 50; ++k) {
+      objs.emplace_back(k, std::vector<uint8_t>(kValueSize, 1));
+    }
+    store->Initialize(objs);
+    for (uint64_t i = 0; i < 10; ++i) {
+      store->SubmitWriteWithLb(0, 1, i, (hot + i) % 50,
+                               std::vector<uint8_t>(kValueSize, 2));
+    }
+    store->RunEpoch();
+    for (uint64_t i = 0; i < 10; ++i) {
+      store->SubmitReadWithLb(0, 1, 100 + i, hot);
+    }
+    TraceScope scope;
+    store->RunEpoch();
+    return scope.Digest();
+  };
+  EXPECT_EQ(run_two(3), run_two(41));
+}
+
+}  // namespace
+}  // namespace snoopy

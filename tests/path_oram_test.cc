@@ -1,0 +1,107 @@
+#include "src/oram/path_oram.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <vector>
+
+#include "src/crypto/rng.h"
+
+namespace snoopy {
+namespace {
+
+std::vector<uint8_t> Val(uint64_t tag, size_t size = 32) {
+  std::vector<uint8_t> v(size, 0);
+  std::memcpy(v.data(), &tag, 8);
+  return v;
+}
+
+class PathOramSizes : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PathOramSizes, RandomWorkloadMatchesReferenceMap) {
+  const uint64_t n = GetParam();
+  PathOramConfig cfg;
+  cfg.num_blocks = n;
+  cfg.block_size = 32;
+  PathOram oram(cfg, n + 1);
+  Rng rng(n + 2);
+  std::map<uint64_t, std::vector<uint8_t>> model;
+  for (int i = 0; i < 2000; ++i) {
+    const uint64_t addr = rng.Uniform(n);
+    if (rng.Uniform(2) == 0) {
+      const auto expected =
+          model.count(addr) != 0 ? model[addr] : std::vector<uint8_t>(32, 0);
+      ASSERT_EQ(oram.Read(addr), expected) << "n=" << n << " i=" << i;
+    } else {
+      auto v = Val(rng.Next64());
+      oram.Write(addr, v);
+      model[addr] = v;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PathOramSizes, ::testing::Values(1, 2, 3, 17, 64, 100, 1000));
+
+TEST(PathOram, StashStaysBounded) {
+  PathOramConfig cfg;
+  cfg.num_blocks = 1024;
+  cfg.block_size = 16;
+  PathOram oram(cfg, 3);
+  Rng rng(4);
+  for (int i = 0; i < 20000; ++i) {
+    oram.Write(rng.Uniform(1024), Val(i, 16));
+  }
+  // The classic Path ORAM stash bound: O(log N) w.h.p.; 120 is a generous envelope
+  // that a correct eviction policy never approaches at N=1024.
+  EXPECT_LT(oram.max_stash_seen(), 120u);
+}
+
+TEST(PathOram, WriteReturnsPreviousValue) {
+  PathOramConfig cfg;
+  cfg.num_blocks = 8;
+  cfg.block_size = 16;
+  PathOram oram(cfg, 5);
+  oram.Write(3, Val(1, 16));
+  const std::vector<uint8_t> prev = oram.Access(3, nullptr);
+  EXPECT_EQ(prev, Val(1, 16));
+  const auto v2 = Val(2, 16);
+  EXPECT_EQ(oram.Access(3, &v2), Val(1, 16));
+  EXPECT_EQ(oram.Read(3), Val(2, 16));
+}
+
+TEST(PathOram, TreeGeometry) {
+  PathOramConfig cfg;
+  cfg.block_size = 16;
+  cfg.num_blocks = 1;
+  EXPECT_EQ(PathOram(cfg, 1).tree_levels(), 1u);
+  cfg.num_blocks = 2;
+  EXPECT_EQ(PathOram(cfg, 1).tree_levels(), 2u);
+  cfg.num_blocks = 1024;
+  EXPECT_EQ(PathOram(cfg, 1).tree_levels(), 11u);
+  cfg.num_blocks = 1025;
+  EXPECT_EQ(PathOram(cfg, 1).tree_levels(), 12u);
+}
+
+TEST(PathOram, RejectsOutOfRange) {
+  PathOramConfig cfg;
+  cfg.num_blocks = 4;
+  PathOram oram(cfg, 1);
+  EXPECT_THROW(oram.Read(4), std::out_of_range);
+  PathOramConfig bad;
+  bad.num_blocks = 0;
+  EXPECT_THROW(PathOram(bad, 1), std::invalid_argument);
+}
+
+TEST(PathOram, BandwidthIsPathShaped) {
+  PathOramConfig cfg;
+  cfg.num_blocks = 1024;
+  cfg.block_size = 16;
+  PathOram oram(cfg, 9);
+  oram.Read(0);
+  // One access moves 2 * levels * Z block units (path read + write-back).
+  EXPECT_EQ(oram.blocks_moved(), 2ull * oram.tree_levels() * 4);
+}
+
+}  // namespace
+}  // namespace snoopy

@@ -1,0 +1,160 @@
+#include "src/pir/snoopy_pir.h"
+#include "src/pir/xor_pir.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+#include <vector>
+
+namespace snoopy {
+namespace {
+
+ByteSlab MakeDb(size_t n, size_t stride = 24) {
+  ByteSlab db(n, stride);
+  for (size_t i = 0; i < n; ++i) {
+    const uint64_t key = i;
+    std::memcpy(db.Record(i), &key, 8);
+    std::memset(db.Record(i) + 8, static_cast<int>(i % 251), stride - 8);
+  }
+  return db;
+}
+
+TEST(BitVector, BasicOps) {
+  BitVector v(130);
+  EXPECT_FALSE(v.Get(0));
+  v.Flip(0);
+  v.Flip(129);
+  EXPECT_TRUE(v.Get(0));
+  EXPECT_TRUE(v.Get(129));
+  EXPECT_FALSE(v.Get(64));
+  v.Flip(129);
+  EXPECT_FALSE(v.Get(129));
+}
+
+TEST(XorPir, RetrievesEveryRecord) {
+  const size_t n = 100;
+  XorPirServer a(MakeDb(n));
+  XorPirServer b(MakeDb(n));
+  Rng rng(1);
+  for (size_t i = 0; i < n; i += 7) {
+    const PirQueryPair q = MakePirQuery(n, i, rng);
+    const auto ans_a = a.Answer({q.for_a});
+    const auto ans_b = b.Answer({q.for_b});
+    const std::vector<uint8_t> rec = CombinePirAnswers(ans_a[0], ans_b[0]);
+    uint64_t key;
+    std::memcpy(&key, rec.data(), 8);
+    EXPECT_EQ(key, i);
+    EXPECT_EQ(rec[9], static_cast<uint8_t>(i % 251));
+  }
+}
+
+TEST(XorPir, QueryPairDiffersInExactlyTheTargetBit) {
+  Rng rng(2);
+  const PirQueryPair q = MakePirQuery(200, 57, rng);
+  size_t diff_count = 0;
+  size_t diff_pos = 0;
+  for (size_t i = 0; i < 200; ++i) {
+    if (q.for_a.Get(i) != q.for_b.Get(i)) {
+      ++diff_count;
+      diff_pos = i;
+    }
+  }
+  EXPECT_EQ(diff_count, 1u);
+  EXPECT_EQ(diff_pos, 57u);
+}
+
+TEST(XorPir, EachServersViewIsFreshRandomness) {
+  // The same index queried twice yields different vectors at each server (necessary
+  // for the information-theoretic privacy argument).
+  Rng rng(3);
+  const PirQueryPair q1 = MakePirQuery(128, 5, rng);
+  const PirQueryPair q2 = MakePirQuery(128, 5, rng);
+  EXPECT_NE(q1.for_a.words(), q2.for_a.words());
+  EXPECT_NE(q1.for_b.words(), q2.for_b.words());
+}
+
+TEST(XorPir, BatchedAnsweringUsesOneScan) {
+  XorPirServer server(MakeDb(64));
+  Rng rng(4);
+  std::vector<BitVector> queries;
+  for (int i = 0; i < 10; ++i) {
+    queries.push_back(MakePirQuery(64, static_cast<size_t>(i), rng).for_a);
+  }
+  ASSERT_EQ(server.Answer(queries).size(), 10u);
+  EXPECT_EQ(server.scans_performed(), 1u) << "10 queries, one database scan";
+}
+
+TEST(XorPir, RejectsMismatchedSizes) {
+  XorPirServer server(MakeDb(16));
+  EXPECT_THROW(server.Answer({BitVector(8)}), std::invalid_argument);
+  Rng rng(5);
+  EXPECT_THROW(MakePirQuery(16, 16, rng), std::out_of_range);
+  EXPECT_THROW(CombinePirAnswers({1, 2}, {1}), std::invalid_argument);
+}
+
+TEST(SnoopyPir, EndToEndBatchLookups) {
+  SnoopyPirConfig cfg;
+  cfg.num_shards = 3;
+  cfg.value_size = 32;
+  cfg.lambda = 40;
+  SnoopyPir store(cfg, 9);
+  std::vector<std::pair<uint64_t, std::vector<uint8_t>>> objects;
+  for (uint64_t k = 0; k < 150; ++k) {
+    objects.emplace_back(k, std::vector<uint8_t>(32, static_cast<uint8_t>(k + 1)));
+  }
+  store.Initialize(objects);
+
+  const std::vector<uint64_t> keys = {0, 17, 17, 99, 149, 5000 /* absent */};
+  const auto results = store.LookupBatch(keys);
+  ASSERT_EQ(results.size(), keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_EQ(results[i].key, keys[i]);
+    if (keys[i] < 150) {
+      EXPECT_TRUE(results[i].found) << "key " << keys[i];
+      EXPECT_EQ(results[i].value,
+                std::vector<uint8_t>(32, static_cast<uint8_t>(keys[i] + 1)));
+    } else {
+      EXPECT_FALSE(results[i].found);
+    }
+  }
+}
+
+TEST(SnoopyPir, OneScanPerServerPerEpoch) {
+  SnoopyPirConfig cfg;
+  cfg.num_shards = 4;
+  cfg.value_size = 16;
+  cfg.lambda = 40;
+  SnoopyPir store(cfg, 10);
+  std::vector<std::pair<uint64_t, std::vector<uint8_t>>> objects;
+  for (uint64_t k = 0; k < 200; ++k) {
+    objects.emplace_back(k, std::vector<uint8_t>(16, 1));
+  }
+  store.Initialize(objects);
+  std::vector<uint64_t> keys;
+  for (uint64_t i = 0; i < 50; ++i) {
+    keys.push_back(i * 3 % 200);
+  }
+  store.LookupBatch(keys);
+  // 4 shards x 2 servers x 1 epoch: the whole 50-request batch cost 8 scans.
+  EXPECT_EQ(store.total_server_scans(), 8u);
+}
+
+TEST(SnoopyPir, SkewedBatchStillWorksViaDedup) {
+  SnoopyPirConfig cfg;
+  cfg.num_shards = 2;
+  cfg.value_size = 16;
+  cfg.lambda = 40;
+  SnoopyPir store(cfg, 11);
+  store.Initialize({{7, std::vector<uint8_t>(16, 9)}});
+  const std::vector<uint64_t> keys(40, 7);  // everyone wants the same object
+  const auto results = store.LookupBatch(keys);
+  ASSERT_EQ(results.size(), 40u);
+  for (const auto& r : results) {
+    EXPECT_TRUE(r.found);
+    EXPECT_EQ(r.value, std::vector<uint8_t>(16, 9));
+  }
+}
+
+}  // namespace
+}  // namespace snoopy

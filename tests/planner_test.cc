@@ -1,0 +1,103 @@
+#include "src/core/planner.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/analysis/batch_bound.h"
+
+namespace snoopy {
+namespace {
+
+// A simple synthetic cost model with the right shape: load balancer time ~ R log^2 R,
+// subORAM time ~ linear scan of n plus per-request work.
+PlannerCostFns SyntheticFns() {
+  PlannerCostFns fns;
+  fns.lb_seconds = [](uint64_t r, uint64_t s) {
+    if (r == 0) {
+      return 0.0;
+    }
+    const double total = static_cast<double>(r + 50 * s);
+    const double lg = std::log2(total + 2);
+    return 40e-9 * total * lg * lg;
+  };
+  fns.suboram_seconds = [](uint64_t batch, uint64_t n) {
+    return 150e-9 * static_cast<double>(n) + 2e-6 * static_cast<double>(batch) + 1e-3;
+  };
+  return fns;
+}
+
+TEST(Planner, FindsFeasibleConfigurationForModestLoad) {
+  PlannerInput input;
+  input.num_objects = 100000;
+  input.min_throughput = 10000;
+  input.max_latency_s = 1.0;
+  const PlannerResult r = PlanConfiguration(input, SyntheticFns());
+  ASSERT_TRUE(r.feasible);
+  EXPECT_GE(r.load_balancers, 1u);
+  EXPECT_GE(r.suborams, 1u);
+  EXPECT_LE(r.avg_latency_s, 1.0);
+  EXPECT_NEAR(r.cost_per_month,
+              294.0 * (r.load_balancers + r.suborams), 1e-9);
+}
+
+TEST(Planner, InfeasibleWhenLatencyTooTight) {
+  PlannerInput input;
+  input.num_objects = 50ull * 1000 * 1000;  // scan alone exceeds the epoch
+  input.min_throughput = 1000;
+  input.max_latency_s = 0.01;
+  input.max_suborams = 4;
+  const PlannerResult r = PlanConfiguration(input, SyntheticFns());
+  EXPECT_FALSE(r.feasible);
+}
+
+TEST(Planner, CostGrowsWithThroughput) {
+  PlannerInput input;
+  input.num_objects = 1000000;
+  input.max_latency_s = 1.0;
+  double prev_cost = 0;
+  for (const double x : {5000.0, 50000.0, 120000.0}) {
+    input.min_throughput = x;
+    const PlannerResult r = PlanConfiguration(input, SyntheticFns());
+    ASSERT_TRUE(r.feasible) << "throughput " << x;
+    EXPECT_GE(r.cost_per_month, prev_cost) << "throughput " << x;
+    prev_cost = r.cost_per_month;
+  }
+}
+
+TEST(Planner, LargerDataPrefersMoreSubOrams) {
+  // Figure 14a's trend: deployments with larger data sizes need a higher ratio of
+  // subORAMs to load balancers (the scan parallelizes across subORAMs).
+  PlannerInput input;
+  input.min_throughput = 40000;
+  input.max_latency_s = 1.0;
+  input.num_objects = 10000;
+  const PlannerResult small = PlanConfiguration(input, SyntheticFns());
+  input.num_objects = 4000000;
+  const PlannerResult large = PlanConfiguration(input, SyntheticFns());
+  ASSERT_TRUE(small.feasible);
+  ASSERT_TRUE(large.feasible);
+  EXPECT_GT(static_cast<double>(large.suborams) / large.load_balancers,
+            static_cast<double>(small.suborams) / small.load_balancers);
+}
+
+TEST(MinFeasibleEpoch, MatchesPredicateBoundary) {
+  PlannerInput input;
+  input.num_objects = 100000;
+  input.min_throughput = 20000;
+  input.max_latency_s = 1.0;
+  const PlannerCostFns fns = SyntheticFns();
+  const double t = MinFeasibleEpoch(input, fns, 2, 4, 0.4);
+  ASSERT_GT(t, 0.0);
+  EXPECT_LE(t, 0.4);
+  // Slightly smaller epochs must be infeasible (within search tolerance).
+  const double t_small = t * 0.9;
+  const uint64_t r = static_cast<uint64_t>(std::ceil(input.min_throughput * t_small / 2));
+  const double lb = fns.lb_seconds(r, 4);
+  const double so = 2 * fns.suboram_seconds(BatchSize(r, 4, input.lambda),
+                                            input.num_objects / 4);
+  EXPECT_TRUE(lb > t_small || so > t_small);
+}
+
+}  // namespace
+}  // namespace snoopy

@@ -1,0 +1,125 @@
+#include "src/obl/primitives.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstring>
+
+#include "src/crypto/rng.h"
+
+namespace snoopy {
+namespace {
+
+TEST(CtMask, Boundary) {
+  EXPECT_EQ(CtMask64(true), ~uint64_t{0});
+  EXPECT_EQ(CtMask64(false), uint64_t{0});
+}
+
+TEST(CtSelect, PicksCorrectArm) {
+  EXPECT_EQ(CtSelect64(true, 7, 9), 7u);
+  EXPECT_EQ(CtSelect64(false, 7, 9), 9u);
+  EXPECT_EQ(CtSelect32(true, 0xdeadbeef, 1), 0xdeadbeefu);
+  EXPECT_EQ(CtSelect32(false, 0xdeadbeef, 1), 1u);
+}
+
+TEST(CtCompare, MatchesBuiltinsExhaustivelyOnSmallValues) {
+  for (uint64_t a = 0; a < 20; ++a) {
+    for (uint64_t b = 0; b < 20; ++b) {
+      EXPECT_EQ(CtEq64(a, b), a == b);
+      EXPECT_EQ(CtLt64(a, b), a < b);
+      EXPECT_EQ(CtLe64(a, b), a <= b);
+      EXPECT_EQ(CtGt64(a, b), a > b);
+      EXPECT_EQ(CtGe64(a, b), a >= b);
+    }
+  }
+}
+
+TEST(CtCompare, ExtremeValues) {
+  const uint64_t kMax = ~uint64_t{0};
+  EXPECT_TRUE(CtLt64(0, kMax));
+  EXPECT_FALSE(CtLt64(kMax, 0));
+  EXPECT_TRUE(CtLt64(kMax - 1, kMax));
+  EXPECT_FALSE(CtLt64(kMax, kMax));
+  EXPECT_TRUE(CtEq64(kMax, kMax));
+  EXPECT_TRUE(CtIsZero64(0));
+  EXPECT_FALSE(CtIsZero64(1));
+  EXPECT_FALSE(CtIsZero64(kMax));
+  EXPECT_FALSE(CtIsZero64(uint64_t{1} << 63));
+}
+
+TEST(CtCompare, RandomizedAgainstBuiltins) {
+  Rng rng(42);
+  for (int i = 0; i < 10000; ++i) {
+    const uint64_t a = rng.Next64();
+    const uint64_t b = rng.Next64();
+    ASSERT_EQ(CtLt64(a, b), a < b) << a << " " << b;
+    ASSERT_EQ(CtEq64(a, b), a == b);
+  }
+}
+
+TEST(CtCondCopy, CopiesOnlyWhenConditionHolds) {
+  for (size_t len : {0u, 1u, 3u, 7u, 8u, 9u, 16u, 31u, 160u}) {
+    std::vector<uint8_t> dst(len), src(len), orig;
+    Rng rng(len);
+    rng.Fill(dst.data(), len);
+    rng.Fill(src.data(), len);
+    orig = dst;
+    CtCondCopyBytes(false, dst.data(), src.data(), len);
+    EXPECT_EQ(dst, orig);
+    CtCondCopyBytes(true, dst.data(), src.data(), len);
+    EXPECT_EQ(dst, src);
+  }
+}
+
+TEST(CtCondSwap, SwapsOnlyWhenConditionHolds) {
+  for (size_t len : {1u, 5u, 8u, 13u, 24u, 160u}) {
+    std::vector<uint8_t> a(len), b(len);
+    Rng rng(1000 + len);
+    rng.Fill(a.data(), len);
+    rng.Fill(b.data(), len);
+    const auto a0 = a;
+    const auto b0 = b;
+    CtCondSwapBytes(false, a.data(), b.data(), len);
+    EXPECT_EQ(a, a0);
+    EXPECT_EQ(b, b0);
+    CtCondSwapBytes(true, a.data(), b.data(), len);
+    EXPECT_EQ(a, b0);
+    EXPECT_EQ(b, a0);
+    CtCondSwapBytes(true, a.data(), b.data(), len);
+    EXPECT_EQ(a, a0);
+    EXPECT_EQ(b, b0);
+  }
+}
+
+TEST(CtEqualBytes, DetectsSingleBitDifferences) {
+  std::array<uint8_t, 32> a{};
+  std::array<uint8_t, 32> b{};
+  EXPECT_TRUE(CtEqualBytes(a.data(), b.data(), a.size()));
+  for (size_t byte = 0; byte < a.size(); byte += 5) {
+    b = a;
+    b[byte] ^= 0x10;
+    EXPECT_FALSE(CtEqualBytes(a.data(), b.data(), a.size()));
+  }
+}
+
+TEST(OCmpSetSwap, TypedWrappers) {
+  struct Record {
+    uint64_t key;
+    uint32_t value;
+    uint32_t pad;
+  };
+  Record a{1, 10, 0};
+  Record b{2, 20, 0};
+  OCmpSet(false, a, b);
+  EXPECT_EQ(a.key, 1u);
+  OCmpSet(true, a, b);
+  EXPECT_EQ(a.key, 2u);
+  EXPECT_EQ(a.value, 20u);
+  a = {1, 10, 0};
+  OCmpSwap(true, a, b);
+  EXPECT_EQ(a.key, 2u);
+  EXPECT_EQ(b.key, 1u);
+}
+
+}  // namespace
+}  // namespace snoopy

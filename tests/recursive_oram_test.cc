@@ -1,0 +1,93 @@
+#include "src/oram/position_map.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <vector>
+
+#include "src/crypto/rng.h"
+
+namespace snoopy {
+namespace {
+
+std::vector<uint8_t> Val(uint64_t tag, size_t size = 32) {
+  std::vector<uint8_t> v(size, 0);
+  std::memcpy(v.data(), &tag, 8);
+  return v;
+}
+
+TEST(RecursivePathOram, DepthMatchesGeometry) {
+  RecursivePathOramConfig cfg;
+  cfg.block_size = 32;
+  cfg.entries_per_block = 16;
+  cfg.flat_threshold = 128;
+  cfg.num_blocks = 100;  // fits in the flat map directly
+  EXPECT_EQ(RecursivePathOram(cfg, 1).recursion_depth(), 1u);
+  cfg.num_blocks = 2048;  // 2048 -> 128: one map level
+  EXPECT_EQ(RecursivePathOram(cfg, 1).recursion_depth(), 2u);
+  cfg.num_blocks = 40000;  // 40000 -> 2500 -> 157 -> 10: three map levels
+  EXPECT_EQ(RecursivePathOram(cfg, 1).recursion_depth(), 4u);
+}
+
+class RecursiveOramSizes : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RecursiveOramSizes, RandomWorkloadMatchesReferenceMap) {
+  const uint64_t n = GetParam();
+  RecursivePathOramConfig cfg;
+  cfg.num_blocks = n;
+  cfg.block_size = 32;
+  cfg.flat_threshold = 16;  // force recursion even at small sizes
+  cfg.entries_per_block = 4;
+  RecursivePathOram oram(cfg, n + 31);
+  Rng rng(n + 32);
+  std::map<uint64_t, std::vector<uint8_t>> model;
+  for (int i = 0; i < 1500; ++i) {
+    const uint64_t addr = rng.Uniform(n);
+    if (rng.Uniform(2) == 0) {
+      const auto expected =
+          model.count(addr) != 0 ? model[addr] : std::vector<uint8_t>(32, 0);
+      ASSERT_EQ(oram.Read(addr), expected) << "n=" << n << " i=" << i;
+    } else {
+      auto v = Val(rng.Next64());
+      oram.Write(addr, v);
+      model[addr] = v;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RecursiveOramSizes, ::testing::Values(20, 64, 257, 1000));
+
+TEST(RecursivePathOram, ZeroStateIsConsistentBeforeAnyWrite) {
+  RecursivePathOramConfig cfg;
+  cfg.num_blocks = 500;
+  cfg.block_size = 16;
+  cfg.flat_threshold = 8;
+  cfg.entries_per_block = 4;
+  RecursivePathOram oram(cfg, 77);
+  for (uint64_t a = 0; a < 500; a += 37) {
+    EXPECT_EQ(oram.Read(a), std::vector<uint8_t>(16, 0));
+  }
+}
+
+TEST(RecursivePathOram, BandwidthGrowsWithDepth) {
+  RecursivePathOramConfig shallow;
+  shallow.num_blocks = 64;
+  shallow.block_size = 16;
+  shallow.flat_threshold = 64;
+  RecursivePathOram a(shallow, 1);
+
+  RecursivePathOramConfig deep = shallow;
+  deep.flat_threshold = 4;
+  deep.entries_per_block = 4;
+  RecursivePathOram b(deep, 1);
+  ASSERT_GT(b.recursion_depth(), a.recursion_depth());
+
+  a.Read(0);
+  b.Read(0);
+  EXPECT_GT(b.blocks_moved(), a.blocks_moved())
+      << "each recursion level adds path accesses";
+}
+
+}  // namespace
+}  // namespace snoopy

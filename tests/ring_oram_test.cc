@@ -1,0 +1,107 @@
+#include "src/oram/ring_oram.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <vector>
+
+#include "src/crypto/rng.h"
+
+namespace snoopy {
+namespace {
+
+std::vector<uint8_t> Val(uint64_t tag, size_t size = 32) {
+  std::vector<uint8_t> v(size, 0);
+  std::memcpy(v.data(), &tag, 8);
+  return v;
+}
+
+class RingOramSizes : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RingOramSizes, RandomWorkloadMatchesReferenceMap) {
+  const uint64_t n = GetParam();
+  RingOramConfig cfg;
+  cfg.num_blocks = n;
+  cfg.block_size = 32;
+  RingOram oram(cfg, n + 11);
+  Rng rng(n + 12);
+  std::map<uint64_t, std::vector<uint8_t>> model;
+  for (int i = 0; i < 3000; ++i) {
+    const uint64_t addr = rng.Uniform(n);
+    if (rng.Uniform(2) == 0) {
+      const auto expected =
+          model.count(addr) != 0 ? model[addr] : std::vector<uint8_t>(32, 0);
+      ASSERT_EQ(oram.Read(addr), expected) << "n=" << n << " i=" << i;
+    } else {
+      auto v = Val(rng.Next64());
+      oram.Write(addr, v);
+      model[addr] = v;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RingOramSizes, ::testing::Values(1, 2, 5, 16, 100, 1024));
+
+TEST(RingOram, StashStaysBounded) {
+  RingOramConfig cfg;
+  cfg.num_blocks = 1024;
+  cfg.block_size = 16;
+  RingOram oram(cfg, 21);
+  Rng rng(22);
+  for (int i = 0; i < 30000; ++i) {
+    oram.Write(rng.Uniform(1024), Val(i, 16));
+  }
+  EXPECT_LT(oram.max_stash_seen(), 200u);
+}
+
+TEST(RingOram, OnlineBandwidthIsOneSlotPerLevel) {
+  RingOramConfig cfg;
+  cfg.num_blocks = 1024;
+  cfg.block_size = 16;
+  cfg.evict_rate = 1u << 30;  // suppress evictions to isolate read cost
+  RingOram oram(cfg, 5);
+  const uint64_t before = oram.slots_read();
+  oram.Read(7);
+  EXPECT_EQ(oram.slots_read() - before, oram.tree_levels())
+      << "Ring ORAM reads exactly one slot per bucket on the path";
+}
+
+TEST(RingOram, EvictionsHappenEveryARounds) {
+  RingOramConfig cfg;
+  cfg.num_blocks = 256;
+  cfg.block_size = 16;
+  cfg.evict_rate = 3;
+  RingOram oram(cfg, 6);
+  for (int i = 0; i < 30; ++i) {
+    oram.Read(static_cast<uint64_t>(i % 256));
+  }
+  EXPECT_EQ(oram.evictions(), 10u);
+}
+
+TEST(RingOram, SurvivesDummyExhaustionViaReshuffle) {
+  // Hammer one block so its path's buckets run out of dummies; early reshuffles must
+  // keep the structure serviceable and correct.
+  RingOramConfig cfg;
+  cfg.num_blocks = 64;
+  cfg.block_size = 16;
+  cfg.s = 2;  // tiny dummy budget to force reshuffles
+  RingOram oram(cfg, 7);
+  oram.Write(5, Val(99, 16));
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_EQ(oram.Read(5), Val(99, 16)) << "i=" << i;
+  }
+  EXPECT_GT(oram.early_reshuffles(), 0u);
+}
+
+TEST(RingOram, RejectsBadConfigs) {
+  RingOramConfig cfg;
+  cfg.num_blocks = 0;
+  EXPECT_THROW(RingOram(cfg, 1), std::invalid_argument);
+  cfg.num_blocks = 4;
+  RingOram ok(cfg, 1);
+  EXPECT_THROW(ok.Read(4), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace snoopy

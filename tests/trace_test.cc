@@ -1,0 +1,74 @@
+#include "src/enclave/trace.h"
+
+#include <gtest/gtest.h>
+
+namespace snoopy {
+namespace {
+
+TEST(TraceRecorder, DisabledByDefaultAndRecordsNothing) {
+  TraceRecorder& rec = TraceRecorder::Global();
+  rec.Clear();
+  rec.Disable();
+  TraceRecord(TraceOp::kRead, 1, 2);
+  EXPECT_TRUE(rec.events().empty());
+}
+
+TEST(TraceRecorder, CapturesEventsInOrder) {
+  TraceScope scope;
+  TraceRecord(TraceOp::kCondSwap, 3, 4);
+  TraceRecord(TraceOp::kRead, 9);
+  const auto events = scope.Events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0], (TraceEvent{TraceOp::kCondSwap, 3, 4}));
+  EXPECT_EQ(events[1], (TraceEvent{TraceOp::kRead, 9, 0}));
+}
+
+TEST(TraceRecorder, DigestDistinguishesTraces) {
+  uint64_t d1;
+  uint64_t d2;
+  uint64_t d3;
+  {
+    TraceScope scope;
+    TraceRecord(TraceOp::kRead, 1);
+    TraceRecord(TraceOp::kRead, 2);
+    d1 = scope.Digest();
+  }
+  {
+    TraceScope scope;
+    TraceRecord(TraceOp::kRead, 1);
+    TraceRecord(TraceOp::kRead, 2);
+    d2 = scope.Digest();
+  }
+  {
+    TraceScope scope;
+    TraceRecord(TraceOp::kRead, 2);
+    TraceRecord(TraceOp::kRead, 1);
+    d3 = scope.Digest();
+  }
+  EXPECT_EQ(d1, d2);
+  EXPECT_NE(d1, d3);
+}
+
+TEST(TraceRecorder, ScopeDisablesOnExit) {
+  {
+    TraceScope scope;
+    TraceRecord(TraceOp::kWrite, 5);
+  }
+  EXPECT_FALSE(TraceRecorder::Global().enabled());
+  const size_t before = TraceRecorder::Global().events().size();
+  TraceRecord(TraceOp::kWrite, 6);
+  EXPECT_EQ(TraceRecorder::Global().events().size(), before);
+}
+
+TEST(TraceRecorder, ToStringIsBounded) {
+  TraceScope scope;
+  for (int i = 0; i < 100; ++i) {
+    TraceRecord(TraceOp::kRead, static_cast<uint64_t>(i));
+  }
+  const std::string s = TraceRecorder::Global().ToString(8);
+  EXPECT_NE(s.find("100 events"), std::string::npos);
+  EXPECT_NE(s.find("..."), std::string::npos);
+}
+
+}  // namespace
+}  // namespace snoopy

@@ -1,0 +1,82 @@
+#include "src/kt/transparency_log.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace snoopy {
+namespace {
+
+std::vector<std::vector<uint8_t>> MakeUsers(size_t n) {
+  std::vector<std::vector<uint8_t>> users;
+  for (size_t i = 0; i < n; ++i) {
+    const std::string key = "pubkey-of-user-" + std::to_string(i);
+    users.emplace_back(key.begin(), key.end());
+  }
+  return users;
+}
+
+TEST(TransparencyLog, LookupsVerifyAgainstSignedRoot) {
+  const auto users = MakeUsers(50);
+  TransparencyLog log(users, /*load_balancers=*/1, /*suborams=*/2, /*seed=*/3);
+  for (uint64_t u : {uint64_t{0}, uint64_t{7}, uint64_t{49}}) {
+    const KtLookupResult r = log.Lookup(u);
+    EXPECT_TRUE(r.found);
+    EXPECT_TRUE(r.proof_valid) << "user " << u;
+    const std::string key = "pubkey-of-user-" + std::to_string(u);
+    EXPECT_EQ(r.key_hash, MerkleTree::HashLeaf(key.data(), key.size()));
+  }
+}
+
+TEST(TransparencyLog, AccessAmplificationIsLogNPlusOne) {
+  const auto users = MakeUsers(50);  // padded to 64 leaves -> depth 6
+  TransparencyLog log(users, 1, 1, 4);
+  EXPECT_EQ(log.accesses_per_lookup(), 7u);
+  const KtLookupResult r = log.Lookup(3);
+  EXPECT_EQ(r.oblivious_accesses, 7u);
+}
+
+TEST(TransparencyLog, BatchedLookupsShareOneEpoch) {
+  const auto users = MakeUsers(30);
+  TransparencyLog log(users, 2, 2, 5);
+  const uint64_t epoch_before = log.store().epoch();
+  const auto results = log.LookupBatch({1, 5, 9, 20, 29});
+  EXPECT_EQ(log.store().epoch(), epoch_before + 1);
+  ASSERT_EQ(results.size(), 5u);
+  for (const auto& r : results) {
+    EXPECT_TRUE(r.proof_valid);
+  }
+}
+
+TEST(TransparencyLog, DuplicateLookupsInOneBatchWork) {
+  // Two clients looking up the same user in one epoch: the deduplicated requests must
+  // still produce two valid proofs.
+  const auto users = MakeUsers(20);
+  TransparencyLog log(users, 1, 2, 6);
+  const auto results = log.LookupBatch({4, 4});
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_TRUE(results[0].proof_valid);
+  EXPECT_TRUE(results[1].proof_valid);
+  EXPECT_EQ(results[0].key_hash, results[1].key_hash);
+}
+
+TEST(TransparencyLog, RootStatementIsSignedAndVerifiable) {
+  const auto users = MakeUsers(20);
+  TransparencyLog log(users, 1, 1, 7);
+  EXPECT_TRUE(TransparencyLog::VerifyRootStatement(log.genesis_public(),
+                                                   log.root_statement(), log.signed_root()));
+  // A different root must not verify under the same statement.
+  MerkleTree::Hash other = log.signed_root();
+  other[5] ^= 1;
+  EXPECT_FALSE(
+      TransparencyLog::VerifyRootStatement(log.genesis_public(), log.root_statement(), other));
+  // A forged statement (equivocation) fails against the genesis key.
+  auto forged = log.root_statement();
+  forged.message[0] ^= 1;
+  EXPECT_FALSE(TransparencyLog::VerifyRootStatement(log.genesis_public(), forged,
+                                                    log.signed_root()));
+}
+
+}  // namespace
+}  // namespace snoopy

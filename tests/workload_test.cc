@@ -1,0 +1,81 @@
+#include "src/sim/workload.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace snoopy {
+namespace {
+
+TEST(WorkloadGenerator, UniformCoversKeySpace) {
+  WorkloadGenerator gen(50, 0.5, 1);
+  const auto reqs = gen.Uniform(5000);
+  ASSERT_EQ(reqs.size(), 5000u);
+  std::map<uint64_t, int> hist;
+  int writes = 0;
+  for (const auto& r : reqs) {
+    ASSERT_LT(r.key, 50u);
+    ++hist[r.key];
+    writes += r.is_write;
+  }
+  EXPECT_EQ(hist.size(), 50u) << "every key should appear in 5000 uniform draws";
+  EXPECT_GT(writes, 2000);
+  EXPECT_LT(writes, 3000);
+}
+
+TEST(WorkloadGenerator, ZipfianIsSkewed) {
+  WorkloadGenerator gen(1000, 0.0, 2);
+  const auto reqs = gen.Zipfian(10000, 0.99);
+  std::map<uint64_t, int> hist;
+  for (const auto& r : reqs) {
+    ASSERT_LT(r.key, 1000u);
+    ++hist[r.key];
+  }
+  int hottest = 0;
+  for (const auto& [k, c] : hist) {
+    hottest = c > hottest ? c : hottest;
+  }
+  // Under zipf(0.99) over 1000 keys, the hottest key draws ~13% of traffic; uniform
+  // would give 0.1%. Anything over 2% demonstrates skew robustly.
+  EXPECT_GT(hottest, 200);
+}
+
+TEST(WorkloadGenerator, HotspotConcentratesOnOneKey) {
+  WorkloadGenerator gen(1000, 0.0, 3);
+  const auto reqs = gen.Hotspot(2000, 0.9);
+  std::map<uint64_t, int> hist;
+  for (const auto& r : reqs) {
+    ++hist[r.key];
+  }
+  int hottest = 0;
+  for (const auto& [k, c] : hist) {
+    hottest = c > hottest ? c : hottest;
+  }
+  EXPECT_GT(hottest, 1600);
+  EXPECT_LT(hottest, 2000);
+}
+
+TEST(WorkloadGenerator, WriteFractionZeroAndOne) {
+  WorkloadGenerator ro(10, 0.0, 4);
+  for (const auto& r : ro.Uniform(200)) {
+    EXPECT_FALSE(r.is_write);
+  }
+  WorkloadGenerator wo(10, 1.0, 5);
+  for (const auto& r : wo.Uniform(200)) {
+    EXPECT_TRUE(r.is_write);
+  }
+}
+
+TEST(WorkloadGenerator, DeterministicPerSeed) {
+  WorkloadGenerator a(100, 0.5, 42);
+  WorkloadGenerator b(100, 0.5, 42);
+  const auto ra = a.Zipfian(100, 0.9);
+  const auto rb = b.Zipfian(100, 0.9);
+  for (size_t i = 0; i < ra.size(); ++i) {
+    EXPECT_EQ(ra[i].key, rb[i].key);
+    EXPECT_EQ(ra[i].is_write, rb[i].is_write);
+  }
+}
+
+}  // namespace
+}  // namespace snoopy
