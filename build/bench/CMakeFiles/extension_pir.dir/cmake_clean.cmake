@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_pir.dir/extension_pir.cc.o"
+  "CMakeFiles/extension_pir.dir/extension_pir.cc.o.d"
+  "extension_pir"
+  "extension_pir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_pir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_dummy_overhead.dir/fig03_dummy_overhead.cc.o"
+  "CMakeFiles/fig03_dummy_overhead.dir/fig03_dummy_overhead.cc.o.d"
+  "fig03_dummy_overhead"
+  "fig03_dummy_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_dummy_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

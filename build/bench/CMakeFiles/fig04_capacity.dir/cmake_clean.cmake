@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_capacity.dir/fig04_capacity.cc.o"
+  "CMakeFiles/fig04_capacity.dir/fig04_capacity.cc.o.d"
+  "fig04_capacity"
+  "fig04_capacity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_capacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

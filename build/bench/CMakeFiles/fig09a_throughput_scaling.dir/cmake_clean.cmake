@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09a_throughput_scaling.dir/fig09a_throughput_scaling.cc.o"
+  "CMakeFiles/fig09a_throughput_scaling.dir/fig09a_throughput_scaling.cc.o.d"
+  "fig09a_throughput_scaling"
+  "fig09a_throughput_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09a_throughput_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

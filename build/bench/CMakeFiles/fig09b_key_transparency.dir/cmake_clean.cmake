@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09b_key_transparency.dir/fig09b_key_transparency.cc.o"
+  "CMakeFiles/fig09b_key_transparency.dir/fig09b_key_transparency.cc.o.d"
+  "fig09b_key_transparency"
+  "fig09b_key_transparency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09b_key_transparency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_snoopy_oblix.dir/fig10_snoopy_oblix.cc.o"
+  "CMakeFiles/fig10_snoopy_oblix.dir/fig10_snoopy_oblix.cc.o.d"
+  "fig10_snoopy_oblix"
+  "fig10_snoopy_oblix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_snoopy_oblix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

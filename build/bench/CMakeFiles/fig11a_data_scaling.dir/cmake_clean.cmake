@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11a_data_scaling.dir/fig11a_data_scaling.cc.o"
+  "CMakeFiles/fig11a_data_scaling.dir/fig11a_data_scaling.cc.o.d"
+  "fig11a_data_scaling"
+  "fig11a_data_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11a_data_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

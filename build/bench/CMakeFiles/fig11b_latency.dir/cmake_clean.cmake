@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11b_latency.dir/fig11b_latency.cc.o"
+  "CMakeFiles/fig11b_latency.dir/fig11b_latency.cc.o.d"
+  "fig11b_latency"
+  "fig11b_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11b_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13a_sort_parallelism.dir/fig13a_sort_parallelism.cc.o"
+  "CMakeFiles/fig13a_sort_parallelism.dir/fig13a_sort_parallelism.cc.o.d"
+  "fig13a_sort_parallelism"
+  "fig13a_sort_parallelism.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13a_sort_parallelism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

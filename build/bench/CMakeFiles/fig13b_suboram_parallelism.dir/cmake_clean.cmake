@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13b_suboram_parallelism.dir/fig13b_suboram_parallelism.cc.o"
+  "CMakeFiles/fig13b_suboram_parallelism.dir/fig13b_suboram_parallelism.cc.o.d"
+  "fig13b_suboram_parallelism"
+  "fig13b_suboram_parallelism.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13b_suboram_parallelism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

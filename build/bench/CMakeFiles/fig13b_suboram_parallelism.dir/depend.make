@@ -1,0 +1,2 @@
+# Empty dependencies file for fig13b_suboram_parallelism.
+# This may be replaced when dependencies are built.

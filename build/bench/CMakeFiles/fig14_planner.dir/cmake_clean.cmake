@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_planner.dir/fig14_planner.cc.o"
+  "CMakeFiles/fig14_planner.dir/fig14_planner.cc.o.d"
+  "fig14_planner"
+  "fig14_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/functional_comparison.dir/functional_comparison.cc.o"
+  "CMakeFiles/functional_comparison.dir/functional_comparison.cc.o.d"
+  "functional_comparison"
+  "functional_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/functional_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/headline_comparison.dir/headline_comparison.cc.o"
+  "CMakeFiles/headline_comparison.dir/headline_comparison.cc.o.d"
+  "headline_comparison"
+  "headline_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/headline_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table08_baselines.dir/table08_baselines.cc.o"
+  "CMakeFiles/table08_baselines.dir/table08_baselines.cc.o.d"
+  "table08_baselines"
+  "table08_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table08_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

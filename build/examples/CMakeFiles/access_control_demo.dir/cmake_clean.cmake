@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/access_control_demo.dir/access_control_demo.cpp.o"
+  "CMakeFiles/access_control_demo.dir/access_control_demo.cpp.o.d"
+  "access_control_demo"
+  "access_control_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/access_control_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/contact_discovery.dir/contact_discovery.cpp.o"
+  "CMakeFiles/contact_discovery.dir/contact_discovery.cpp.o.d"
+  "contact_discovery"
+  "contact_discovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/contact_discovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

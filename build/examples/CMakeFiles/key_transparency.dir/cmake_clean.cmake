@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/key_transparency.dir/key_transparency.cpp.o"
+  "CMakeFiles/key_transparency.dir/key_transparency.cpp.o.d"
+  "key_transparency"
+  "key_transparency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/key_transparency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

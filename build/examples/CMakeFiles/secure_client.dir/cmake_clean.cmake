@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secure_client.dir/secure_client.cpp.o"
+  "CMakeFiles/secure_client.dir/secure_client.cpp.o.d"
+  "secure_client"
+  "secure_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secure_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

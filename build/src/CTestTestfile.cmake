@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("analysis")
+subdirs("crypto")
+subdirs("enclave")
+subdirs("obl")
+subdirs("net")
+subdirs("core")
+subdirs("oram")
+subdirs("baseline")
+subdirs("sim")
+subdirs("kt")
+subdirs("pir")

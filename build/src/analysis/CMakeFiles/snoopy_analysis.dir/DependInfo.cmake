@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/batch_bound.cc" "src/analysis/CMakeFiles/snoopy_analysis.dir/batch_bound.cc.o" "gcc" "src/analysis/CMakeFiles/snoopy_analysis.dir/batch_bound.cc.o.d"
+  "/root/repo/src/analysis/binomial.cc" "src/analysis/CMakeFiles/snoopy_analysis.dir/binomial.cc.o" "gcc" "src/analysis/CMakeFiles/snoopy_analysis.dir/binomial.cc.o.d"
+  "/root/repo/src/analysis/lambert.cc" "src/analysis/CMakeFiles/snoopy_analysis.dir/lambert.cc.o" "gcc" "src/analysis/CMakeFiles/snoopy_analysis.dir/lambert.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snoopy_analysis.dir/batch_bound.cc.o"
+  "CMakeFiles/snoopy_analysis.dir/batch_bound.cc.o.d"
+  "CMakeFiles/snoopy_analysis.dir/binomial.cc.o"
+  "CMakeFiles/snoopy_analysis.dir/binomial.cc.o.d"
+  "CMakeFiles/snoopy_analysis.dir/lambert.cc.o"
+  "CMakeFiles/snoopy_analysis.dir/lambert.cc.o.d"
+  "libsnoopy_analysis.a"
+  "libsnoopy_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snoopy_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snoopy_baseline.dir/obladi.cc.o"
+  "CMakeFiles/snoopy_baseline.dir/obladi.cc.o.d"
+  "CMakeFiles/snoopy_baseline.dir/oblix.cc.o"
+  "CMakeFiles/snoopy_baseline.dir/oblix.cc.o.d"
+  "CMakeFiles/snoopy_baseline.dir/oblix_backend.cc.o"
+  "CMakeFiles/snoopy_baseline.dir/oblix_backend.cc.o.d"
+  "CMakeFiles/snoopy_baseline.dir/plaintext_store.cc.o"
+  "CMakeFiles/snoopy_baseline.dir/plaintext_store.cc.o.d"
+  "libsnoopy_baseline.a"
+  "libsnoopy_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snoopy_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/access_control.cc" "src/core/CMakeFiles/snoopy_core.dir/access_control.cc.o" "gcc" "src/core/CMakeFiles/snoopy_core.dir/access_control.cc.o.d"
+  "/root/repo/src/core/client.cc" "src/core/CMakeFiles/snoopy_core.dir/client.cc.o" "gcc" "src/core/CMakeFiles/snoopy_core.dir/client.cc.o.d"
+  "/root/repo/src/core/load_balancer.cc" "src/core/CMakeFiles/snoopy_core.dir/load_balancer.cc.o" "gcc" "src/core/CMakeFiles/snoopy_core.dir/load_balancer.cc.o.d"
+  "/root/repo/src/core/planner.cc" "src/core/CMakeFiles/snoopy_core.dir/planner.cc.o" "gcc" "src/core/CMakeFiles/snoopy_core.dir/planner.cc.o.d"
+  "/root/repo/src/core/snoopy.cc" "src/core/CMakeFiles/snoopy_core.dir/snoopy.cc.o" "gcc" "src/core/CMakeFiles/snoopy_core.dir/snoopy.cc.o.d"
+  "/root/repo/src/core/suboram.cc" "src/core/CMakeFiles/snoopy_core.dir/suboram.cc.o" "gcc" "src/core/CMakeFiles/snoopy_core.dir/suboram.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/obl/CMakeFiles/snoopy_obl.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/snoopy_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/snoopy_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/enclave/CMakeFiles/snoopy_enclave.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/snoopy_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

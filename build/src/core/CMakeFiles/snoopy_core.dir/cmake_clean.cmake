@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snoopy_core.dir/access_control.cc.o"
+  "CMakeFiles/snoopy_core.dir/access_control.cc.o.d"
+  "CMakeFiles/snoopy_core.dir/client.cc.o"
+  "CMakeFiles/snoopy_core.dir/client.cc.o.d"
+  "CMakeFiles/snoopy_core.dir/load_balancer.cc.o"
+  "CMakeFiles/snoopy_core.dir/load_balancer.cc.o.d"
+  "CMakeFiles/snoopy_core.dir/planner.cc.o"
+  "CMakeFiles/snoopy_core.dir/planner.cc.o.d"
+  "CMakeFiles/snoopy_core.dir/snoopy.cc.o"
+  "CMakeFiles/snoopy_core.dir/snoopy.cc.o.d"
+  "CMakeFiles/snoopy_core.dir/suboram.cc.o"
+  "CMakeFiles/snoopy_core.dir/suboram.cc.o.d"
+  "libsnoopy_core.a"
+  "libsnoopy_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snoopy_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/aead.cc" "src/crypto/CMakeFiles/snoopy_crypto.dir/aead.cc.o" "gcc" "src/crypto/CMakeFiles/snoopy_crypto.dir/aead.cc.o.d"
+  "/root/repo/src/crypto/chacha20.cc" "src/crypto/CMakeFiles/snoopy_crypto.dir/chacha20.cc.o" "gcc" "src/crypto/CMakeFiles/snoopy_crypto.dir/chacha20.cc.o.d"
+  "/root/repo/src/crypto/hmac.cc" "src/crypto/CMakeFiles/snoopy_crypto.dir/hmac.cc.o" "gcc" "src/crypto/CMakeFiles/snoopy_crypto.dir/hmac.cc.o.d"
+  "/root/repo/src/crypto/lamport.cc" "src/crypto/CMakeFiles/snoopy_crypto.dir/lamport.cc.o" "gcc" "src/crypto/CMakeFiles/snoopy_crypto.dir/lamport.cc.o.d"
+  "/root/repo/src/crypto/poly1305.cc" "src/crypto/CMakeFiles/snoopy_crypto.dir/poly1305.cc.o" "gcc" "src/crypto/CMakeFiles/snoopy_crypto.dir/poly1305.cc.o.d"
+  "/root/repo/src/crypto/rng.cc" "src/crypto/CMakeFiles/snoopy_crypto.dir/rng.cc.o" "gcc" "src/crypto/CMakeFiles/snoopy_crypto.dir/rng.cc.o.d"
+  "/root/repo/src/crypto/sha256.cc" "src/crypto/CMakeFiles/snoopy_crypto.dir/sha256.cc.o" "gcc" "src/crypto/CMakeFiles/snoopy_crypto.dir/sha256.cc.o.d"
+  "/root/repo/src/crypto/siphash.cc" "src/crypto/CMakeFiles/snoopy_crypto.dir/siphash.cc.o" "gcc" "src/crypto/CMakeFiles/snoopy_crypto.dir/siphash.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

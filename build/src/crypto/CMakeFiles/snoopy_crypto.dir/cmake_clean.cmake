@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snoopy_crypto.dir/aead.cc.o"
+  "CMakeFiles/snoopy_crypto.dir/aead.cc.o.d"
+  "CMakeFiles/snoopy_crypto.dir/chacha20.cc.o"
+  "CMakeFiles/snoopy_crypto.dir/chacha20.cc.o.d"
+  "CMakeFiles/snoopy_crypto.dir/hmac.cc.o"
+  "CMakeFiles/snoopy_crypto.dir/hmac.cc.o.d"
+  "CMakeFiles/snoopy_crypto.dir/lamport.cc.o"
+  "CMakeFiles/snoopy_crypto.dir/lamport.cc.o.d"
+  "CMakeFiles/snoopy_crypto.dir/poly1305.cc.o"
+  "CMakeFiles/snoopy_crypto.dir/poly1305.cc.o.d"
+  "CMakeFiles/snoopy_crypto.dir/rng.cc.o"
+  "CMakeFiles/snoopy_crypto.dir/rng.cc.o.d"
+  "CMakeFiles/snoopy_crypto.dir/sha256.cc.o"
+  "CMakeFiles/snoopy_crypto.dir/sha256.cc.o.d"
+  "CMakeFiles/snoopy_crypto.dir/siphash.cc.o"
+  "CMakeFiles/snoopy_crypto.dir/siphash.cc.o.d"
+  "libsnoopy_crypto.a"
+  "libsnoopy_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snoopy_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/enclave/attestation.cc" "src/enclave/CMakeFiles/snoopy_enclave.dir/attestation.cc.o" "gcc" "src/enclave/CMakeFiles/snoopy_enclave.dir/attestation.cc.o.d"
+  "/root/repo/src/enclave/enclave.cc" "src/enclave/CMakeFiles/snoopy_enclave.dir/enclave.cc.o" "gcc" "src/enclave/CMakeFiles/snoopy_enclave.dir/enclave.cc.o.d"
+  "/root/repo/src/enclave/epc.cc" "src/enclave/CMakeFiles/snoopy_enclave.dir/epc.cc.o" "gcc" "src/enclave/CMakeFiles/snoopy_enclave.dir/epc.cc.o.d"
+  "/root/repo/src/enclave/rollback.cc" "src/enclave/CMakeFiles/snoopy_enclave.dir/rollback.cc.o" "gcc" "src/enclave/CMakeFiles/snoopy_enclave.dir/rollback.cc.o.d"
+  "/root/repo/src/enclave/trace.cc" "src/enclave/CMakeFiles/snoopy_enclave.dir/trace.cc.o" "gcc" "src/enclave/CMakeFiles/snoopy_enclave.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/crypto/CMakeFiles/snoopy_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

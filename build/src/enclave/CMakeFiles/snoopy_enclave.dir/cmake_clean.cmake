@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snoopy_enclave.dir/attestation.cc.o"
+  "CMakeFiles/snoopy_enclave.dir/attestation.cc.o.d"
+  "CMakeFiles/snoopy_enclave.dir/enclave.cc.o"
+  "CMakeFiles/snoopy_enclave.dir/enclave.cc.o.d"
+  "CMakeFiles/snoopy_enclave.dir/epc.cc.o"
+  "CMakeFiles/snoopy_enclave.dir/epc.cc.o.d"
+  "CMakeFiles/snoopy_enclave.dir/rollback.cc.o"
+  "CMakeFiles/snoopy_enclave.dir/rollback.cc.o.d"
+  "CMakeFiles/snoopy_enclave.dir/trace.cc.o"
+  "CMakeFiles/snoopy_enclave.dir/trace.cc.o.d"
+  "libsnoopy_enclave.a"
+  "libsnoopy_enclave.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snoopy_enclave.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snoopy_kt.dir/merkle_tree.cc.o"
+  "CMakeFiles/snoopy_kt.dir/merkle_tree.cc.o.d"
+  "CMakeFiles/snoopy_kt.dir/transparency_log.cc.o"
+  "CMakeFiles/snoopy_kt.dir/transparency_log.cc.o.d"
+  "libsnoopy_kt.a"
+  "libsnoopy_kt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snoopy_kt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

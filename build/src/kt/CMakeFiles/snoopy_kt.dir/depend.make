@@ -1,0 +1,2 @@
+# Empty dependencies file for snoopy_kt.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snoopy_net.dir/channel.cc.o"
+  "CMakeFiles/snoopy_net.dir/channel.cc.o.d"
+  "CMakeFiles/snoopy_net.dir/network.cc.o"
+  "CMakeFiles/snoopy_net.dir/network.cc.o.d"
+  "libsnoopy_net.a"
+  "libsnoopy_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snoopy_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/obl/bin_placement.cc" "src/obl/CMakeFiles/snoopy_obl.dir/bin_placement.cc.o" "gcc" "src/obl/CMakeFiles/snoopy_obl.dir/bin_placement.cc.o.d"
+  "/root/repo/src/obl/compaction.cc" "src/obl/CMakeFiles/snoopy_obl.dir/compaction.cc.o" "gcc" "src/obl/CMakeFiles/snoopy_obl.dir/compaction.cc.o.d"
+  "/root/repo/src/obl/hash_table.cc" "src/obl/CMakeFiles/snoopy_obl.dir/hash_table.cc.o" "gcc" "src/obl/CMakeFiles/snoopy_obl.dir/hash_table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/enclave/CMakeFiles/snoopy_enclave.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/snoopy_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/snoopy_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snoopy_obl.dir/bin_placement.cc.o"
+  "CMakeFiles/snoopy_obl.dir/bin_placement.cc.o.d"
+  "CMakeFiles/snoopy_obl.dir/compaction.cc.o"
+  "CMakeFiles/snoopy_obl.dir/compaction.cc.o.d"
+  "CMakeFiles/snoopy_obl.dir/hash_table.cc.o"
+  "CMakeFiles/snoopy_obl.dir/hash_table.cc.o.d"
+  "libsnoopy_obl.a"
+  "libsnoopy_obl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snoopy_obl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

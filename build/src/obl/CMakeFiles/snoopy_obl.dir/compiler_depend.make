@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for snoopy_obl.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/oram/path_oram.cc" "src/oram/CMakeFiles/snoopy_oram.dir/path_oram.cc.o" "gcc" "src/oram/CMakeFiles/snoopy_oram.dir/path_oram.cc.o.d"
+  "/root/repo/src/oram/position_map.cc" "src/oram/CMakeFiles/snoopy_oram.dir/position_map.cc.o" "gcc" "src/oram/CMakeFiles/snoopy_oram.dir/position_map.cc.o.d"
+  "/root/repo/src/oram/ring_oram.cc" "src/oram/CMakeFiles/snoopy_oram.dir/ring_oram.cc.o" "gcc" "src/oram/CMakeFiles/snoopy_oram.dir/ring_oram.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/crypto/CMakeFiles/snoopy_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

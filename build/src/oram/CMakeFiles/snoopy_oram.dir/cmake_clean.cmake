@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snoopy_oram.dir/path_oram.cc.o"
+  "CMakeFiles/snoopy_oram.dir/path_oram.cc.o.d"
+  "CMakeFiles/snoopy_oram.dir/position_map.cc.o"
+  "CMakeFiles/snoopy_oram.dir/position_map.cc.o.d"
+  "CMakeFiles/snoopy_oram.dir/ring_oram.cc.o"
+  "CMakeFiles/snoopy_oram.dir/ring_oram.cc.o.d"
+  "libsnoopy_oram.a"
+  "libsnoopy_oram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snoopy_oram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

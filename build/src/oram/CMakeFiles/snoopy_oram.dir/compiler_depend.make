@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for snoopy_oram.
+# This may be replaced when dependencies are built.

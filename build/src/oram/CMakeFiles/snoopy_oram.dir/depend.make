@@ -1,0 +1,2 @@
+# Empty dependencies file for snoopy_oram.
+# This may be replaced when dependencies are built.

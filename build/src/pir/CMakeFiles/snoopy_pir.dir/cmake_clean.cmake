@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snoopy_pir.dir/snoopy_pir.cc.o"
+  "CMakeFiles/snoopy_pir.dir/snoopy_pir.cc.o.d"
+  "CMakeFiles/snoopy_pir.dir/xor_pir.cc.o"
+  "CMakeFiles/snoopy_pir.dir/xor_pir.cc.o.d"
+  "libsnoopy_pir.a"
+  "libsnoopy_pir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snoopy_pir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsnoopy_pir.a"
+)

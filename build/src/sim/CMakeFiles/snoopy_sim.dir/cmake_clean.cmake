@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snoopy_sim.dir/cluster.cc.o"
+  "CMakeFiles/snoopy_sim.dir/cluster.cc.o.d"
+  "CMakeFiles/snoopy_sim.dir/cost_model.cc.o"
+  "CMakeFiles/snoopy_sim.dir/cost_model.cc.o.d"
+  "CMakeFiles/snoopy_sim.dir/workload.cc.o"
+  "CMakeFiles/snoopy_sim.dir/workload.cc.o.d"
+  "libsnoopy_sim.a"
+  "libsnoopy_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snoopy_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

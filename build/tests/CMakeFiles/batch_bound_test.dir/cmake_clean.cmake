@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/batch_bound_test.dir/batch_bound_test.cc.o"
+  "CMakeFiles/batch_bound_test.dir/batch_bound_test.cc.o.d"
+  "batch_bound_test"
+  "batch_bound_test.pdb"
+  "batch_bound_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/batch_bound_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

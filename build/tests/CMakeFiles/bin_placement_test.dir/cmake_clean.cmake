@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bin_placement_test.dir/bin_placement_test.cc.o"
+  "CMakeFiles/bin_placement_test.dir/bin_placement_test.cc.o.d"
+  "bin_placement_test"
+  "bin_placement_test.pdb"
+  "bin_placement_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bin_placement_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/binomial_test.dir/binomial_test.cc.o"
+  "CMakeFiles/binomial_test.dir/binomial_test.cc.o.d"
+  "binomial_test"
+  "binomial_test.pdb"
+  "binomial_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/binomial_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epoch_properties_test.dir/epoch_properties_test.cc.o"
+  "CMakeFiles/epoch_properties_test.dir/epoch_properties_test.cc.o.d"
+  "epoch_properties_test"
+  "epoch_properties_test.pdb"
+  "epoch_properties_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epoch_properties_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lambert_test.dir/lambert_test.cc.o"
+  "CMakeFiles/lambert_test.dir/lambert_test.cc.o.d"
+  "lambert_test"
+  "lambert_test.pdb"
+  "lambert_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lambert_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

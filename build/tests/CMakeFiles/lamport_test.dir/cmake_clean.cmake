@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lamport_test.dir/lamport_test.cc.o"
+  "CMakeFiles/lamport_test.dir/lamport_test.cc.o.d"
+  "lamport_test"
+  "lamport_test.pdb"
+  "lamport_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lamport_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

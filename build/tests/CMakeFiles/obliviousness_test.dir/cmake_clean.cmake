@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/obliviousness_test.dir/obliviousness_test.cc.o"
+  "CMakeFiles/obliviousness_test.dir/obliviousness_test.cc.o.d"
+  "obliviousness_test"
+  "obliviousness_test.pdb"
+  "obliviousness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/obliviousness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oblix_backend_test.dir/oblix_backend_test.cc.o"
+  "CMakeFiles/oblix_backend_test.dir/oblix_backend_test.cc.o.d"
+  "oblix_backend_test"
+  "oblix_backend_test.pdb"
+  "oblix_backend_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oblix_backend_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

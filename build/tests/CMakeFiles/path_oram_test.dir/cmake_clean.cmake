@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/path_oram_test.dir/path_oram_test.cc.o"
+  "CMakeFiles/path_oram_test.dir/path_oram_test.cc.o.d"
+  "path_oram_test"
+  "path_oram_test.pdb"
+  "path_oram_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/path_oram_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

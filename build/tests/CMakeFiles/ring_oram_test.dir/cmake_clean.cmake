@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ring_oram_test.dir/ring_oram_test.cc.o"
+  "CMakeFiles/ring_oram_test.dir/ring_oram_test.cc.o.d"
+  "ring_oram_test"
+  "ring_oram_test.pdb"
+  "ring_oram_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ring_oram_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snoopy_test.dir/snoopy_test.cc.o"
+  "CMakeFiles/snoopy_test.dir/snoopy_test.cc.o.d"
+  "snoopy_test"
+  "snoopy_test.pdb"
+  "snoopy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snoopy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/suboram_test.dir/suboram_test.cc.o"
+  "CMakeFiles/suboram_test.dir/suboram_test.cc.o.d"
+  "suboram_test"
+  "suboram_test.pdb"
+  "suboram_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/suboram_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transparency_log_test.dir/transparency_log_test.cc.o"
+  "CMakeFiles/transparency_log_test.dir/transparency_log_test.cc.o.d"
+  "transparency_log_test"
+  "transparency_log_test.pdb"
+  "transparency_log_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transparency_log_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
