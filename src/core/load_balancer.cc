@@ -31,6 +31,11 @@ uint32_t LoadBalancer::SubOramOf(uint64_t key) const {
 }
 
 LoadBalancer::PreparedEpoch LoadBalancer::PrepareBatches(RequestBatch&& client_requests) {
+  return PrepareBatches(std::move(client_requests), rng_.Next64());
+}
+
+LoadBalancer::PreparedEpoch LoadBalancer::PrepareBatches(RequestBatch&& client_requests,
+                                                         uint64_t epoch_seed) {
   const uint64_t r = client_requests.size();
   const uint32_t s = config_.num_suborams;
   const uint64_t b = BatchSize(r, s, config_.lambda);
@@ -65,8 +70,12 @@ LoadBalancer::PreparedEpoch LoadBalancer::PrepareBatches(RequestBatch&& client_r
 
   // Figure 5 steps 2-4: pad, oblivious sort, oblivious dedup/mark, oblivious compact.
   // Dummy requests get unique keys in the reserved top half of the key space so the
-  // subORAM's distinctness precondition keeps holding.
-  const uint64_t dummy_prefix = rng_.Uniform(uint64_t{1} << 32);
+  // subORAM's distinctness precondition keeps holding. The prefix is a splitmix64
+  // finalizer over the epoch seed, so equal seeds give byte-identical batches.
+  uint64_t mixed = epoch_seed + 0x9e3779b97f4a7c15ULL;
+  mixed = (mixed ^ (mixed >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  mixed = (mixed ^ (mixed >> 27)) * 0x94d049bb133111ebULL;
+  const uint64_t dummy_prefix = (mixed ^ (mixed >> 31)) & 0xffffffffULL;
   uint64_t dummy_counter = 0;
   BinPlacementOptions options;
   options.num_bins = s;

@@ -53,6 +53,13 @@ class LoadBalancer {
   // only on the negligible-probability bound overflow.
   PreparedEpoch PrepareBatches(RequestBatch&& client_requests);
 
+  // Same, but with the epoch's dummy-key randomness fixed by `epoch_seed`: preparing
+  // the same requests under the same seed yields byte-identical batches. This is what
+  // makes load balancers rebuildable after a crash (paper section 4.3 -- they are
+  // stateless across epochs): the orchestrator derives epoch_seed from (load balancer
+  // id, epoch number), so a replacement re-prepares its epoch deterministically.
+  PreparedEpoch PrepareBatches(RequestBatch&& client_requests, uint64_t epoch_seed);
+
   // Figure 6. Consumes the prepared state plus the S response batches and returns one
   // response record per original client request (header carries client_id/client_seq;
   // value carries the response payload).

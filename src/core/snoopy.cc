@@ -12,6 +12,18 @@ namespace snoopy {
 
 namespace {
 
+// splitmix64 finalizer; mixes (base seed, epoch) into per-epoch preparation seeds.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::string SubOramEndpointName(uint32_t so, uint32_t lb) {
+  return "suboram/" + std::to_string(so) + "/from/" + std::to_string(lb);
+}
+
 // Default factory: the paper's throughput-optimized subORAM.
 class DefaultSubOramFactory final : public SubOramBackendFactory {
  public:
@@ -51,7 +63,9 @@ Snoopy::Snoopy(const SnoopyConfig& config, uint64_t seed,
     lbc.value_size = config_.value_size;
     lbc.lambda = config_.lambda;
     lbc.sort_threads = config_.sort_threads;
-    lbs_.push_back(std::make_unique<LoadBalancer>(lbc, partition_key_, rng_.Next64()));
+    const uint64_t lb_seed = rng_.Next64();
+    lb_base_seeds_.push_back(lb_seed);
+    lbs_.push_back(std::make_unique<LoadBalancer>(lbc, partition_key_, lb_seed));
     pending_.emplace_back(config_.value_size);
   }
   for (uint32_t so = 0; so < config_.num_suborams; ++so) {
@@ -62,7 +76,9 @@ Snoopy::Snoopy(const SnoopyConfig& config, uint64_t seed,
   // Attested channel establishment between every load balancer and subORAM pair
   // (paper section 3.1), then endpoint registration on the message network.
   links_.resize(config_.num_load_balancers);
+  link_generation_.resize(config_.num_load_balancers);
   for (uint32_t lb = 0; lb < config_.num_load_balancers; ++lb) {
+    link_generation_[lb].assign(config_.num_suborams, 0);
     for (uint32_t so = 0; so < config_.num_suborams; ++so) {
       const Aead::Key key = lb_enclaves_[lb]->EstablishChannel(so_enclaves_[so]->quote());
       const Aead::Key check = so_enclaves_[so]->EstablishChannel(lb_enclaves_[lb]->quote());
@@ -71,13 +87,33 @@ Snoopy::Snoopy(const SnoopyConfig& config, uint64_t seed,
       }
       const uint32_t link_id = lb * config_.num_suborams + so;
       links_[lb].push_back(std::make_unique<SecureLink>(key, link_id));
-      network_.Register(
-          "suboram/" + std::to_string(so) + "/from/" + std::to_string(lb),
-          [this, lb, so](std::span<const uint8_t> sealed) {
-            return SubOramEndpointHandler(lb, so, sealed);
-          });
+      network_.Register(SubOramEndpointName(so, lb),
+                        [this, lb, so](std::span<const uint8_t> payload) {
+                          return SubOramEndpointHandler(lb, so, payload);
+                        });
     }
   }
+
+  // Rollback-protected persistence (paper section 9): a sealing key for the subORAM
+  // snapshots plus one trusted monotonic counter per subORAM. Drawn after all other
+  // construction-time randomness so existing seeded deployments are unchanged.
+  sealed_store_ = std::make_unique<SealedStore>(rng_.NextKey32(), &counters_);
+  for (uint32_t so = 0; so < config_.num_suborams; ++so) {
+    so_counter_ids_.push_back(counters_.Create());
+  }
+  so_snapshots_.resize(config_.num_suborams);
+  so_response_cache_.resize(config_.num_suborams);
+  so_executed_lbs_.resize(config_.num_suborams);
+  network_.set_clock(&clock_);
+}
+
+void Snoopy::set_fault_injector(FaultInjector* injector) {
+  fault_injector_ = injector;
+  network_.set_fault_injector(injector);
+}
+
+uint64_t Snoopy::EpochSeed(uint32_t lb, uint64_t epoch) const {
+  return Mix64(lb_base_seeds_[lb] ^ Mix64(epoch));
 }
 
 void Snoopy::Initialize(
@@ -89,15 +125,26 @@ void Snoopy::Initialize(
   }
   if (config_.oblivious_init) {
     InitializeOblivious(objects);
-    return;
+  } else {
+    std::vector<std::vector<std::pair<uint64_t, std::vector<uint8_t>>>> parts(
+        config_.num_suborams);
+    for (const auto& obj : objects) {
+      parts[lbs_[0]->SubOramOf(obj.first)].push_back(obj);
+    }
+    for (uint32_t so = 0; so < config_.num_suborams; ++so) {
+      suborams_[so]->Initialize(parts[so]);
+    }
   }
-  std::vector<std::vector<std::pair<uint64_t, std::vector<uint8_t>>>> parts(
-      config_.num_suborams);
-  for (const auto& obj : objects) {
-    parts[lbs_[0]->SubOramOf(obj.first)].push_back(obj);
-  }
+  // First rollback-protected snapshot: a subORAM that crashes before its first epoch
+  // completes recovers to its freshly loaded partition.
   for (uint32_t so = 0; so < config_.num_suborams; ++so) {
-    suborams_[so]->Initialize(parts[so]);
+    SealSubOramState(so);
+  }
+}
+
+void Snoopy::SealSubOramState(uint32_t so) {
+  if (suborams_[so]->SupportsSealing()) {
+    so_snapshots_[so] = suborams_[so]->SealState(*sealed_store_, so_counter_ids_[so]);
   }
 }
 
@@ -193,15 +240,147 @@ size_t Snoopy::pending_requests() const {
   return n;
 }
 
+// Batches travel as [epoch id (8 bytes, plaintext) | sealed batch]. The epoch id lets
+// the subORAM's host side recognize a retransmission and re-serve the cached sealed
+// response instead of re-executing -- retried and duplicated deliveries therefore
+// change neither the store state (Appendix C linearizability) nor the enclave's
+// memory trace (the batch is processed exactly once).
 std::vector<uint8_t> Snoopy::SubOramEndpointHandler(uint32_t lb, uint32_t so,
-                                                    std::span<const uint8_t> sealed) {
+                                                    std::span<const uint8_t> payload) {
+  const std::string endpoint = SubOramEndpointName(so, lb);
+  if (payload.size() < 8) {
+    throw IntegrityError(endpoint);
+  }
+  uint64_t batch_epoch = 0;
+  std::memcpy(&batch_epoch, payload.data(), 8);
+  if (batch_epoch != epoch_) {
+    // A stale or bit-flipped epoch tag; either way the sender must retransmit.
+    throw IntegrityError(endpoint);
+  }
+  auto& cache = so_response_cache_[so];
+  if (const auto it = cache.find(lb); it != cache.end()) {
+    return it->second;  // retransmit: serve the cached epoch response
+  }
   std::vector<uint8_t> plain;
-  if (!links_[lb][so]->a_to_b().Open(sealed, plain)) {
-    throw std::runtime_error("subORAM rejected batch: authentication/replay failure");
+  if (!links_[lb][so]->a_to_b().Open(payload.subspan(8), plain)) {
+    throw IntegrityError(endpoint);
   }
   RequestBatch batch = RequestBatch::Deserialize(plain);
   RequestBatch response = suborams_[so]->ProcessBatch(std::move(batch));
-  return links_[lb][so]->b_to_a().Seal(response.Serialize());
+  so_executed_lbs_[so].insert(lb);
+  std::vector<uint8_t> sealed_resp = links_[lb][so]->b_to_a().Seal(response.Serialize());
+  cache[lb] = sealed_resp;
+  return sealed_resp;
+}
+
+// One load-balancer-to-subORAM exchange under the retry policy. Seals lazily and only
+// once per link generation: a resend must be byte-identical (the dedup cache and the
+// channel counters both depend on it), but after a crash recovery rekeys the link, the
+// old bytes are for a dead session and the batch must be resealed. A crash observed
+// mid-call triggers RecoverSubOram with this call's lb as the replay limit.
+std::vector<uint8_t> Snoopy::RetriedSubOramCall(
+    uint32_t lb, uint32_t so, const std::vector<uint8_t>& serialized,
+    const std::vector<LoadBalancer::PreparedEpoch>* prepared) {
+  const std::string endpoint = SubOramEndpointName(so, lb);
+  std::vector<uint8_t> envelope;
+  uint64_t sealed_generation = ~uint64_t{0};
+  auto call = [&]() -> std::vector<uint8_t> {
+    if (sealed_generation != link_generation_[lb][so]) {
+      const std::vector<uint8_t> sealed = links_[lb][so]->a_to_b().Seal(serialized);
+      envelope.assign(8, 0);
+      std::memcpy(envelope.data(), &epoch_, 8);
+      envelope.insert(envelope.end(), sealed.begin(), sealed.end());
+      sealed_generation = link_generation_[lb][so];
+    }
+    std::vector<uint8_t> sealed_resp =
+        network_.Call("lb/" + std::to_string(lb), endpoint, envelope);
+    std::vector<uint8_t> plain;
+    if (!links_[lb][so]->b_to_a().Open(sealed_resp, plain)) {
+      throw IntegrityError(endpoint);
+    }
+    return plain;
+  };
+
+  RetryExecutor executor(config_.retry, /*jitter_seed=*/EpochSeed(lb, epoch_) ^ so, &clock_);
+  executor.set_on_retry([this] { network_.RecordRetry(); });
+  return executor.Execute(
+      call, [&](const EndpointCrashedError&) { RecoverSubOram(so, prepared, lb); });
+}
+
+RequestBatch Snoopy::CallSubOram(uint32_t lb, uint32_t so,
+                                 const std::vector<LoadBalancer::PreparedEpoch>& prepared) {
+  return RequestBatch::Deserialize(RetriedSubOramCall(
+      lb, so, prepared[lb].suboram_batches[so].Serialize(), &prepared));
+}
+
+void Snoopy::RecoverSubOram(uint32_t so,
+                            const std::vector<LoadBalancer::PreparedEpoch>* prepared,
+                            uint32_t lb_limit) {
+  const std::string component = "suboram/" + std::to_string(so);
+  if (!suborams_[so]->SupportsSealing()) {
+    throw std::runtime_error(component +
+                             " crashed and its backend does not support sealed snapshots");
+  }
+
+  // Restore the freshest sealed snapshot. A stale or tampered blob means the host is
+  // replaying superseded state; refusing to start is the only safe answer.
+  const UnsealStatus status =
+      suborams_[so]->RestoreState(*sealed_store_, so_counter_ids_[so], so_snapshots_[so]);
+  if (status != UnsealStatus::kOk) {
+    throw RollbackDetectedError(component, status);
+  }
+
+  // The restarted enclave has no channel state: every load balancer re-attests and
+  // both ends start fresh sessions. Bumping the generation invalidates any sealed
+  // bytes still held by in-flight callers.
+  for (uint32_t lb = 0; lb < config_.num_load_balancers; ++lb) {
+    links_[lb][so]->Rekey(rng_.NextKey32());
+    ++link_generation_[lb][so];
+  }
+  so_response_cache_[so].clear();
+  if (fault_injector_ != nullptr) {
+    fault_injector_->Restart(component);
+  }
+  network_.RecordRecovery();
+
+  // The snapshot predates this epoch's batches; replay the ones the subORAM had
+  // already executed (in load-balancer order, the Appendix C linearization) so the
+  // restored state catches up to the crash point. The caller's own batch (lb_limit)
+  // is excluded -- its pending retry delivers it. Replays run through the normal
+  // endpoint path: they repopulate the response cache, tolerate further transient
+  // faults, and -- via RetriedSubOramCall's own crash handling -- recover recursively
+  // if the component is crashed again mid-replay (safe because the executed set is
+  // durable across recoveries and restore is idempotent from the same snapshot).
+  // Responses are discarded: re-execution from the same pre-epoch state reproduces
+  // the already-delivered answers.
+  if (prepared == nullptr) {
+    return;
+  }
+  for (const uint32_t lb : so_executed_lbs_[so]) {
+    if (lb >= lb_limit) {
+      continue;
+    }
+    RetriedSubOramCall(lb, so, (*prepared)[lb].suboram_batches[so].Serialize(), prepared);
+  }
+}
+
+void Snoopy::RecoverLoadBalancer(uint32_t lb) {
+  // Load balancers are stateless across epochs (section 4.3): rebuild is a fresh
+  // enclave with the same static partition key and config. Its epoch preparation is
+  // already deterministic via EpochSeed, so the replacement produces byte-identical
+  // batches to the ones the crashed instance would have sent. Pending requests live
+  // with the clients in this model; they resubmit into the rebuilt instance.
+  lb_enclaves_[lb] = std::make_unique<Enclave>("snoopy-load-balancer", lb);
+  const LoadBalancerConfig lbc = lbs_[lb]->config();
+  lbs_[lb] = std::make_unique<LoadBalancer>(lbc, partition_key_, lb_base_seeds_[lb]);
+  for (uint32_t so = 0; so < config_.num_suborams; ++so) {
+    links_[lb][so]->Rekey(rng_.NextKey32());
+    ++link_generation_[lb][so];
+  }
+  if (fault_injector_ != nullptr) {
+    fault_injector_->Restart("lb/" + std::to_string(lb));
+  }
+  network_.RecordRecovery();
 }
 
 void Snoopy::RegisterClient(uint64_t client_id, const AttestationQuote& client_quote) {
@@ -248,32 +427,42 @@ std::vector<ClientResponse> Snoopy::RunEpoch() {
   TraceRecord(TraceOp::kEpoch, epoch_, 0);
   std::vector<ClientResponse> all;
 
+  // Epoch-boundary crash polling: the failure process fires between epochs (crashes
+  // mid-epoch are modelled by crash_before_reply faults on individual calls). A load
+  // balancer is rebuilt statelessly; a subORAM is restored from its sealed snapshot
+  // (no replay needed -- the snapshot is exactly the pre-epoch state).
+  if (fault_injector_ != nullptr) {
+    for (uint32_t lb = 0; lb < config_.num_load_balancers; ++lb) {
+      if (fault_injector_->PollEpochCrash("lb/" + std::to_string(lb))) {
+        RecoverLoadBalancer(lb);
+      }
+    }
+    for (uint32_t so = 0; so < config_.num_suborams; ++so) {
+      if (fault_injector_->PollEpochCrash("suboram/" + std::to_string(so))) {
+        RecoverSubOram(so, nullptr, 0);
+      }
+    }
+  }
+
   // Phase 1: every load balancer prepares its batches independently (section 4.3).
+  // The per-(lb, epoch) seed fixes the epoch's dummy-key randomness, so a load
+  // balancer rebuilt after a crash prepares byte-identical batches.
   std::vector<LoadBalancer::PreparedEpoch> prepared;
   prepared.reserve(config_.num_load_balancers);
   for (uint32_t lb = 0; lb < config_.num_load_balancers; ++lb) {
     RequestBatch requests = std::move(pending_[lb]);
     pending_[lb] = RequestBatch(config_.value_size);
-    prepared.push_back(lbs_[lb]->PrepareBatches(std::move(requests)));
+    prepared.push_back(lbs_[lb]->PrepareBatches(std::move(requests), EpochSeed(lb, epoch_)));
   }
 
   // Phase 2: subORAMs execute the batches in fixed load-balancer order -- the
   // linearization order of Appendix C. The per-hop encryption is real: each batch is
-  // sealed at the load balancer and opened inside the subORAM endpoint.
+  // sealed at the load balancer and opened inside the subORAM endpoint. Every call
+  // runs under the retry policy and tolerates injected faults and crashes.
   std::vector<std::vector<RequestBatch>> responses(config_.num_load_balancers);
   for (uint32_t lb = 0; lb < config_.num_load_balancers; ++lb) {
     for (uint32_t so = 0; so < config_.num_suborams; ++so) {
-      const std::vector<uint8_t> sealed =
-          links_[lb][so]->a_to_b().Seal(prepared[lb].suboram_batches[so].Serialize());
-      const std::vector<uint8_t> sealed_resp = network_.Call(
-          "lb/" + std::to_string(lb), "suboram/" + std::to_string(so) + "/from/" +
-          std::to_string(lb),
-          sealed);
-      std::vector<uint8_t> plain;
-      if (!links_[lb][so]->b_to_a().Open(sealed_resp, plain)) {
-        throw std::runtime_error("load balancer rejected response: authentication failure");
-      }
-      responses[lb].push_back(RequestBatch::Deserialize(plain));
+      responses[lb].push_back(CallSubOram(lb, so, prepared));
     }
   }
 
@@ -304,6 +493,14 @@ std::vector<ClientResponse> Snoopy::RunEpoch() {
       resp.value.assign(matched.Value(i), matched.Value(i) + config_.value_size);
       all.push_back(std::move(resp));
     }
+  }
+
+  // Epoch boundary: seal each subORAM's post-epoch state (one trusted-counter bump
+  // per subORAM per epoch, paper section 9) and retire the per-epoch dedup state.
+  for (uint32_t so = 0; so < config_.num_suborams; ++so) {
+    SealSubOramState(so);
+    so_response_cache_[so].clear();
+    so_executed_lbs_[so].clear();
   }
   ++epoch_;
   return all;

@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <set>
 #include <span>
 #include <vector>
 
@@ -29,8 +30,11 @@
 #include "src/core/suboram_backend.h"
 #include "src/crypto/rng.h"
 #include "src/enclave/enclave.h"
+#include "src/enclave/rollback.h"
 #include "src/net/channel.h"
+#include "src/net/fault.h"
 #include "src/net/network.h"
+#include "src/net/retry.h"
 
 namespace snoopy {
 
@@ -45,6 +49,10 @@ struct SnoopyConfig {
   // LoadBalancer.Initialize (Appendix B, Figure 23). Costs O(n log^2 n); the default
   // plain partition is appropriate when the data owner loads their own data.
   bool oblivious_init = false;
+  // Governs every load-balancer-to-subORAM call: transient faults (drops, lost or
+  // corrupted replies) are retried with backoff until the deadline; a crashed subORAM
+  // is recovered (sealed-snapshot restore + epoch replay) between attempts.
+  RetryPolicy retry;
 };
 
 struct ClientResponse {
@@ -94,6 +102,26 @@ class Snoopy {
   const Network& network() const { return network_; }
   Network& network_mutable() { return network_; }
 
+  // --- Fault injection and crash recovery (paper sections 4.3 and 9) -------------
+  // Attaches a chaos source (non-owning; nullptr detaches). While attached, RunEpoch
+  // tolerates injected drops/duplicates/corruption via retransmit-with-dedup, polls
+  // for epoch-boundary component crashes, and recovers crashed components: a load
+  // balancer is rebuilt statelessly (it re-prepares its epoch deterministically from
+  // the per-(lb, epoch) seed), a subORAM is restored from its freshest sealed
+  // snapshot and replayed to its pre-crash position in the epoch. A snapshot that
+  // fails rollback protection surfaces as RollbackDetectedError: stale state is never
+  // served.
+  void set_fault_injector(FaultInjector* injector);
+  VirtualClock& clock() { return clock_; }
+
+  // Host-side sealed snapshot storage (untrusted in the threat model). The test
+  // harness uses the replace hook to play a malicious host replaying stale state;
+  // recovery must then refuse with UnsealStatus::kRollback.
+  const std::vector<uint8_t>& suboram_snapshot(uint32_t so) const { return so_snapshots_[so]; }
+  void host_replace_snapshot(uint32_t so, std::vector<uint8_t> blob) {
+    so_snapshots_[so] = std::move(blob);
+  }
+
   // --- Encrypted client sessions (used by SnoopyClient; paper section 3.1) --------
   // Registers an attested client: verifies the quote and establishes one encrypted
   // link per load balancer. Registered clients' responses are sealed into a per-client
@@ -113,7 +141,30 @@ class Snoopy {
   void InitializeOblivious(
       const std::vector<std::pair<uint64_t, std::vector<uint8_t>>>& objects);
   std::vector<uint8_t> SubOramEndpointHandler(uint32_t lb, uint32_t so,
-                                              std::span<const uint8_t> sealed);
+                                              std::span<const uint8_t> payload);
+
+  // Seeds load balancer lb's epoch preparation; equal (lb, epoch) means equal batches,
+  // which is what lets a rebuilt load balancer re-prepare deterministically.
+  uint64_t EpochSeed(uint32_t lb, uint64_t epoch) const;
+
+  // Calls subORAM so with load balancer lb's prepared batch under the retry policy,
+  // recovering the subORAM if it crashes mid-call. Returns the opened response batch.
+  RequestBatch CallSubOram(uint32_t lb, uint32_t so,
+                           const std::vector<LoadBalancer::PreparedEpoch>& prepared);
+  // The underlying retried exchange: seals `serialized` into an epoch-tagged envelope
+  // (lazily, re-sealing only when the link generation changes) and runs it under the
+  // retry policy with crash recovery. Shared by the epoch loop and recovery replay.
+  std::vector<uint8_t> RetriedSubOramCall(
+      uint32_t lb, uint32_t so, const std::vector<uint8_t>& serialized,
+      const std::vector<LoadBalancer::PreparedEpoch>* prepared);
+
+  // Crash recovery. `prepared`/`lb_limit` drive the epoch replay: batches from load
+  // balancers < lb_limit that the subORAM had already executed this epoch are re-sent
+  // (its restored snapshot predates them). Pass nullptr/0 at an epoch boundary.
+  void RecoverSubOram(uint32_t so, const std::vector<LoadBalancer::PreparedEpoch>* prepared,
+                      uint32_t lb_limit);
+  void RecoverLoadBalancer(uint32_t lb);
+  void SealSubOramState(uint32_t so);
 
   SnoopyConfig config_;
   Rng rng_;
@@ -129,6 +180,28 @@ class Snoopy {
   Network network_;
 
   std::vector<RequestBatch> pending_;  // one accumulation buffer per load balancer
+
+  // --- Robustness state -----------------------------------------------------------
+  FaultInjector* fault_injector_ = nullptr;
+  VirtualClock clock_;
+  std::vector<uint64_t> lb_base_seeds_;  // per-LB seed underlying EpochSeed
+
+  // Rollback-protected persistence: one trusted counter per subORAM, snapshots kept
+  // in (untrusted) host storage, resealed at every epoch boundary.
+  MonotonicCounterService counters_;
+  std::unique_ptr<SealedStore> sealed_store_;
+  std::vector<uint64_t> so_counter_ids_;
+  std::vector<std::vector<uint8_t>> so_snapshots_;
+
+  // Per-subORAM, per-epoch host-side bookkeeping. The response cache deduplicates
+  // retransmitted batches (a retransmission re-serves the cached sealed response
+  // instead of re-executing, preserving Appendix C linearizability and leaking no new
+  // memory trace); the executed set records which load balancers' batches have been
+  // applied this epoch, which is exactly what crash recovery must replay. Bumping a
+  // link generation invalidates sealed-but-unsent bytes after a rekey.
+  std::vector<std::map<uint32_t, std::vector<uint8_t>>> so_response_cache_;
+  std::vector<std::set<uint32_t>> so_executed_lbs_;
+  std::vector<std::vector<uint64_t>> link_generation_;  // [lb][so]
 
   struct ClientSession {
     std::vector<std::unique_ptr<SecureLink>> links;  // one per load balancer

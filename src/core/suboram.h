@@ -72,9 +72,10 @@ class SubOram : public SubOramBackend {
   // Rollback-protected persistence (paper section 9): seals the partition to a
   // counter-bound snapshot (one trusted-counter bump per call) and restores it only if
   // it is the freshest snapshot ever sealed.
-  std::vector<uint8_t> SealState(SealedStore& store, uint64_t counter_id) const;
+  bool SupportsSealing() const override { return true; }
+  std::vector<uint8_t> SealState(SealedStore& store, uint64_t counter_id) const override;
   UnsealStatus RestoreState(SealedStore& store, uint64_t counter_id,
-                            std::span<const uint8_t> blob);
+                            std::span<const uint8_t> blob) override;
 
  private:
   SubOramConfig config_;

@@ -13,9 +13,11 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "src/core/request.h"
+#include "src/enclave/rollback.h"
 
 namespace snoopy {
 
@@ -33,6 +35,25 @@ class SubOramBackend {
   virtual RequestBatch ProcessBatch(RequestBatch&& batch) = 0;
 
   virtual size_t num_objects() const = 0;
+
+  // --- Rollback-protected persistence (paper section 9) ---------------------------
+  // Optional: backends that can seal their partition to a counter-bound snapshot and
+  // restore it after a crash override these three. The orchestrator snapshots every
+  // sealing backend at each epoch boundary and uses RestoreState to recover a crashed
+  // subORAM; backends without sealing support simply cannot be crash-recovered.
+  virtual bool SupportsSealing() const { return false; }
+  virtual std::vector<uint8_t> SealState(SealedStore& store, uint64_t counter_id) const {
+    (void)store;
+    (void)counter_id;
+    return {};
+  }
+  virtual UnsealStatus RestoreState(SealedStore& store, uint64_t counter_id,
+                                    std::span<const uint8_t> blob) {
+    (void)store;
+    (void)counter_id;
+    (void)blob;
+    return UnsealStatus::kCorrupt;
+  }
 };
 
 // Factory signature the orchestrator consumes: (partition id, seed) -> backend.

@@ -5,6 +5,18 @@
 
 namespace snoopy {
 
+const char* UnsealStatusName(UnsealStatus status) {
+  switch (status) {
+    case UnsealStatus::kOk:
+      return "fresh";
+    case UnsealStatus::kRollback:
+      return "a rolled-back replay";
+    case UnsealStatus::kCorrupt:
+      return "corrupt";
+  }
+  return "unknown";
+}
+
 uint64_t MonotonicCounterService::Create() {
   counters_.push_back(0);
   return counters_.size() - 1;

@@ -15,6 +15,8 @@
 
 #include <cstdint>
 #include <span>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "src/crypto/aead.h"
@@ -38,6 +40,25 @@ enum class UnsealStatus {
   kOk,        // authentic and fresh
   kRollback,  // authentic but bound to a stale counter value: replay attack
   kCorrupt,   // failed authentication
+};
+
+// Stable names for error messages and test output.
+const char* UnsealStatusName(UnsealStatus status);
+
+// Surfaced (never swallowed) when restore-after-crash is handed a superseded or
+// tampered snapshot: the host is mounting a rollback attack, and serving requests
+// from stale state would break linearizability, so the component refuses to start.
+class RollbackDetectedError : public std::runtime_error {
+ public:
+  RollbackDetectedError(const std::string& component, UnsealStatus status)
+      : std::runtime_error("refusing to restore " + component + ": snapshot is " +
+                           UnsealStatusName(status)),
+        status_(status) {}
+
+  UnsealStatus status() const { return status_; }
+
+ private:
+  UnsealStatus status_;
 };
 
 class SealedStore {

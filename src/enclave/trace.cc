@@ -25,6 +25,36 @@ uint64_t TraceRecorder::Digest() const {
   return h;
 }
 
+std::vector<TraceEvent> MemoryEvents(const std::vector<TraceEvent>& events) {
+  std::vector<TraceEvent> out;
+  out.reserve(events.size());
+  for (const TraceEvent& e : events) {
+    if (IsMemoryEvent(e)) {
+      out.push_back(e);
+    }
+  }
+  return out;
+}
+
+uint64_t MemoryTraceDigest(const std::vector<TraceEvent>& events) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  auto mix = [&h](uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 0x100000001b3ULL;
+    }
+  };
+  for (const TraceEvent& e : events) {
+    if (!IsMemoryEvent(e)) {
+      continue;
+    }
+    mix(static_cast<uint64_t>(e.op));
+    mix(e.a);
+    mix(e.b);
+  }
+  return h;
+}
+
 std::string TraceRecorder::ToString(size_t limit) const {
   static constexpr const char* kNames[] = {"?",      "cswap", "cset", "read",  "write",
                                            "bucket", "append", "send", "recv", "epoch"};

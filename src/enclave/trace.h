@@ -80,6 +80,21 @@ inline void TraceRecord(TraceOp op, uint64_t a, uint64_t b = 0) {
   TraceRecorder::Global().Record(op, a, b);
 }
 
+// True for events describing enclave-internal memory accesses, false for the network
+// communication pattern (kMsgSend/kMsgRecv). The fault-recovery tests compare the
+// memory subsequence on its own: retransmissions triggered by adversarial drops change
+// the message pattern (trivially simulatable -- the adversary caused them), but must
+// leave every enclave's memory trace byte-identical.
+inline bool IsMemoryEvent(const TraceEvent& e) {
+  return e.op != TraceOp::kMsgSend && e.op != TraceOp::kMsgRecv;
+}
+
+std::vector<TraceEvent> MemoryEvents(const std::vector<TraceEvent>& events);
+
+// FNV-1a digest over only the memory events of `events` (same encoding as
+// TraceRecorder::Digest).
+uint64_t MemoryTraceDigest(const std::vector<TraceEvent>& events);
+
 // RAII capture: clears the global recorder, enables it for the scope's lifetime, and
 // leaves the captured events in place for inspection after destruction.
 class TraceScope {

@@ -31,6 +31,16 @@ class SecureChannel {
   // replay (the counter does not advance in that case).
   bool Open(std::span<const uint8_t> sealed, std::vector<uint8_t>& plaintext_out);
 
+  // Re-establishes the channel under a fresh key, resetting both counters. Used when
+  // an endpoint is restarted after a crash: its in-enclave channel state is gone, so
+  // the surviving peer re-runs attestation and both sides start a new session (paper
+  // section 9 -- sealed state is restored, channels are re-established).
+  void Rekey(const Aead::Key& key) {
+    aead_ = Aead(key);
+    send_counter_ = 0;
+    recv_counter_ = 0;
+  }
+
   uint64_t messages_sealed() const { return send_counter_; }
   uint64_t messages_opened() const { return recv_counter_; }
 
@@ -49,6 +59,12 @@ class SecureLink {
 
   SecureChannel& a_to_b() { return a_to_b_; }
   SecureChannel& b_to_a() { return b_to_a_; }
+
+  // Fresh session for both directions (see SecureChannel::Rekey).
+  void Rekey(const Aead::Key& key) {
+    a_to_b_.Rekey(key);
+    b_to_a_.Rekey(key);
+  }
 
  private:
   SecureChannel a_to_b_;

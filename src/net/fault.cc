@@ -1,0 +1,75 @@
+#include "src/net/fault.h"
+
+namespace snoopy {
+
+std::string FaultInjector::ComponentOf(const std::string& endpoint) {
+  const size_t first = endpoint.find('/');
+  if (first == std::string::npos) {
+    return endpoint;
+  }
+  const size_t second = endpoint.find('/', first + 1);
+  return second == std::string::npos ? endpoint : endpoint.substr(0, second);
+}
+
+void FaultInjector::SetProfile(const std::string& component, const FaultProfile& profile) {
+  profiles_[component] = profile;
+}
+
+const FaultProfile& FaultInjector::ProfileFor(const std::string& endpoint) const {
+  const auto it = profiles_.find(ComponentOf(endpoint));
+  return it == profiles_.end() ? default_profile_ : it->second;
+}
+
+bool FaultInjector::Flip(double probability) {
+  if (probability <= 0) {
+    return false;
+  }
+  // 53-bit uniform in [0, 1); plenty of resolution for test probabilities.
+  const double u = static_cast<double>(rng_.Next64() >> 11) / 9007199254740992.0;
+  return u < probability;
+}
+
+FaultAction FaultInjector::Decide(const std::string& endpoint) {
+  ++decisions_;
+  const FaultProfile& p = ProfileFor(endpoint);
+  if (Flip(p.drop)) {
+    return FaultAction::kDrop;
+  }
+  if (Flip(p.duplicate)) {
+    return FaultAction::kDuplicate;
+  }
+  if (Flip(p.corrupt)) {
+    return rng_.Uniform(2) == 0 ? FaultAction::kCorruptRequest : FaultAction::kCorruptReply;
+  }
+  if (Flip(p.crash_before_reply)) {
+    return FaultAction::kCrashBeforeReply;
+  }
+  if (Flip(p.delay)) {
+    return FaultAction::kDelay;
+  }
+  return FaultAction::kNone;
+}
+
+bool FaultInjector::PollEpochCrash(const std::string& component) {
+  const auto it = profiles_.find(component);
+  const FaultProfile& p = it == profiles_.end() ? default_profile_ : it->second;
+  if (!Flip(p.crash_at_epoch_start)) {
+    return false;
+  }
+  MarkCrashed(component);
+  return true;
+}
+
+bool FaultInjector::IsCrashed(const std::string& endpoint) const {
+  return crashed_.count(ComponentOf(endpoint)) != 0;
+}
+
+void FaultInjector::CorruptBit(std::vector<uint8_t>& bytes) {
+  if (bytes.empty()) {
+    return;
+  }
+  const uint64_t bit = rng_.Uniform(bytes.size() * 8);
+  bytes[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+}
+
+}  // namespace snoopy

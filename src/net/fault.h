@@ -1,0 +1,167 @@
+// Typed network failures and deterministic fault injection.
+//
+// The paper's operability argument (sections 4.3 and 9) rests on components that
+// tolerate the network misbehaving: load balancers are stateless across epochs and
+// subORAM state can be resealed and restored under rollback protection. This header
+// makes failure a first-class, *testable* input: a seeded FaultInjector decides, per
+// Network::Call, whether the message is dropped, delayed, duplicated, corrupted, or
+// whether the callee crashes before replying -- and a NetworkError hierarchy gives
+// callers enough structure to retry, recover, or surface each case deliberately.
+//
+// Determinism matters: the injector draws every decision from one seeded CSPRNG, so a
+// chaos run is a pure function of (seed, call sequence) and failures found by the
+// fault-recovery tests replay exactly.
+
+#ifndef SNOOPY_SRC_NET_FAULT_H_
+#define SNOOPY_SRC_NET_FAULT_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "src/crypto/rng.h"
+
+namespace snoopy {
+
+// ---------------------------------------------------------------------------------
+// Typed error hierarchy. Every failure Network::Call can produce derives from
+// NetworkError and carries the endpoint it concerns; `retryable()` tells a retry loop
+// whether resending the same bytes can possibly help.
+// ---------------------------------------------------------------------------------
+
+class NetworkError : public std::runtime_error {
+ public:
+  NetworkError(const std::string& what, std::string endpoint, bool retryable)
+      : std::runtime_error(what), endpoint_(std::move(endpoint)), retryable_(retryable) {}
+
+  const std::string& endpoint() const { return endpoint_; }
+  bool retryable() const { return retryable_; }
+
+ private:
+  std::string endpoint_;
+  bool retryable_;
+};
+
+// No handler is registered under the name: a wiring bug, never transient.
+class EndpointNotFoundError : public NetworkError {
+ public:
+  explicit EndpointNotFoundError(const std::string& endpoint)
+      : NetworkError("unknown endpoint: " + endpoint, endpoint, /*retryable=*/false) {}
+};
+
+// The request or its reply was lost; the caller cannot tell which. Retryable --
+// callers must resend byte-identical payloads so the receiver can deduplicate.
+class TimeoutError : public NetworkError {
+ public:
+  explicit TimeoutError(const std::string& endpoint)
+      : NetworkError("timed out calling " + endpoint, endpoint, /*retryable=*/true) {}
+};
+
+// The component owning the endpoint has crashed and answers nothing until it is
+// restarted. Retryable only after recovery; Snoopy's epoch loop catches this
+// specifically and runs the sealed-snapshot restore protocol.
+class EndpointCrashedError : public NetworkError {
+ public:
+  explicit EndpointCrashedError(const std::string& endpoint)
+      : NetworkError("endpoint crashed: " + endpoint, endpoint, /*retryable=*/true) {}
+};
+
+// Payload failed authentication (AEAD open) at either end: flipped bits in flight.
+// Retryable -- the sender's copy is intact and channel counters only advance on
+// successful opens, so a byte-identical resend authenticates.
+class IntegrityError : public NetworkError {
+ public:
+  explicit IntegrityError(const std::string& endpoint)
+      : NetworkError("payload failed authentication at " + endpoint, endpoint,
+                     /*retryable=*/true) {}
+};
+
+// A retry loop exhausted its per-call deadline or attempt budget. Terminal.
+class DeadlineExceededError : public NetworkError {
+ public:
+  DeadlineExceededError(const std::string& endpoint, int attempts)
+      : NetworkError("deadline exceeded after " + std::to_string(attempts) +
+                         " attempts calling " + endpoint,
+                     endpoint, /*retryable=*/false) {}
+};
+
+// ---------------------------------------------------------------------------------
+// Fault injection.
+// ---------------------------------------------------------------------------------
+
+// Per-call fault probabilities. Probabilities are evaluated in the declared order and
+// at most one fault fires per call.
+struct FaultProfile {
+  double drop = 0;                // request lost before delivery
+  double duplicate = 0;           // delivered twice (handler may run twice)
+  double corrupt = 0;             // one bit of the request or reply flipped in flight
+  double crash_before_reply = 0;  // callee processes the request, then dies; reply lost
+  double delay = 0;               // delivery delayed by `delay_s` on the virtual clock
+  double delay_s = 0;             // virtual seconds added when a delay fires
+  // Probability, polled once per component per epoch by the orchestrator, that the
+  // component is found crashed at the epoch boundary (models host reboots between
+  // epochs rather than mid-message).
+  double crash_at_epoch_start = 0;
+};
+
+enum class FaultAction : uint8_t {
+  kNone = 0,
+  kDrop,
+  kDuplicate,
+  kCorruptRequest,
+  kCorruptReply,
+  kCrashBeforeReply,
+  kDelay,
+};
+
+// Seeded chaos source consulted by Network::Call. Profiles attach to *components*
+// (e.g. "suboram/2"), which own every endpoint sharing their first two path segments
+// (e.g. "suboram/2/from/0"); a default profile covers the rest. Crashed components
+// stay down until Restart() -- recovery code calls Restart after restoring state.
+class FaultInjector {
+ public:
+  explicit FaultInjector(uint64_t seed) : rng_(seed) {}
+
+  // "suboram/2/from/1" -> "suboram/2"; names with fewer than two segments map to
+  // themselves.
+  static std::string ComponentOf(const std::string& endpoint);
+
+  void set_default_profile(const FaultProfile& profile) { default_profile_ = profile; }
+  void SetProfile(const std::string& component, const FaultProfile& profile);
+  const FaultProfile& ProfileFor(const std::string& endpoint) const;
+
+  // Draws the fault (if any) for one delivery to `endpoint`. Corruption picks request
+  // vs. reply direction with a fair coin.
+  FaultAction Decide(const std::string& endpoint);
+
+  // Epoch-boundary crash poll for a component (load balancer or subORAM); marks the
+  // component crashed when the draw fires so the caller must recover it.
+  bool PollEpochCrash(const std::string& component);
+
+  bool IsCrashed(const std::string& endpoint) const;
+  void MarkCrashed(const std::string& component) { crashed_.insert(component); }
+  void Restart(const std::string& component) { crashed_.erase(component); }
+
+  // Flips one uniformly chosen bit (no-op on empty payloads).
+  void CorruptBit(std::vector<uint8_t>& bytes);
+
+  double delay_s(const std::string& endpoint) const { return ProfileFor(endpoint).delay_s; }
+
+  uint64_t decisions() const { return decisions_; }
+
+ private:
+  bool Flip(double probability);
+
+  Rng rng_;
+  FaultProfile default_profile_;
+  std::map<std::string, FaultProfile> profiles_;  // by component
+  std::set<std::string> crashed_;                 // components currently down
+  uint64_t decisions_ = 0;
+};
+
+}  // namespace snoopy
+
+#endif  // SNOOPY_SRC_NET_FAULT_H_

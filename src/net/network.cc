@@ -1,7 +1,5 @@
 #include "src/net/network.h"
 
-#include <stdexcept>
-
 #include "src/enclave/trace.h"
 
 namespace snoopy {
@@ -32,12 +30,60 @@ std::vector<uint8_t> Network::Call(const std::string& from, const std::string& t
                                    std::span<const uint8_t> payload) {
   const auto it = endpoints_.find(to);
   if (it == endpoints_.end()) {
-    throw std::out_of_range("unknown endpoint: " + to);
+    throw EndpointNotFoundError(to);
   }
+
+  // A crashed component answers nothing; the caller's retry loop must recover it.
+  if (fault_injector_ != nullptr && fault_injector_->IsCrashed(to)) {
+    ++stats_.timeouts;
+    throw EndpointCrashedError(to);
+  }
+
+  const FaultAction fault =
+      fault_injector_ != nullptr ? fault_injector_->Decide(to) : FaultAction::kNone;
+  if (fault != FaultAction::kNone) {
+    ++stats_.faults_injected;
+  }
+
+  // The send happens (and is adversary-visible) for every fault except a pre-send
+  // drop, which we still trace: the adversary saw the bytes leave before losing them.
   TraceRecord(TraceOp::kMsgSend, EndpointTag(to), payload.size());
   ++stats_.messages;
   stats_.bytes_sent += payload.size();
-  std::vector<uint8_t> response = it->second(payload);
+
+  if (fault == FaultAction::kDrop) {
+    ++stats_.timeouts;
+    throw TimeoutError(to);
+  }
+  if (fault == FaultAction::kDelay && clock_ != nullptr) {
+    clock_->Advance(fault_injector_->delay_s(to));
+  }
+
+  std::vector<uint8_t> request(payload.begin(), payload.end());
+  if (fault == FaultAction::kCorruptRequest) {
+    fault_injector_->CorruptBit(request);
+  }
+
+  std::vector<uint8_t> response = it->second(request);
+  if (fault == FaultAction::kDuplicate) {
+    // Second delivery of the identical bytes; receivers deduplicate (the subORAM
+    // endpoint re-serves its cached epoch response). The duplicate's reply is the one
+    // that "arrives".
+    ++stats_.messages;
+    stats_.bytes_sent += request.size();
+    response = it->second(request);
+  }
+  if (fault == FaultAction::kCrashBeforeReply) {
+    // The callee did the work, then died before replying: its component goes down and
+    // the caller sees only silence.
+    fault_injector_->MarkCrashed(FaultInjector::ComponentOf(to));
+    ++stats_.timeouts;
+    throw TimeoutError(to);
+  }
+  if (fault == FaultAction::kCorruptReply) {
+    fault_injector_->CorruptBit(response);
+  }
+
   TraceRecord(TraceOp::kMsgRecv, EndpointTag(from), response.size());
   stats_.bytes_received += response.size();
   return response;

@@ -5,6 +5,13 @@
 // messages, records the communication pattern into the enclave trace (Appendix B's
 // trace includes "network communication"), and keeps byte/message statistics that the
 // figure harnesses and the cluster cost model consume.
+//
+// An optional FaultInjector makes the network adversarial: calls can be dropped,
+// delayed (on the shared VirtualClock), duplicated, bit-flipped, or terminated by a
+// callee crash. Failures surface as the typed NetworkError hierarchy (fault.h) so
+// callers can retry transient faults and run recovery for crashes; the Stats block
+// additionally counts retries, timeouts, injected faults, and recoveries so bench
+// harnesses and the simulator can report robustness observability alongside bytes.
 
 #ifndef SNOOPY_SRC_NET_NETWORK_H_
 #define SNOOPY_SRC_NET_NETWORK_H_
@@ -16,6 +23,9 @@
 #include <string>
 #include <vector>
 
+#include "src/net/fault.h"
+#include "src/net/retry.h"
+
 namespace snoopy {
 
 class Network {
@@ -26,21 +36,42 @@ class Network {
   void Register(const std::string& endpoint, Handler handler);
   bool HasEndpoint(const std::string& endpoint) const;
 
-  // Synchronous request/response. Throws std::out_of_range for unknown endpoints.
+  // Synchronous request/response. Throws EndpointNotFoundError for unknown endpoints;
+  // with a fault injector attached, also TimeoutError (drop / reply lost) and
+  // EndpointCrashedError (callee down until restarted). Injected corruption is
+  // delivered, not thrown: the AEAD channels at the endpoints detect it.
   std::vector<uint8_t> Call(const std::string& from, const std::string& to,
                             std::span<const uint8_t> payload);
+
+  // Both optional and non-owning. The clock absorbs injected delays so retry
+  // deadlines see them.
+  void set_fault_injector(FaultInjector* injector) { fault_injector_ = injector; }
+  FaultInjector* fault_injector() const { return fault_injector_; }
+  void set_clock(VirtualClock* clock) { clock_ = clock; }
 
   struct Stats {
     uint64_t messages = 0;
     uint64_t bytes_sent = 0;
     uint64_t bytes_received = 0;
+    // Robustness observability.
+    uint64_t retries = 0;          // resends performed by retry loops (RecordRetry)
+    uint64_t timeouts = 0;         // calls that ended without a reply
+    uint64_t faults_injected = 0;  // fault decisions that fired
+    uint64_t recoveries = 0;       // component restore/rebuild events (RecordRecovery)
   };
   const Stats& stats() const { return stats_; }
   void ResetStats() { stats_ = Stats{}; }
 
+  // Bumped by the owning orchestrator's retry/recovery code, which is where those
+  // events are visible.
+  void RecordRetry() { ++stats_.retries; }
+  void RecordRecovery() { ++stats_.recoveries; }
+
  private:
   std::map<std::string, Handler> endpoints_;
   Stats stats_;
+  FaultInjector* fault_injector_ = nullptr;
+  VirtualClock* clock_ = nullptr;
 };
 
 }  // namespace snoopy

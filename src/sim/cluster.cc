@@ -53,6 +53,57 @@ ClusterMetrics ClusterSimulator::Run(double ops_per_second, double duration,
   std::vector<double> so_free(s, 0.0);
 
   ClusterMetrics metrics;
+
+  // Machine failure process. Failure randomness lives in its own stream so disabling
+  // it (the default) leaves the arrival draws -- and hence every metric -- untouched.
+  const bool lb_fails = config_.lb_mttf_s > 0 && config_.lb_mttr_s > 0;
+  const bool so_fails = config_.suboram_mttf_s > 0 && config_.suboram_mttr_s > 0;
+  Rng failure_rng(seed ^ 0x9e3779b97f4a7c15ULL);
+  auto draw_exp = [&failure_rng](double mean) {
+    const double u =
+        (static_cast<double>(failure_rng.Next64() >> 11) + 0.5) / 9007199254740992.0;
+    return -mean * std::log(u);
+  };
+  std::vector<double> lb_next_fail(l, 0.0);
+  std::vector<double> so_next_fail(s, 0.0);
+  if (lb_fails) {
+    for (uint32_t i = 0; i < l; ++i) {
+      lb_next_fail[i] = draw_exp(config_.lb_mttf_s);
+    }
+  }
+  if (so_fails) {
+    for (uint32_t j = 0; j < s; ++j) {
+      so_next_fail[j] = draw_exp(config_.suboram_mttf_s);
+    }
+  }
+  // Applied at epoch boundaries (crashes are recovered at epoch granularity, matching
+  // the functional deployment): a machine whose failure time has passed goes down for
+  // an exponential repair, its pipeline stage stalls until the repair completes, and
+  // its next failure is scheduled after the repair.
+  auto apply_failures = [&](double boundary) {
+    if (lb_fails) {
+      for (uint32_t i = 0; i < l; ++i) {
+        while (lb_next_fail[i] <= boundary) {
+          const double repair = draw_exp(config_.lb_mttr_s);
+          lb_free[i] = std::max(lb_free[i], lb_next_fail[i] + repair);
+          ++metrics.failures;
+          metrics.downtime_s += repair;
+          lb_next_fail[i] = lb_next_fail[i] + repair + draw_exp(config_.lb_mttf_s);
+        }
+      }
+    }
+    if (so_fails) {
+      for (uint32_t j = 0; j < s; ++j) {
+        while (so_next_fail[j] <= boundary) {
+          const double repair = draw_exp(config_.suboram_mttr_s);
+          so_free[j] = std::max(so_free[j], so_next_fail[j] + repair);
+          ++metrics.failures;
+          metrics.downtime_s += repair;
+          so_next_fail[j] = so_next_fail[j] + repair + draw_exp(config_.suboram_mttf_s);
+        }
+      }
+    }
+  };
   metrics.offered_load = ops_per_second;
   double latency_sum = 0;
   double batch_sum = 0;
@@ -65,6 +116,7 @@ ClusterMetrics ClusterSimulator::Run(double ops_per_second, double duration,
   for (uint64_t e = 0; e < n_epochs; ++e) {
     const double boundary = static_cast<double>(e + 1) * t_epoch;
     const double epoch_mean_arrival = boundary - t_epoch / 2.0;
+    apply_failures(boundary);
     for (uint32_t i = 0; i < l; ++i) {
       lb_requests[i] = draw_poisson(rate * t_epoch / static_cast<double>(l));
     }

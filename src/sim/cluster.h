@@ -29,6 +29,16 @@ struct ClusterConfig {
   // Requests per client-visible operation (key transparency issues log2(n)+1 ORAM
   // accesses per lookup, paper section 8.2).
   double accesses_per_op = 1.0;
+  // Machine failure process (0 disables, the default). Each machine fails with
+  // exponential inter-failure times (mean = MTTF) and is unavailable for an
+  // exponential repair time (mean = MTTR): a crashed load balancer is rebuilt
+  // statelessly, a crashed subORAM restores its sealed snapshot (sections 4.3 and 9),
+  // and during repair its stage of the pipeline stalls. Failure randomness comes from
+  // a separate stream, so zero-rate runs are bit-identical to pre-failure-model runs.
+  double lb_mttf_s = 0;
+  double lb_mttr_s = 0;
+  double suboram_mttf_s = 0;
+  double suboram_mttr_s = 0;
 };
 
 struct ClusterMetrics {
@@ -39,6 +49,8 @@ struct ClusterMetrics {
   double max_latency_s = 0;
   double mean_batch_size = 0;    // per-subORAM batch size f(R, S) averaged over epochs
   bool saturated = false;        // backlog kept growing: offered load is unsustainable
+  uint64_t failures = 0;         // machine crashes during the simulated window
+  double downtime_s = 0;         // summed per-machine repair time
 };
 
 class ClusterSimulator {

@@ -78,7 +78,37 @@ TEST(Network, RoutesAndCounts) {
   EXPECT_EQ(net.stats().messages, 1u);
   EXPECT_EQ(net.stats().bytes_sent, 32u);
   EXPECT_EQ(net.stats().bytes_received, 32u);
-  EXPECT_THROW(net.Call("client", "nope", payload), std::out_of_range);
+  // Unknown endpoints surface as the typed, non-retryable wiring error.
+  try {
+    net.Call("client", "nope", payload);
+    FAIL() << "expected EndpointNotFoundError";
+  } catch (const EndpointNotFoundError& e) {
+    EXPECT_EQ(e.endpoint(), "nope");
+    EXPECT_FALSE(e.retryable());
+  }
+}
+
+TEST(SecureChannelTest, RekeyResetsCountersAndSessions) {
+  Rng rng(11);
+  const Aead::Key key = rng.NextKey32();
+  SecureLink lb_end(key, 3);
+  SecureLink so_end(key, 3);
+  // Advance both directions a few messages into the session.
+  for (int i = 0; i < 3; ++i) {
+    std::vector<uint8_t> opened;
+    ASSERT_TRUE(so_end.a_to_b().Open(lb_end.a_to_b().Seal(std::vector<uint8_t>{1}), opened));
+    ASSERT_TRUE(lb_end.b_to_a().Open(so_end.b_to_a().Seal(std::vector<uint8_t>{2}), opened));
+  }
+  // One end restarts: fresh key, both ends rekey, counters restart at zero and the
+  // new session works; bytes sealed under the old session no longer authenticate.
+  const std::vector<uint8_t> stale = lb_end.a_to_b().Seal(std::vector<uint8_t>{3});
+  const Aead::Key key2 = rng.NextKey32();
+  lb_end.Rekey(key2);
+  so_end.Rekey(key2);
+  std::vector<uint8_t> opened;
+  EXPECT_FALSE(so_end.a_to_b().Open(stale, opened));
+  EXPECT_TRUE(so_end.a_to_b().Open(lb_end.a_to_b().Seal(std::vector<uint8_t>{4}), opened));
+  EXPECT_EQ(opened, std::vector<uint8_t>{4});
 }
 
 }  // namespace

@@ -60,6 +60,58 @@ TEST(ClusterSimulator, AccessAmplificationDividesThroughput) {
       << "24 accesses per op must cost roughly 24x throughput (Figure 9b)";
 }
 
+TEST(ClusterSimulator, ZeroFailureRateIsBitIdenticalToBaseline) {
+  // The failure process draws from its own random stream, so leaving it disabled
+  // (the default) must not perturb a single metric of an existing seeded run.
+  const CostModel model;
+  const ClusterSimulator baseline(SmallConfig(), model);
+  ClusterConfig with_knobs = SmallConfig();
+  with_knobs.lb_mttf_s = 0;  // explicit zeros, same as default
+  with_knobs.suboram_mttf_s = 0;
+  const ClusterSimulator disabled(with_knobs, model);
+  const ClusterMetrics a = baseline.Run(2000, 6.0, /*seed=*/1);
+  const ClusterMetrics b = disabled.Run(2000, 6.0, /*seed=*/1);
+  EXPECT_EQ(a.completed_ops, b.completed_ops);
+  EXPECT_EQ(a.throughput, b.throughput);
+  EXPECT_EQ(a.mean_latency_s, b.mean_latency_s);
+  EXPECT_EQ(a.max_latency_s, b.max_latency_s);
+  EXPECT_EQ(b.failures, 0u);
+  EXPECT_EQ(b.downtime_s, 0.0);
+}
+
+TEST(ClusterSimulator, FailuresDegradeButDoNotZeroThroughput) {
+  // MTTF of a few seconds over a 6-second window guarantees crashes; MTTR of one
+  // epoch each. The cluster must keep serving (recovery works) at reduced speed.
+  const CostModel model;
+  const ClusterSimulator healthy(SmallConfig(), model);
+  ClusterConfig failing_cfg = SmallConfig();
+  failing_cfg.suboram_mttf_s = 2.0;
+  failing_cfg.suboram_mttr_s = 0.4;
+  failing_cfg.lb_mttf_s = 3.0;
+  failing_cfg.lb_mttr_s = 0.4;
+  const ClusterSimulator failing(failing_cfg, model);
+  const ClusterMetrics h = healthy.Run(2000, 6.0, /*seed=*/3);
+  const ClusterMetrics f = failing.Run(2000, 6.0, /*seed=*/3);
+  EXPECT_GT(f.failures, 0u);
+  EXPECT_GT(f.downtime_s, 0.0);
+  EXPECT_GT(f.throughput, 0.0) << "recovery must keep the cluster serving";
+  EXPECT_GE(f.mean_latency_s, h.mean_latency_s)
+      << "repair stalls must show up as added latency";
+}
+
+TEST(ClusterSimulator, FailureProcessIsSeedDeterministic) {
+  const CostModel model;
+  ClusterConfig cfg = SmallConfig();
+  cfg.suboram_mttf_s = 2.0;
+  cfg.suboram_mttr_s = 0.4;
+  const ClusterSimulator sim(cfg, model);
+  const ClusterMetrics a = sim.Run(2000, 6.0, /*seed=*/7);
+  const ClusterMetrics b = sim.Run(2000, 6.0, /*seed=*/7);
+  EXPECT_EQ(a.failures, b.failures);
+  EXPECT_EQ(a.downtime_s, b.downtime_s);
+  EXPECT_EQ(a.mean_latency_s, b.mean_latency_s);
+}
+
 TEST(ClusterSimulator, BestSplitUsesAllMachines) {
   const CostModel model;
   const auto split = ClusterSimulator::BestSplit(6, 2000000, 1.0, model);

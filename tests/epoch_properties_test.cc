@@ -74,11 +74,13 @@ TEST(EpochProperties, WireBytesMatchTheBatchBound) {
   const WireView v = EpochWireView(reqs, 1, 4, 9);
   const uint64_t batch = BatchSize(24, 4, 40);
   const uint64_t record_bytes = 48 + kValueSize;
-  // Serialized batch: 16-byte header + records; sealed adds a 16-byte tag.
-  const uint64_t per_message = 16 + batch * record_bytes + 16;
+  // Serialized batch: 16-byte header + records; sealed adds a 16-byte tag; the
+  // envelope adds the 8-byte epoch id (public retransmission-dedup metadata).
+  const uint64_t per_message = 8 + 16 + batch * record_bytes + 16;
   EXPECT_EQ(v.messages, 4u);
   EXPECT_EQ(v.bytes_sent, 4 * per_message);
-  EXPECT_EQ(v.bytes_received, 4 * per_message) << "responses mirror request batches";
+  EXPECT_EQ(v.bytes_received, 4 * (per_message - 8))
+      << "responses mirror request batches (no envelope on the return path)";
 }
 
 TEST(EpochProperties, WirePatternScalesWithPublicParameters) {
