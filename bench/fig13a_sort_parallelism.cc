@@ -33,11 +33,7 @@ double SortTime(size_t n, int threads, uint64_t seed) {
     BitonicSortSlab(
         slab,
         [](const uint8_t* a, const uint8_t* b) {
-          uint64_t ka;
-          uint64_t kb;
-          std::memcpy(&ka, a, 8);
-          std::memcpy(&kb, b, 8);
-          return CtLt64(ka, kb);
+          return LoadSecretU64(a, 0) < LoadSecretU64(b, 0);
         },
         threads);
   });

@@ -1,3 +1,6 @@
+// SNOOPY_LINT_EXEMPT: comparison baseline; models another system's leakage profile and
+// is intentionally outside the constant-time discipline (see tools/ct_manifest.json).
+
 #include "src/baseline/oblix_backend.h"
 
 #include <algorithm>

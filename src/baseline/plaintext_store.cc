@@ -1,3 +1,6 @@
+// SNOOPY_LINT_EXEMPT: deliberately leaky reference store; exists so the leakage
+// tests have a positive control (see tools/ct_manifest.json).
+
 #include "src/baseline/plaintext_store.h"
 
 #include <stdexcept>

@@ -8,19 +8,9 @@
 #include "src/obl/bitonic_sort.h"
 #include "src/obl/compaction.h"
 #include "src/obl/primitives.h"
+#include "src/obl/secret.h"
 
 namespace snoopy {
-
-namespace {
-
-inline bool BAnd(bool a, bool b) {
-  return static_cast<bool>(static_cast<unsigned>(a) & static_cast<unsigned>(b));
-}
-inline bool BOr(bool a, bool b) {
-  return static_cast<bool>(static_cast<unsigned>(a) | static_cast<unsigned>(b));
-}
-
-}  // namespace
 
 LoadBalancer::LoadBalancer(const LoadBalancerConfig& config, const SipKey& partition_key,
                            uint64_t rng_seed)
@@ -40,6 +30,8 @@ LoadBalancer::PreparedEpoch LoadBalancer::PrepareBatches(RequestBatch&& client_r
   const uint32_t s = config_.num_suborams;
   const uint64_t b = BatchSize(r, s, config_.lambda);
 
+  // SNOOPY_OBLIVIOUS_BEGIN(lb_prepare)
+  // ct-public: i r kSeqMask
   // Figure 5 step 1: assign each request its subORAM and the scratch fields the
   // oblivious pipeline sorts on. The `order` encoding makes the survivor of each
   // duplicate group sort first: writes before reads, later writes before earlier ones
@@ -49,19 +41,21 @@ LoadBalancer::PreparedEpoch LoadBalancer::PrepareBatches(RequestBatch&& client_r
     h.bin = SubOramOf(h.key);
     h.dummy = 0;
     h.resp = 0;
-    const bool is_write = CtEq64(h.op, kOpWrite);
+    const SecretBool is_write = SecretU64(h.op) == SecretU64(kOpWrite);
     // Survivor class (ascending priority): granted writes (latest first), granted
     // reads, denied writes, denied reads. Denied requests are no-ops at the subORAM,
     // so they must never be the survivor when any granted request exists -- otherwise
     // the whole duplicate group would see the subORAM's null response (section D).
-    const bool denied = h.granted == 0;
-    const uint64_t cls = (CtSelect64(denied, 2, 0)) | (CtSelect64(is_write, 0, 1));
+    const SecretBool denied = !SecretBool::FromWord(h.granted);
+    const SecretU64 cls = CtSelectU64(denied, 2, 0) | CtSelectU64(is_write, 0, 1);
     constexpr uint64_t kSeqMask = (uint64_t{1} << 61) - 1;
-    const uint64_t seq_part =
-        CtSelect64(is_write, (~h.client_seq) & kSeqMask, h.client_seq & kSeqMask);
-    h.order = (cls << 61) | seq_part;
+    const SecretU64 seq_part =
+        CtSelectU64(is_write, (~SecretU64(h.client_seq)) & kSeqMask,
+                    SecretU64(h.client_seq) & kSeqMask);
+    StoreSecret(h.order, (cls << 61) | seq_part);
     h.dedup = h.key;
   }
+  // SNOOPY_OBLIVIOUS_END(lb_prepare)
 
   PreparedEpoch epoch;
   epoch.batch_size = b;
@@ -127,6 +121,8 @@ RequestBatch LoadBalancer::MatchResponses(PreparedEpoch&& epoch,
   }
   TraceRecord(TraceOp::kAppend, merged.size(), 0);
 
+  // SNOOPY_OBLIVIOUS_BEGIN(lb_match)
+  // ct-public: i total value_size
   // Figure 6 step 2: oblivious sort by object id, responses before requests.
   BitonicSortSlab(
       merged.slab(),
@@ -135,9 +131,13 @@ RequestBatch LoadBalancer::MatchResponses(PreparedEpoch&& epoch,
         const auto* hb = reinterpret_cast<const RequestHeader*>(b);
         // Secondary word: responses (resp=1) first, then requests by arrival order.
         // CtSelect, not ?:, because the flag is secret once records start moving.
-        const uint64_t wa = CtSelect64(ha->resp != 0, 0, (uint64_t{1} << 63) | ha->order);
-        const uint64_t wb = CtSelect64(hb->resp != 0, 0, (uint64_t{1} << 63) | hb->order);
-        return BOr(CtLt64(ha->key, hb->key), BAnd(CtEq64(ha->key, hb->key), CtLt64(wa, wb)));
+        const SecretU64 wa = CtSelectU64(SecretBool::FromWord(ha->resp), 0,
+                                         SecretU64((uint64_t{1} << 63) | ha->order));
+        const SecretU64 wb = CtSelectU64(SecretBool::FromWord(hb->resp), 0,
+                                         SecretU64((uint64_t{1} << 63) | hb->order));
+        const SecretU64 ka(ha->key);
+        const SecretU64 kb(hb->key);
+        return (ka < kb) | ((ka == kb) & (wa < wb));
       },
       config_.sort_threads);
 
@@ -146,21 +146,23 @@ RequestBatch LoadBalancer::MatchResponses(PreparedEpoch&& epoch,
   // deduplicated with a granted request for the same object (Appendix D).
   std::vector<uint8_t> prev_value(value_size, 0);
   const std::vector<uint8_t> zeros(value_size, 0);
-  uint64_t prev_key = ~uint64_t{0};
+  SecretU64 prev_key = ~uint64_t{0};
   const size_t total = merged.size();
   std::vector<uint8_t> keep(total, 0);
   for (size_t i = 0; i < total; ++i) {
     TraceRecord(TraceOp::kRead, i);
     RequestHeader& h = merged.Header(i);
     uint8_t* value = merged.Value(i);
-    const bool is_resp = h.resp != 0;
+    const SecretBool is_resp = SecretBool::FromWord(h.resp);
     CtCondCopyBytes(is_resp, prev_value.data(), value, value_size);
-    prev_key = CtSelect64(is_resp, h.key, prev_key);
-    const bool take = BAnd(!is_resp, CtEq64(h.key, prev_key));
+    prev_key = CtSelectU64(is_resp, h.key, prev_key);
+    const SecretBool take = (!is_resp) & (SecretU64(h.key) == prev_key);
     CtCondCopyBytes(take, value, prev_value.data(), value_size);
-    CtCondCopyBytes(BAnd(take, h.granted == 0), value, zeros.data(), value_size);
-    keep[i] = static_cast<uint8_t>(!is_resp);
+    CtCondCopyBytes(take & !SecretBool::FromWord(h.granted), value, zeros.data(),
+                    value_size);
+    keep[i] = (!is_resp).ToFlagByte();
   }
+  // SNOOPY_OBLIVIOUS_END(lb_match)
 
   // Figure 6 step 4: compact the responses (and dummy responses) away; what remains is
   // exactly one answered record per original client request.

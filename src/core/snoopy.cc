@@ -167,11 +167,7 @@ void Snoopy::InitializeOblivious(
   BitonicSortSlab(
       slab,
       [](const uint8_t* a, const uint8_t* b) {
-        uint32_t ba;
-        uint32_t bb;
-        std::memcpy(&ba, a, 4);
-        std::memcpy(&bb, b, 4);
-        return CtLt64(ba, bb);
+        return LoadSecretU32(a, 0) < LoadSecretU32(b, 0);
       },
       config_.sort_threads);
 

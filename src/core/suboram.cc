@@ -9,16 +9,9 @@
 #include "src/obl/bitonic_sort.h"
 #include "src/obl/hash_table.h"
 #include "src/obl/primitives.h"
+#include "src/obl/secret.h"
 
 namespace snoopy {
-
-namespace {
-
-inline bool BAnd(bool a, bool b) {
-  return static_cast<bool>(static_cast<unsigned>(a) & static_cast<unsigned>(b));
-}
-
-}  // namespace
 
 SubOram::SubOram(const SubOramConfig& config, uint64_t rng_seed)
     : config_(config), rng_(rng_seed), store_(0, 8 + config.value_size) {}
@@ -48,23 +41,29 @@ RequestBatch SubOram::ProcessBatch(RequestBatch&& batch) {
     throw std::invalid_argument("batch value size does not match subORAM value size");
   }
 
+  // SNOOPY_OBLIVIOUS_BEGIN(suboram_distinct)
+  // ct-public: b i config_ check_distinct
   // Definition 2 precondition: the batch must contain no duplicate keys. Checked with
-  // an oblivious sort over a copy of the key column plus one linear scan.
+  // an oblivious sort over a copy of the key column plus one linear scan. The presence
+  // of a duplicate is declassified (it aborts the whole batch, a protocol violation by
+  // the load balancer); which key collided is not.
   if (config_.check_distinct && b > 1) {
     std::vector<uint64_t> keys(b);
     for (size_t i = 0; i < b; ++i) {
       keys[i] = batch.Header(i).key;
     }
-    BitonicSort(std::span<uint64_t>(keys),
-                [](const uint64_t& x, const uint64_t& y) { return CtLt64(x, y); });
-    uint64_t dups = 0;
+    BitonicSort(std::span<uint64_t>(keys), [](const uint64_t& x, const uint64_t& y) {
+      return SecretU64(x) < SecretU64(y);
+    });
+    SecretU64 dups = 0;
     for (size_t i = 1; i < b; ++i) {
-      dups += CtSelect64(CtEq64(keys[i - 1], keys[i]), 1, 0);
+      dups += CtSelectU64(SecretU64(keys[i - 1]) == SecretU64(keys[i]), 1, 0);
     }
-    if (dups != 0) {
+    if ((dups != SecretU64(0)).Declassify("suboram.batch_has_dups")) {
       throw std::invalid_argument("subORAM batch contains duplicate keys");
     }
   }
+  // SNOOPY_OBLIVIOUS_END(suboram_distinct)
 
   // Step 1 (Fig. 7): build the per-batch oblivious hash table with fresh keys.
   TwoTierOht table(kRequestOhtSchema, config_.lambda);
@@ -90,6 +89,9 @@ RequestBatch SubOram::ProcessBatch(RequestBatch&& batch) {
   std::vector<std::mutex> tier2_locks(
       threads > 1 && table.params().bins2 > 0 ? table.params().bins2 : 0);
 
+  // SNOOPY_OBLIVIOUS_BEGIN(suboram_scan)
+  // ct-public: i off begin end stride value_size trace bucket threads
+  // ct-public: obj_key table tier1_locks tier2_locks
   auto scan_range = [&](size_t begin, size_t end, bool trace) {
     std::vector<uint8_t> old_value(value_size);
     for (size_t i = begin; i < end; ++i) {
@@ -105,19 +107,21 @@ RequestBatch SubOram::ProcessBatch(RequestBatch&& batch) {
         for (size_t off = 0; off + stride <= bucket.size(); off += stride) {
           auto* req = reinterpret_cast<RequestHeader*>(bucket.data() + off);
           uint8_t* req_value = bucket.data() + off + RequestBatch::kHeaderBytes;
-          const bool match = BAnd(CtEq64(req->key, obj_key), req->dummy == 0);
-          const bool is_write = CtEq64(req->op, kOpWrite);
-          const bool granted = req->granted != 0;
+          // Request contents (key, op, dummy flag, access decision) are secret; the
+          // object key being scanned is public (the scan visits all of them).
+          const SecretBool match = (SecretU64(req->key) == obj_key) &
+                                   !SecretBool::FromWord(req->dummy);
+          const SecretBool is_write = SecretU64(req->op) == SecretU64(kOpWrite);
+          const SecretBool granted = SecretBool::FromWord(req->granted);
           // old <- object value (staged so the write below can both update the object
           // and leave the pre-state for the response).
           std::memcpy(old_value.data(), obj_value, value_size);
           // Write path: object <- request payload (if a granted write matches).
-          CtCondCopyBytes(BAnd(BAnd(match, is_write), granted), obj_value, req_value,
-                          value_size);
+          CtCondCopyBytes(match & is_write & granted, obj_value, req_value, value_size);
           // Response path: request slot <- pre-state (for reads and writes alike).
           CtCondCopyBytes(match, req_value, old_value.data(), value_size);
           // Access control (section D): a denied read returns null rather than data.
-          CtCondCopyBytes(BAnd(match, !granted), req_value, zeros.data(), value_size);
+          CtCondCopyBytes(match & !granted, req_value, zeros.data(), value_size);
         }
       };
       if (threads > 1) {
@@ -137,6 +141,7 @@ RequestBatch SubOram::ProcessBatch(RequestBatch&& batch) {
       }
     }
   };
+  // SNOOPY_OBLIVIOUS_END(suboram_scan)
 
   if (threads <= 1) {
     scan_range(0, n_objects, /*trace=*/true);

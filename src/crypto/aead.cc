@@ -5,6 +5,7 @@
 #include "src/crypto/chacha20.h"
 #include "src/crypto/poly1305.h"
 #include "src/obl/primitives.h"
+#include "src/obl/secret.h"
 
 namespace snoopy {
 
@@ -55,6 +56,9 @@ std::vector<uint8_t> Aead::Seal(const Nonce& nonce, std::span<const uint8_t> aad
   return out;
 }
 
+// SNOOPY_OBLIVIOUS_BEGIN(aead_open)
+// ct-public: sealed kTagBytes ct_len
+
 bool Aead::Open(const Nonce& nonce, std::span<const uint8_t> aad, std::span<const uint8_t> sealed,
                 std::vector<uint8_t>& plaintext_out) const {
   plaintext_out.clear();
@@ -64,7 +68,11 @@ bool Aead::Open(const Nonce& nonce, std::span<const uint8_t> aad, std::span<cons
   const size_t ct_len = sealed.size() - kTagBytes;
   const Poly1305::Tag expected =
       ComputeTag(key_, nonce, aad, std::span<const uint8_t>(sealed.data(), ct_len));
-  if (!CtEqualBytes(expected.data(), sealed.data() + ct_len, kTagBytes)) {
+  // The comparison runs over the full tag regardless of where bytes differ; only the
+  // accept/reject verdict leaves the taint domain (that bit is the function's output).
+  const SecretBool tag_ok =
+      SecretEqualBytes(expected.data(), sealed.data() + ct_len, kTagBytes);
+  if (!tag_ok.Declassify("aead.tag_ok")) {
     return false;
   }
   plaintext_out.assign(sealed.begin(), sealed.begin() + static_cast<ptrdiff_t>(ct_len));
@@ -73,6 +81,8 @@ bool Aead::Open(const Nonce& nonce, std::span<const uint8_t> aad, std::span<cons
   cipher.Crypt(plaintext_out.data(), ct_len);
   return true;
 }
+
+// SNOOPY_OBLIVIOUS_END(aead_open)
 
 Aead::Nonce Aead::CounterNonce(uint64_t counter, uint32_t channel) {
   Nonce n{};

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "src/obl/secret.h"
+
 namespace snoopy {
 
 Mac256 HmacSha256(std::span<const uint8_t> key, std::span<const uint8_t> message) {
@@ -41,5 +43,20 @@ Mac256 DeriveKey(std::span<const uint8_t> root, std::string_view label, uint64_t
   msg[56] = static_cast<uint8_t>(label_len);
   return HmacSha256(root, std::span<const uint8_t>(msg.data(), msg.size()));
 }
+
+// SNOOPY_OBLIVIOUS_BEGIN(hmac_verify)
+// ct-public: mac Mac256
+
+bool VerifyHmacSha256(std::span<const uint8_t> key, std::span<const uint8_t> message,
+                      std::span<const uint8_t> mac) {
+  if (mac.size() != sizeof(Mac256)) {
+    return false;
+  }
+  const Mac256 expected = HmacSha256(key, message);
+  return SecretEqualBytes(expected.data(), mac.data(), expected.size())
+      .Declassify("hmac.verify");
+}
+
+// SNOOPY_OBLIVIOUS_END(hmac_verify)
 
 }  // namespace snoopy

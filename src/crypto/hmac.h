@@ -23,6 +23,11 @@ Mac256 HmacSha256(std::span<const uint8_t> key, std::span<const uint8_t> message
 // (HKDF-Expand specialized to a single 32-byte output block.)
 Mac256 DeriveKey(std::span<const uint8_t> root, std::string_view label, uint64_t counter);
 
+// Recomputes the MAC and compares it against `mac` in constant time. The verdict is
+// declassified through the Secret<T> audit trail (site "hmac.verify").
+bool VerifyHmacSha256(std::span<const uint8_t> key, std::span<const uint8_t> message,
+                      std::span<const uint8_t> mac);
+
 }  // namespace snoopy
 
 #endif  // SNOOPY_SRC_CRYPTO_HMAC_H_

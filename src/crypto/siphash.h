@@ -14,6 +14,8 @@
 #include <cstddef>
 #include <span>
 
+#include "src/obl/secret.h"
+
 namespace snoopy {
 
 using SipKey = std::array<uint8_t, 16>;
@@ -22,6 +24,13 @@ uint64_t SipHash24(const SipKey& key, std::span<const uint8_t> data);
 
 // Convenience for hashing a single 64-bit object identifier.
 uint64_t SipHash24(const SipKey& key, uint64_t value);
+
+// Taint-preserving adapter: a keyed hash of a secret stays secret. SipHash itself is
+// ARX (add-rotate-xor) with a fixed round structure, so it is branchless and
+// index-free by construction; this overload is part of the Secret<T> trusted base.
+inline SecretU64 SipHash24(const SipKey& key, SecretU64 value) {
+  return SecretU64(SipHash24(key, value.SecretValueForPrimitive()));
+}
 
 }  // namespace snoopy
 

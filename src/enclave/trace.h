@@ -32,6 +32,7 @@ enum class TraceOp : uint8_t {
   kMsgSend = 7,     // message of b bytes to endpoint a
   kMsgRecv = 8,     // message of b bytes from endpoint a
   kEpoch = 9,       // epoch boundary marker
+  kDeclassify = 10,  // Secret<T>::Declassify at site a (FNV-1a of the site label)
 };
 
 struct TraceEvent {
@@ -48,7 +49,12 @@ struct TraceEvent {
 // the algorithm under test single-threaded so the event order is deterministic.
 class TraceRecorder {
  public:
-  static TraceRecorder& Global();
+  // Inline so that header-only users (obl/secret.h runs in every layer, including
+  // snoopy_crypto which snoopy_enclave itself links) need no enclave objects.
+  static TraceRecorder& Global() {
+    static TraceRecorder recorder;
+    return recorder;
+  }
 
   void Enable() { enabled_ = true; }
   void Disable() { enabled_ = false; }

@@ -7,36 +7,20 @@
 #include "src/obl/bitonic_sort.h"
 #include "src/obl/compaction.h"
 #include "src/obl/primitives.h"
+#include "src/obl/secret.h"
 
 namespace snoopy {
 
 namespace {
 
-inline uint32_t LoadU32(const uint8_t* rec, size_t off) {
-  uint32_t v;
-  std::memcpy(&v, rec + off, sizeof(v));
-  return v;
-}
-
-inline uint64_t LoadU64(const uint8_t* rec, size_t off) {
-  uint64_t v;
-  std::memcpy(&v, rec + off, sizeof(v));
-  return v;
-}
-
 inline void StoreU32(uint8_t* rec, size_t off, uint32_t v) { std::memcpy(rec + off, &v, sizeof(v)); }
 inline void StoreU64(uint8_t* rec, size_t off, uint64_t v) { std::memcpy(rec + off, &v, sizeof(v)); }
 
-// Bitwise boolean helpers; && / || would short-circuit (branch) on secret data.
-inline bool BAnd(bool a, bool b) {
-  return static_cast<bool>(static_cast<unsigned>(a) & static_cast<unsigned>(b));
-}
-inline bool BOr(bool a, bool b) {
-  return static_cast<bool>(static_cast<unsigned>(a) | static_cast<unsigned>(b));
-}
-inline bool BNot(bool a) { return static_cast<bool>(static_cast<unsigned>(a) ^ 1u); }
-
 }  // namespace
+
+// SNOOPY_OBLIVIOUS_BEGIN(bin_placement)
+// ct-public: m z b j i n_real total dummy_counter dedup_enabled kept
+// ct-public: schema bin_offset dummy_offset order_offset dedup_offset key_offset
 
 BinPlacementResult ObliviousBinPlacement(ByteSlab& slab, const BinSchema& schema,
                                          const BinPlacementOptions& options,
@@ -44,10 +28,12 @@ BinPlacementResult ObliviousBinPlacement(ByteSlab& slab, const BinSchema& schema
   const uint64_t m = options.num_bins;
   const uint64_t z = options.bin_capacity;
   const size_t n_real = slab.size();
+  const bool dedup_enabled = options.dedup;
 
   // Step 1 (Fig. 5 step 2): append z padding dummies per bin. Dummy records sort after
   // real records within a bin (order = max) and carry unique dedup keys so they can
-  // never be mistaken for duplicates.
+  // never be mistaken for duplicates. Dummy metadata is public at append time (the
+  // records have not yet been obliviously mixed with real ones), hence the raw stores.
   uint64_t dummy_counter = 0;
   for (uint64_t b = 0; b < m; ++b) {
     for (uint64_t j = 0; j < z; ++j) {
@@ -62,24 +48,26 @@ BinPlacementResult ObliviousBinPlacement(ByteSlab& slab, const BinSchema& schema
   }
   TraceRecord(TraceOp::kAppend, n_real, m * z);
 
-  // Step 2 (Fig. 5 step 3): oblivious sort by (bin, dummy, dedup, order).
+  // Step 2 (Fig. 5 step 3): oblivious sort by (bin, dummy, dedup, order). From here on
+  // every record field is secret: loads go through the Secret<T> ports and the
+  // comparator stays in the taint domain until the oblivious swap consumes it.
   const auto key_of = [&schema](const uint8_t* rec) {
-    const uint64_t bin = LoadU32(rec, schema.bin_offset);
-    const uint64_t dummy = rec[schema.dummy_offset] & 1;
+    const SecretU64 bin = Widen(LoadSecretU32(rec, schema.bin_offset));
+    const SecretU64 dummy = Widen(LoadSecretU8(rec, schema.dummy_offset)) & 1;
     return (bin << 1) | dummy;
   };
   BitonicSortSlab(
       slab,
       [&](const uint8_t* a, const uint8_t* b) {
-        const uint64_t a1 = key_of(a);
-        const uint64_t b1 = key_of(b);
-        const uint64_t a2 = LoadU64(a, schema.dedup_offset);
-        const uint64_t b2 = LoadU64(b, schema.dedup_offset);
-        const uint64_t a3 = LoadU64(a, schema.order_offset);
-        const uint64_t b3 = LoadU64(b, schema.order_offset);
-        const bool lt3 = CtLt64(a3, b3);
-        const bool lt2 = BOr(CtLt64(a2, b2), BAnd(CtEq64(a2, b2), lt3));
-        return BOr(CtLt64(a1, b1), BAnd(CtEq64(a1, b1), lt2));
+        const SecretU64 a1 = key_of(a);
+        const SecretU64 b1 = key_of(b);
+        const SecretU64 a2 = LoadSecretU64(a, schema.dedup_offset);
+        const SecretU64 b2 = LoadSecretU64(b, schema.dedup_offset);
+        const SecretU64 a3 = LoadSecretU64(a, schema.order_offset);
+        const SecretU64 b3 = LoadSecretU64(b, schema.order_offset);
+        const SecretBool lt3 = a3 < b3;
+        const SecretBool lt2 = (a2 < b2) | ((a2 == b2) & lt3);
+        return (a1 < b1) | ((a1 == b1) & lt2);
       },
       options.sort_threads);
 
@@ -87,30 +75,31 @@ BinPlacementResult ObliviousBinPlacement(ByteSlab& slab, const BinSchema& schema
   // non-duplicate records (reals first, then padding).
   const size_t total = slab.size();
   std::vector<uint8_t> keep(total, 0);
-  uint64_t prev_bin = ~uint64_t{0};
-  uint64_t prev_dedup = ~uint64_t{0};
-  uint64_t count = 0;
-  uint64_t dropped_real = 0;
-  uint64_t placed_real = 0;
+  SecretU64 prev_bin = ~uint64_t{0};
+  SecretU64 prev_dedup_key = ~uint64_t{0};
+  SecretU64 count = 0;
+  SecretU64 dropped_real = 0;
+  SecretU64 placed_real = 0;
   for (size_t i = 0; i < total; ++i) {
     TraceRecord(TraceOp::kRead, i);
     const uint8_t* rec = slab.Record(i);
-    const uint64_t bin = LoadU32(rec, schema.bin_offset);
-    const bool is_dummy = rec[schema.dummy_offset] != 0;
-    const uint64_t dedup = LoadU64(rec, schema.dedup_offset);
+    const SecretU64 bin = Widen(LoadSecretU32(rec, schema.bin_offset));
+    const SecretBool is_dummy = LoadSecretU8(rec, schema.dummy_offset).NonZero();
+    const SecretU64 dedup_key = LoadSecretU64(rec, schema.dedup_offset);
 
-    const bool same_bin = CtEq64(bin, prev_bin);
-    count = CtSelect64(same_bin, count, 0);
-    const bool is_dup = options.dedup ? BAnd(same_bin, CtEq64(dedup, prev_dedup)) : false;
-    const bool keep_i = BAnd(BNot(is_dup), CtLt64(count, z));
-    count += CtSelect64(keep_i, 1, 0);
-    keep[i] = static_cast<uint8_t>(keep_i);
+    const SecretBool same_bin = bin == prev_bin;
+    count = CtSelectU64(same_bin, count, 0);
+    const SecretBool is_dup =
+        dedup_enabled ? same_bin & (dedup_key == prev_dedup_key) : SecretBool::False();
+    const SecretBool keep_i = (!is_dup) & (count < SecretU64(z));
+    count += CtSelectU64(keep_i, 1, 0);
+    keep[i] = keep_i.ToFlagByte();
 
     // A dropped real, non-duplicate record means a bin overflowed: abort condition.
-    dropped_real += CtSelect64(BAnd(BAnd(BNot(keep_i), BNot(is_dummy)), BNot(is_dup)), 1, 0);
-    placed_real += CtSelect64(BAnd(keep_i, BNot(is_dummy)), 1, 0);
+    dropped_real += CtSelectU64((!keep_i) & (!is_dummy) & (!is_dup), 1, 0);
+    placed_real += CtSelectU64(keep_i & (!is_dummy), 1, 0);
     prev_bin = bin;
-    prev_dedup = dedup;
+    prev_dedup_key = dedup_key;
   }
 
   // Step 4 (Fig. 5 step 4, second half): compact the kept records to the front. The
@@ -119,9 +108,15 @@ BinPlacementResult ObliviousBinPlacement(ByteSlab& slab, const BinSchema& schema
   slab.Truncate(kept < m * z ? kept : m * z);
 
   BinPlacementResult result;
-  result.ok = (dropped_real == 0) && (kept == m * z);
-  result.placed = placed_real;
+  // Whether the batch fit is public (Theorem 3: overflow is a negligible-probability
+  // abort the caller surfaces); the count of placed reals is public for the same
+  // reason the compaction count is.
+  result.ok =
+      (dropped_real == SecretU64(0)).Declassify("bin_placement.ok") && (kept == m * z);
+  result.placed = placed_real.Declassify("bin_placement.placed");
   return result;
 }
+
+// SNOOPY_OBLIVIOUS_END(bin_placement)
 
 }  // namespace snoopy

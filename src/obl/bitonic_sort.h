@@ -6,6 +6,10 @@
 // parallelizes it across enclave threads (Figure 13a), which RunBitonicNetwork supports
 // by fanning the independent recursive halves out to a bounded thread pool.
 //
+// Comparators operate on secret record fields and therefore must return SecretBool
+// (obl/secret.h), keeping the compare result in the taint domain until it reaches the
+// oblivious swap. Branching on it is a compile error.
+//
 // Complexity: O(n log^2 n) compare-swaps; depth O(log^2 n).
 
 #ifndef SNOOPY_SRC_OBL_BITONIC_SORT_H_
@@ -18,9 +22,14 @@
 
 #include "src/enclave/trace.h"
 #include "src/obl/primitives.h"
+#include "src/obl/secret.h"
 #include "src/obl/slab.h"
 
 namespace snoopy {
+
+// SNOOPY_OBLIVIOUS_BEGIN(bitonic_sort)
+// ct-public: n lo m asc threads i j k stride max_threads hw cap kParallelThreshold
+// ct-calls: GreatestPowerOfTwoBelow BitonicMerge BitonicSortRec AdaptiveSortThreads
 
 namespace internal {
 
@@ -43,9 +52,9 @@ void BitonicMerge(size_t lo, size_t n, bool asc, const CSwap& cswap, int threads
     cswap(i, i + m, asc);
   }
   if (threads > 1) {
-    std::thread t([&] { BitonicMerge(lo, m, asc, cswap, threads / 2); });
+    std::thread half{[&] { BitonicMerge(lo, m, asc, cswap, threads / 2); }};
     BitonicMerge(lo + m, n - m, asc, cswap, threads - threads / 2);
-    t.join();
+    half.join();
   } else {
     BitonicMerge(lo, m, asc, cswap, 1);
     BitonicMerge(lo + m, n - m, asc, cswap, 1);
@@ -59,9 +68,9 @@ void BitonicSortRec(size_t lo, size_t n, bool asc, const CSwap& cswap, int threa
   }
   const size_t m = n / 2;
   if (threads > 1) {
-    std::thread t([&] { BitonicSortRec(lo, m, !asc, cswap, threads / 2); });
+    std::thread half{[&] { BitonicSortRec(lo, m, !asc, cswap, threads / 2); }};
     BitonicSortRec(lo + m, n - m, asc, cswap, threads - threads / 2);
-    t.join();
+    half.join();
   } else {
     BitonicSortRec(lo, m, !asc, cswap, 1);
     BitonicSortRec(lo + m, n - m, asc, cswap, 1);
@@ -81,21 +90,21 @@ void RunBitonicNetwork(size_t n, const CSwap& cswap, int threads = 1) {
 }
 
 // Sorts a span of trivially-copyable records in place. `less(a, b)` must be a
-// branchless strict weak ordering (see obl/primitives.h helpers).
+// branchless strict weak ordering returning SecretBool (see obl/secret.h).
 template <typename T, typename Less>
 void BitonicSort(std::span<T> data, const Less& less, int threads = 1) {
   RunBitonicNetwork(
       data.size(),
       [&](size_t i, size_t j, bool asc) {
         TraceRecord(TraceOp::kCondSwap, i, j);
-        const bool out_of_order = asc ? less(data[j], data[i]) : less(data[i], data[j]);
+        const SecretBool out_of_order = asc ? less(data[j], data[i]) : less(data[i], data[j]);
         OCmpSwap(out_of_order, data[i], data[j]);
       },
       threads);
 }
 
 // Sorts a ByteSlab of records in place; `less(a, b)` receives raw record pointers and
-// must be branchless.
+// must be branchless, returning SecretBool.
 template <typename Less>
 void BitonicSortSlab(ByteSlab& slab, const Less& less, int threads = 1) {
   const size_t stride = slab.record_bytes();
@@ -106,7 +115,7 @@ void BitonicSortSlab(ByteSlab& slab, const Less& less, int threads = 1) {
         TraceRecord(TraceOp::kCondSwap, i, j);
         uint8_t* a = base + i * stride;
         uint8_t* b = base + j * stride;
-        const bool out_of_order = asc ? less(b, a) : less(a, b);
+        const SecretBool out_of_order = asc ? less(b, a) : less(a, b);
         CtCondSwapBytes(out_of_order, a, b, stride);
       },
       threads);
@@ -123,6 +132,8 @@ inline int AdaptiveSortThreads(size_t n, int max_threads) {
   const int cap = hw == 0 ? 1 : static_cast<int>(hw);
   return max_threads < cap ? max_threads : cap;
 }
+
+// SNOOPY_OBLIVIOUS_END(bitonic_sort)
 
 }  // namespace snoopy
 

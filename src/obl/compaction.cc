@@ -6,8 +6,12 @@
 #include "src/enclave/trace.h"
 #include "src/obl/bitonic_sort.h"
 #include "src/obl/primitives.h"
+#include "src/obl/secret.h"
 
 namespace snoopy {
+
+// SNOOPY_OBLIVIOUS_BEGIN(compaction)
+// ct-public: n i j stride shift asc
 
 size_t GoodrichCompact(ByteSlab& slab, std::span<uint8_t> flags) {
   const size_t n = slab.size();
@@ -21,15 +25,15 @@ size_t GoodrichCompact(ByteSlab& slab, std::span<uint8_t> flags) {
   // Distance each kept record must travel left: the count of dropped records before
   // it. Computed with a single oblivious linear scan. Dropped records are given
   // distance 0 so they never move left (they are displaced rightwards by swaps).
-  std::vector<uint64_t> dist(n);
-  uint64_t dropped = 0;
-  uint64_t kept = 0;
+  std::vector<SecretU64> dist(n);
+  SecretU64 dropped = 0;
+  SecretU64 kept = 0;
   for (size_t i = 0; i < n; ++i) {
     TraceRecord(TraceOp::kRead, i);
-    const bool keep = flags[i] != 0;
-    dist[i] = CtSelect64(keep, dropped, 0);
-    dropped += CtSelect64(keep, 0, 1);
-    kept += CtSelect64(keep, 1, 0);
+    const SecretBool keep = SecretBool::FromWord(flags[i]);
+    dist[i] = CtSelectU64(keep, dropped, 0);
+    dropped += CtSelectU64(keep, 0, 1);
+    kept += CtSelectU64(keep, 1, 0);
   }
 
   // Route through log n passes. In pass k, the record at position i + 2^k moves to
@@ -41,16 +45,16 @@ size_t GoodrichCompact(ByteSlab& slab, std::span<uint8_t> flags) {
     for (size_t i = 0; i + shift < n; ++i) {
       TraceRecord(TraceOp::kCondSwap, i, i + shift);
       const size_t j = i + shift;
-      // Bitwise & (not &&): short-circuiting would branch on secret data.
-      const bool move = static_cast<bool>(static_cast<unsigned>(flags[j] != 0) &
-                                          static_cast<unsigned>((dist[j] & shift) != 0));
-      dist[j] = CtSelect64(move, dist[j] - shift, dist[j]);
+      // SecretBool &, never &&: short-circuiting would branch on secret data.
+      const SecretBool move = SecretBool::FromWord(flags[j]) & (dist[j] & shift).NonZero();
+      dist[j] = CtSelect(move, dist[j] - SecretU64(shift), dist[j]);
       CtCondSwapBytes(move, base + i * stride, base + j * stride, stride);
       CtCondSwapBytes(move, &flags[i], &flags[j], 1);
-      CtCondSwapBytes(move, &dist[i], &dist[j], sizeof(uint64_t));
+      CtCondSwapBytes(move, &dist[i], &dist[j], sizeof(SecretU64));
     }
   }
-  return static_cast<size_t>(kept);
+  // The kept count is public by the paper's contract (section 4.2.1).
+  return static_cast<size_t>(kept.Declassify("compaction.goodrich.kept"));
 }
 
 size_t SortCompact(ByteSlab& slab, std::span<uint8_t> flags) {
@@ -62,25 +66,27 @@ size_t SortCompact(ByteSlab& slab, std::span<uint8_t> flags) {
   const size_t stride = slab.record_bytes();
   uint8_t* base = slab.data();
 
-  uint64_t kept = 0;
-  std::vector<uint64_t> rank(n);
+  SecretU64 kept = 0;
+  std::vector<SecretU64> rank(n);
   for (size_t i = 0; i < n; ++i) {
     TraceRecord(TraceOp::kRead, i);
-    const bool keep = flags[i] != 0;
-    kept += CtSelect64(keep, 1, 0);
+    const SecretBool keep = SecretBool::FromWord(flags[i]);
+    kept += CtSelectU64(keep, 1, 0);
     // Sort key: kept records first (in original order), dropped after (in original
     // order). The key embeds the keep bit in the top bit so comparisons stay simple.
-    rank[i] = CtSelect64(keep, 0, uint64_t{1} << 63) | static_cast<uint64_t>(i);
+    rank[i] = CtSelectU64(keep, 0, uint64_t{1} << 63) | SecretU64(i);
   }
 
   RunBitonicNetwork(n, [&](size_t i, size_t j, bool asc) {
     TraceRecord(TraceOp::kCondSwap, i, j);
-    const bool out_of_order = asc ? CtLt64(rank[j], rank[i]) : CtLt64(rank[i], rank[j]);
-    CtCondSwapBytes(out_of_order, &rank[i], &rank[j], sizeof(uint64_t));
+    const SecretBool out_of_order = asc ? rank[j] < rank[i] : rank[i] < rank[j];
+    CtCondSwapBytes(out_of_order, &rank[i], &rank[j], sizeof(SecretU64));
     CtCondSwapBytes(out_of_order, &flags[i], &flags[j], 1);
     CtCondSwapBytes(out_of_order, base + i * stride, base + j * stride, stride);
   });
-  return static_cast<size_t>(kept);
+  return static_cast<size_t>(kept.Declassify("compaction.sort.kept"));
 }
+
+// SNOOPY_OBLIVIOUS_END(compaction)
 
 }  // namespace snoopy

@@ -12,28 +12,14 @@
 #include "src/obl/bitonic_sort.h"
 #include "src/obl/compaction.h"
 #include "src/obl/primitives.h"
+#include "src/obl/secret.h"
 
 namespace snoopy {
 
 namespace {
 
-inline uint64_t LoadU64(const uint8_t* rec, size_t off) {
-  uint64_t v;
-  std::memcpy(&v, rec + off, sizeof(v));
-  return v;
-}
 inline void StoreU64(uint8_t* rec, size_t off, uint64_t v) { std::memcpy(rec + off, &v, sizeof(v)); }
 inline void StoreU32(uint8_t* rec, size_t off, uint32_t v) { std::memcpy(rec + off, &v, sizeof(v)); }
-inline uint32_t LoadU32(const uint8_t* rec, size_t off) {
-  uint32_t v;
-  std::memcpy(&v, rec + off, sizeof(v));
-  return v;
-}
-
-inline bool BAnd(bool a, bool b) {
-  return static_cast<bool>(static_cast<unsigned>(a) & static_cast<unsigned>(b));
-}
-inline bool BNot(bool a) { return static_cast<bool>(static_cast<unsigned>(a) ^ 1u); }
 
 constexpr uint64_t kMeanLoads[] = {1, 2, 3, 4, 6, 8, 12, 16, 24, 32};
 
@@ -104,6 +90,11 @@ OhtParams ChooseOhtParams(uint64_t n, uint32_t lambda) {
   return best;
 }
 
+// SNOOPY_OBLIVIOUS_BEGIN(oht_build)
+// ct-public: n i b j total pad1 sort_threads batch overflow
+// ct-public: params_ bins1 z1 bins2 overflow_cap schema_ dummy_offset
+// ct-public: tier1_ok r2 ok
+
 bool TwoTierOht::Build(ByteSlab&& batch, Rng& rng, int sort_threads) {
   const uint64_t n = batch.size();
   params_ = ChooseOhtParams(n, lambda_);
@@ -117,15 +108,17 @@ bool TwoTierOht::Build(ByteSlab&& batch, Rng& rng, int sort_threads) {
 
   ByteSlab slab = std::move(batch);
 
-  // Assign tier-1 bins and construction scratch fields with one linear scan.
+  // Assign tier-1 bins and construction scratch fields with one linear scan. Keys are
+  // secret, so the bucket assignment (a keyed hash of the key) is secret too and is
+  // written back through the taint-typed store.
   for (size_t i = 0; i < n; ++i) {
     uint8_t* rec = slab.Record(i);
-    const uint64_t key = LoadU64(rec, schema_.key_offset);
-    StoreU32(rec, schema_.bin_offset,
-             static_cast<uint32_t>(SipHash24(key1_, key) % params_.bins1));
+    const SecretU64 key = LoadSecretU64(rec, schema_.key_offset);
+    StoreSecretU32(rec, schema_.bin_offset,
+                   NarrowToU32(ModPublic(SipHash24(key1_, key), params_.bins1)));
     rec[schema_.dummy_offset] = 0;
     StoreU64(rec, schema_.order_offset, i);
-    StoreU64(rec, schema_.dedup_offset, key);
+    StoreSecretU64(rec, schema_.dedup_offset, key);
   }
 
   // Append tier-1 padding dummies (z1 per bin), then sort by (bin, dummy, order).
@@ -145,16 +138,13 @@ bool TwoTierOht::Build(ByteSlab&& batch, Rng& rng, int sort_threads) {
   BitonicSortSlab(
       slab,
       [this](const uint8_t* a, const uint8_t* b) {
-        const uint64_t a1 = (static_cast<uint64_t>(LoadU32(a, schema_.bin_offset)) << 1) |
-                            (a[schema_.dummy_offset] & 1);
-        const uint64_t b1 = (static_cast<uint64_t>(LoadU32(b, schema_.bin_offset)) << 1) |
-                            (b[schema_.dummy_offset] & 1);
-        const uint64_t a2 = LoadU64(a, schema_.order_offset);
-        const uint64_t b2 = LoadU64(b, schema_.order_offset);
-        const bool lt2 = CtLt64(a2, b2);
-        return static_cast<bool>(static_cast<unsigned>(CtLt64(a1, b1)) |
-                                 (static_cast<unsigned>(CtEq64(a1, b1)) &
-                                  static_cast<unsigned>(lt2)));
+        const SecretU64 a1 = (Widen(LoadSecretU32(a, schema_.bin_offset)) << 1) |
+                             (Widen(LoadSecretU8(a, schema_.dummy_offset)) & 1);
+        const SecretU64 b1 = (Widen(LoadSecretU32(b, schema_.bin_offset)) << 1) |
+                             (Widen(LoadSecretU8(b, schema_.dummy_offset)) & 1);
+        const SecretU64 a2 = LoadSecretU64(a, schema_.order_offset);
+        const SecretU64 b2 = LoadSecretU64(b, schema_.order_offset);
+        return (a1 < b1) | ((a1 == b1) & (a2 < b2));
       },
       sort_threads);
 
@@ -164,39 +154,41 @@ bool TwoTierOht::Build(ByteSlab&& batch, Rng& rng, int sort_threads) {
   const size_t total = slab.size();
   std::vector<uint8_t> keep1(total, 0);
   std::vector<uint8_t> to_tier2(total, 0);
-  uint64_t prev_bin = ~uint64_t{0};
-  uint64_t count = 0;
-  uint64_t overflow_count = 0;
+  SecretU64 prev_bin = ~uint64_t{0};
+  SecretU64 count = 0;
+  SecretU64 overflow_count = 0;
   for (size_t i = 0; i < total; ++i) {
     TraceRecord(TraceOp::kRead, i);
     const uint8_t* rec = slab.Record(i);
-    const uint64_t bin = LoadU32(rec, schema_.bin_offset);
-    const bool is_dummy = rec[schema_.dummy_offset] != 0;
-    const bool same_bin = CtEq64(bin, prev_bin);
-    count = CtSelect64(same_bin, count, 0);
-    const bool keep = CtLt64(count, params_.z1);
-    count += CtSelect64(keep, 1, 0);
-    keep1[i] = static_cast<uint8_t>(keep);
-    const bool overflow_real = BAnd(BNot(keep), BNot(is_dummy));
-    to_tier2[i] = static_cast<uint8_t>(overflow_real);
-    overflow_count += CtSelect64(overflow_real, 1, 0);
+    const SecretU64 bin = Widen(LoadSecretU32(rec, schema_.bin_offset));
+    const SecretBool is_dummy = LoadSecretU8(rec, schema_.dummy_offset).NonZero();
+    const SecretBool same_bin = bin == prev_bin;
+    count = CtSelectU64(same_bin, count, 0);
+    const SecretBool keep = count < SecretU64(params_.z1);
+    count += CtSelectU64(keep, 1, 0);
+    keep1[i] = keep.ToFlagByte();
+    const SecretBool overflow_real = (!keep) & (!is_dummy);
+    to_tier2[i] = overflow_real.ToFlagByte();
+    overflow_count += CtSelectU64(overflow_real, 1, 0);
     prev_bin = bin;
   }
-  const bool tier1_ok = CtLe64(overflow_count, params_.overflow_cap);
+  // Whether tier 1 fit its public cap is itself public (negligible-probability abort).
+  const bool tier1_ok =
+      (overflow_count <= SecretU64(params_.overflow_cap)).Declassify("oht.tier1_ok");
 
   // Second scan: recruit dropped padding dummies as tier-2 filler until the overflow
   // set reaches the cap.
-  const uint64_t fill_needed =
-      CtSelect64(tier1_ok, params_.overflow_cap - overflow_count, 0);
-  uint64_t filled = 0;
+  const SecretU64 fill_needed = CtSelectU64(
+      SecretBool::FromBool(tier1_ok), SecretU64(params_.overflow_cap) - overflow_count, 0);
+  SecretU64 filled = 0;
   for (size_t i = 0; i < total; ++i) {
     TraceRecord(TraceOp::kRead, i);
     const uint8_t* rec = slab.Record(i);
-    const bool is_dummy = rec[schema_.dummy_offset] != 0;
-    const bool avail = BAnd(is_dummy, keep1[i] == 0);
-    const bool take = BAnd(avail, CtLt64(filled, fill_needed));
-    filled += CtSelect64(take, 1, 0);
-    to_tier2[i] = static_cast<uint8_t>(to_tier2[i] | static_cast<uint8_t>(take));
+    const SecretBool is_dummy = LoadSecretU8(rec, schema_.dummy_offset).NonZero();
+    const SecretBool avail = is_dummy & !SecretBool::FromWord(keep1[i]);
+    const SecretBool take = avail & (filled < fill_needed);
+    filled += CtSelectU64(take, 1, 0);
+    to_tier2[i] = static_cast<uint8_t>(to_tier2[i] | take.ToFlagByte());
   }
 
   // Split: tier-1 residents into tier1_, overflow set into tier2 input.
@@ -216,11 +208,11 @@ bool TwoTierOht::Build(ByteSlab&& batch, Rng& rng, int sort_threads) {
   // bins so bin loads keep the balls-into-bins distribution that z2 was sized for.
   for (size_t i = 0; i < overflow.size(); ++i) {
     uint8_t* rec = overflow.Record(i);
-    const uint64_t key = LoadU64(rec, schema_.key_offset);
-    const bool is_dummy = rec[schema_.dummy_offset] != 0;
-    const uint64_t h = SipHash24(key2_, key) % params_.bins2;
-    const uint64_t r = rng.Uniform(params_.bins2);  // drawn for every record
-    StoreU32(rec, schema_.bin_offset, static_cast<uint32_t>(CtSelect64(is_dummy, r, h)));
+    const SecretU64 key = LoadSecretU64(rec, schema_.key_offset);
+    const SecretBool is_dummy = LoadSecretU8(rec, schema_.dummy_offset).NonZero();
+    const SecretU64 h = ModPublic(SipHash24(key2_, key), params_.bins2);
+    const SecretU64 r = rng.Uniform(params_.bins2);  // drawn for every record
+    StoreSecretU32(rec, schema_.bin_offset, NarrowToU32(CtSelectU64(is_dummy, r, h)));
     StoreU64(rec, schema_.order_offset, i);
     StoreU64(rec, schema_.dedup_offset, ~uint64_t{0} - i);
   }
@@ -238,6 +230,8 @@ bool TwoTierOht::Build(ByteSlab&& batch, Rng& rng, int sort_threads) {
   tier2_ = std::move(overflow);
   return tier1_ok && r2.ok;
 }
+
+// SNOOPY_OBLIVIOUS_END(oht_build)
 
 uint64_t TwoTierOht::Tier1BucketIndex(uint64_t key) const {
   return SipHash24(key1_, key) % params_.bins1;
@@ -264,6 +258,9 @@ std::span<uint8_t> TwoTierOht::Tier2Bucket(uint64_t key) {
   return {tier2_.data() + b * params_.z2 * stride, params_.z2 * stride};
 }
 
+// SNOOPY_OBLIVIOUS_BEGIN(oht_extract)
+// ct-public: i tier1_ tier2_ all schema_ dummy_offset
+
 ByteSlab TwoTierOht::ExtractAll() {
   ByteSlab all(0, tier1_.record_bytes());
   for (size_t i = 0; i < tier1_.size(); ++i) {
@@ -275,7 +272,7 @@ ByteSlab TwoTierOht::ExtractAll() {
   std::vector<uint8_t> flags(all.size());
   for (size_t i = 0; i < all.size(); ++i) {
     TraceRecord(TraceOp::kRead, i);
-    flags[i] = static_cast<uint8_t>(all.Record(i)[schema_.dummy_offset] == 0);
+    flags[i] = (!LoadSecretU8(all.Record(i), schema_.dummy_offset).NonZero()).ToFlagByte();
   }
   (void)GoodrichCompact(all, std::span<uint8_t>(flags.data(), flags.size()));
   all.Truncate(params_.n);
@@ -283,5 +280,7 @@ ByteSlab TwoTierOht::ExtractAll() {
   tier2_ = ByteSlab(0, all.record_bytes());
   return all;
 }
+
+// SNOOPY_OBLIVIOUS_END(oht_extract)
 
 }  // namespace snoopy

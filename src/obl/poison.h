@@ -1,0 +1,141 @@
+// Secret-poisoning harness (ctgrind-style dynamic constant-time checking).
+//
+// The static lint (tools/ct_lint.py) and the Secret<T> taint types catch
+// secret-dependent control flow at the *source* level. This header adds the runtime
+// complement: secret buffers are "poisoned" -- marked as uninitialized memory -- so a
+// memory-error detector reports the exact instruction of any branch or memory index
+// that depends on them. The technique is Langley's ctgrind: under Valgrind/Memcheck
+// (or MemorySanitizer) uninitialized-ness propagates through arithmetic exactly like
+// taint, and only *using* the value to decide a branch or an address is an error.
+// Declassification (Secret<T>::Declassify) un-poisons, so the audited escape hatches
+// are exactly the points where taint legally leaves the system.
+//
+// Backends, chosen at compile time (all no-ops unless SNOOPY_CT_CHECK is defined):
+//  - MemorySanitizer (clang -fsanitize=memory): __msan_allocated_memory / unpoison.
+//  - Valgrind/Memcheck client requests, when <valgrind/memcheck.h> is available.
+//    These compile to magic no-op instruction sequences, so a SNOOPY_CT_CHECK build
+//    runs normally and only performs real checking under `valgrind ./test`.
+//  - Fallback accounting backend (this container has neither MSan nor Valgrind):
+//    poison/unpoison maintain byte counters so tests can assert the declassification
+//    discipline (every secret that becomes public went through Declassify), and
+//    PoisonFill deterministically randomizes secret buffers from a global seed so the
+//    trace-differential tests in tests/ct_poison_test.cc can vary secrets without
+//    touching public parameters.
+
+#ifndef SNOOPY_SRC_OBL_POISON_H_
+#define SNOOPY_SRC_OBL_POISON_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#if defined(SNOOPY_CT_CHECK)
+#if defined(__has_feature)
+#if __has_feature(memory_sanitizer)
+#define SNOOPY_POISON_MSAN 1
+#include <sanitizer/msan_interface.h>
+#endif
+#endif
+#if !defined(SNOOPY_POISON_MSAN) && defined(__has_include)
+#if __has_include(<valgrind/memcheck.h>)
+#define SNOOPY_POISON_VALGRIND 1
+#include <valgrind/memcheck.h>
+#endif
+#endif
+#endif  // SNOOPY_CT_CHECK
+
+namespace snoopy {
+
+// Fallback-backend accounting state. Defined inline so the harness stays header-only.
+namespace poison_internal {
+inline uint64_t poisoned_bytes = 0;
+inline uint64_t poison_calls = 0;
+inline uint64_t unpoison_calls = 0;
+inline uint64_t fill_seed = 0;
+}  // namespace poison_internal
+
+// Name of the active backend: "msan", "valgrind", "accounting", or "off".
+inline const char* PoisonBackend() {
+#if defined(SNOOPY_POISON_MSAN)
+  return "msan";
+#elif defined(SNOOPY_POISON_VALGRIND)
+  return "valgrind";
+#elif defined(SNOOPY_CT_CHECK)
+  return "accounting";
+#else
+  return "off";
+#endif
+}
+
+// Marks [p, p+n) as secret. Under MSan/Valgrind the bytes become "uninitialized":
+// copying and arithmetic are fine, branching or indexing on them is reported.
+// Values are preserved by every backend.
+inline void PoisonSecret(const void* p, size_t n) {
+#if defined(SNOOPY_POISON_MSAN)
+  __msan_allocated_memory(p, n);
+#elif defined(SNOOPY_POISON_VALGRIND)
+  VALGRIND_MAKE_MEM_UNDEFINED(p, n);
+#elif defined(SNOOPY_CT_CHECK)
+  (void)p;
+  poison_internal::poisoned_bytes += n;
+  poison_internal::poison_calls += 1;
+#else
+  (void)p;
+  (void)n;
+#endif
+}
+
+// Declassifies [p, p+n): the bytes become ordinary public data again. Called by
+// Secret<T>::Declassify; callable directly for bulk declassification (e.g. a sealed
+// ciphertext leaving the enclave).
+inline void UnpoisonSecret(const void* p, size_t n) {
+#if defined(SNOOPY_POISON_MSAN)
+  __msan_unpoison(const_cast<void*>(static_cast<const void*>(p)), n);
+#elif defined(SNOOPY_POISON_VALGRIND)
+  VALGRIND_MAKE_MEM_DEFINED(p, n);
+#elif defined(SNOOPY_CT_CHECK)
+  (void)p;
+  poison_internal::poisoned_bytes =
+      poison_internal::poisoned_bytes >= n ? poison_internal::poisoned_bytes - n : 0;
+  poison_internal::unpoison_calls += 1;
+#else
+  (void)p;
+  (void)n;
+#endif
+}
+
+// Accounting-backend introspection (zero under the other backends).
+inline uint64_t PoisonCallCount() { return poison_internal::poison_calls; }
+inline uint64_t UnpoisonCallCount() { return poison_internal::unpoison_calls; }
+inline void ResetPoisonCounters() {
+  poison_internal::poisoned_bytes = 0;
+  poison_internal::poison_calls = 0;
+  poison_internal::unpoison_calls = 0;
+}
+
+// Seeds PoisonFill. Trace-differential tests run the same kernel under two seeds and
+// assert byte-identical traces; any divergence is a secret-dependent access.
+inline void SetPoisonFillSeed(uint64_t seed) { poison_internal::fill_seed = seed; }
+
+// Overwrites [p, p+n) with bytes from a splitmix64 stream over (fill seed, tag) and
+// poisons the result. Unlike PoisonSecret this destroys the contents -- it fabricates
+// a fresh secret, it does not protect an existing one.
+inline void PoisonFill(void* p, size_t n, uint64_t tag = 0) {
+  auto* bytes = static_cast<uint8_t*>(p);
+  uint64_t state = poison_internal::fill_seed ^ (tag * 0x9e3779b97f4a7c15ULL);
+  uint64_t word = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (i % 8 == 0) {
+      state += 0x9e3779b97f4a7c15ULL;
+      word = state;
+      word = (word ^ (word >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      word = (word ^ (word >> 27)) * 0x94d049bb133111ebULL;
+      word ^= word >> 31;
+    }
+    bytes[i] = static_cast<uint8_t>(word >> (8 * (i % 8)));
+  }
+  PoisonSecret(p, n);
+}
+
+}  // namespace snoopy
+
+#endif  // SNOOPY_SRC_OBL_POISON_H_

@@ -41,10 +41,17 @@ inline uint64_t CtMask64(bool c) {
   return ValueBarrier(0) - static_cast<uint64_t>(c);
 }
 
+// Mask-based select: `mask` must be all-ones or all-zeros (a CtMask64 result or a
+// SecretBool mask). The mask variants are the shared core of the bool entry points
+// below and of the Secret<T> overloads in obl/secret.h, which avoids round-tripping a
+// secret condition through `bool` on every operation.
+inline uint64_t CtSelect64Mask(uint64_t mask, uint64_t a, uint64_t b) {
+  return (a & mask) | (b & ~mask);
+}
+
 // Branchless select: returns `a` if c is true, else `b`.
 inline uint64_t CtSelect64(bool c, uint64_t a, uint64_t b) {
-  const uint64_t mask = CtMask64(c);
-  return (a & mask) | (b & ~mask);
+  return CtSelect64Mask(CtMask64(c), a, b);
 }
 
 inline uint32_t CtSelect32(bool c, uint32_t a, uint32_t b) {
@@ -71,20 +78,28 @@ inline bool CtLe64(uint64_t a, uint64_t b) { return !CtLt64(b, a); }
 inline bool CtGt64(uint64_t a, uint64_t b) { return CtLt64(b, a); }
 inline bool CtGe64(uint64_t a, uint64_t b) { return !CtLt64(a, b); }
 
-// Constant-time byte-wise equality over n bytes.
+// Constant-time equality over n bytes. Word-at-a-time (8-byte memcpy chunks, like
+// CtCondCopyBytes) with a byte-wise tail; the XOR-accumulator never branches on data.
 inline bool CtEqualBytes(const void* a, const void* b, size_t n) {
   const auto* pa = static_cast<const uint8_t*>(a);
   const auto* pb = static_cast<const uint8_t*>(b);
-  uint8_t acc = 0;
-  for (size_t i = 0; i < n; ++i) {
-    acc |= static_cast<uint8_t>(pa[i] ^ pb[i]);
+  uint64_t acc = 0;
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    uint64_t wa;
+    uint64_t wb;
+    std::memcpy(&wa, pa + i, 8);
+    std::memcpy(&wb, pb + i, 8);
+    acc |= wa ^ wb;
+  }
+  for (; i < n; ++i) {
+    acc |= static_cast<uint64_t>(pa[i] ^ pb[i]);
   }
   return CtIsZero64(acc);
 }
 
-// dst <- (c ? src : dst), byte-wise, without branching. Word-at-a-time for speed.
-inline void CtCondCopyBytes(bool c, void* dst, const void* src, size_t n) {
-  const uint64_t mask = CtMask64(c);
+// Mask-based conditional copy: dst <- (mask ? src : dst); mask all-ones or all-zeros.
+inline void CtCondCopyBytesMask(uint64_t mask, void* dst, const void* src, size_t n) {
   auto* d = static_cast<uint8_t*>(dst);
   const auto* s = static_cast<const uint8_t*>(src);
   size_t i = 0;
@@ -102,9 +117,13 @@ inline void CtCondCopyBytes(bool c, void* dst, const void* src, size_t n) {
   }
 }
 
-// Conditionally swaps two n-byte buffers iff `c` is true, without branching.
-inline void CtCondSwapBytes(bool c, void* a, void* b, size_t n) {
-  const uint64_t mask = CtMask64(c);
+// dst <- (c ? src : dst), without branching.
+inline void CtCondCopyBytes(bool c, void* dst, const void* src, size_t n) {
+  CtCondCopyBytesMask(CtMask64(c), dst, src, n);
+}
+
+// Mask-based conditional swap; mask all-ones or all-zeros.
+inline void CtCondSwapBytesMask(uint64_t mask, void* a, void* b, size_t n) {
   auto* pa = static_cast<uint8_t*>(a);
   auto* pb = static_cast<uint8_t*>(b);
   size_t i = 0;
@@ -125,6 +144,11 @@ inline void CtCondSwapBytes(bool c, void* a, void* b, size_t n) {
     pa[i] = static_cast<uint8_t>(pa[i] ^ diff);
     pb[i] = static_cast<uint8_t>(pb[i] ^ diff);
   }
+}
+
+// Conditionally swaps two n-byte buffers iff `c` is true, without branching.
+inline void CtCondSwapBytes(bool c, void* a, void* b, size_t n) {
+  CtCondSwapBytesMask(CtMask64(c), a, b, n);
 }
 
 // Oblivious compare-and-set over a trivially-copyable value: dst <- (c ? src : dst).

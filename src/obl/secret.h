@@ -1,0 +1,280 @@
+// Secret<T> / SecretBool: compile-time taint types for oblivious code.
+//
+// The Snoopy security proofs (Theorems 1-2, Appendix B) assume every building block is
+// branchless and free of secret-dependent memory indexing. primitives.h provides the
+// operators; this header makes *misusing a secret* a compile error instead of a silent
+// obliviousness break:
+//
+//  - Comparisons between Secret values return SecretBool (an all-ones/all-zeros mask),
+//    never `bool`.
+//  - Neither Secret<T> nor SecretBool converts to bool or to an integer, so
+//    `if (secret)`, `while (secret)`, `secret ? a : b`, `secret && x`, and
+//    `array[secret]` all fail to compile.
+//  - Secrets leave the system only through Declassify(site), which records a
+//    TraceOp::kDeclassify event (so declassification sites and counts are part of the
+//    adversary-visible trace checked by tests/obliviousness_test.cc) and un-poisons
+//    the value under the SNOOPY_CT_CHECK dynamic harness (obl/poison.h).
+//
+// The wrappers are zero-cost: trivially copyable, same size as the underlying word,
+// and every operation lowers to the same mask arithmetic the kernels used before
+// (bench/micro_primitives.cc measures Secret vs raw at equal throughput).
+//
+// Trusted-computing-base note: SecretValueForPrimitive / UnsafeRaw expose the raw word
+// WITHOUT an audit event. They exist so new oblivious primitives can be built on top
+// of existing ones; tools/ct_lint.py flags any use outside the files listed as "tcb"
+// in tools/ct_manifest.json.
+
+#ifndef SNOOPY_SRC_OBL_SECRET_H_
+#define SNOOPY_SRC_OBL_SECRET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+
+#include "src/enclave/trace.h"
+#include "src/obl/poison.h"
+#include "src/obl/primitives.h"
+
+namespace snoopy {
+
+// FNV-1a over a declassification-site label; the hash (not the value) goes into the
+// trace, so traces stay byte-identical across secret inputs while every
+// declassification remains visible and attributable.
+inline uint64_t DeclassifySiteHash(const char* site) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char* p = site; *p != '\0'; ++p) {
+    h ^= static_cast<uint8_t>(*p);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+// A boolean derived from secret data, represented as an all-ones (true) or all-zeros
+// (false) 64-bit mask. Supports branchless logic (& | ^ !) but cannot be branched on.
+class SecretBool {
+ public:
+  constexpr SecretBool() : mask_(0) {}
+
+  // Taint a branchlessly-computed bool (e.g. a CtLt64 result).
+  static SecretBool FromBool(bool b) { return SecretBool(CtMask64(b)); }
+  // Taint a 0/1 (or any zero/nonzero) flag word loaded from record memory.
+  static SecretBool FromWord(uint64_t w) { return SecretBool(~CtMask64(CtIsZero64(w))); }
+  // Build from an existing all-ones/all-zeros mask (TCB use).
+  static constexpr SecretBool FromMask(uint64_t mask) { return SecretBool(mask); }
+  static constexpr SecretBool False() { return SecretBool(0); }
+  static constexpr SecretBool True() { return SecretBool(~uint64_t{0}); }
+
+  SecretBool operator&(SecretBool o) const { return SecretBool(mask_ & o.mask_); }
+  SecretBool operator|(SecretBool o) const { return SecretBool(mask_ | o.mask_); }
+  SecretBool operator^(SecretBool o) const { return SecretBool(mask_ ^ o.mask_); }
+  SecretBool operator!() const { return SecretBool(~mask_); }
+  SecretBool& operator&=(SecretBool o) { mask_ &= o.mask_; return *this; }
+  SecretBool& operator|=(SecretBool o) { mask_ |= o.mask_; return *this; }
+
+  // Branching on a secret is a compile error; Declassify is the audited way out.
+  explicit operator bool() const = delete;
+
+  // The all-ones/all-zeros mask (TCB use: feeds the *Mask primitives directly).
+  uint64_t mask() const { return mask_; }
+
+  // A 0/1 byte for storing into record flag fields. The byte is still secret data --
+  // store it, move it obliviously, reload with FromWord; never branch on it.
+  uint8_t ToFlagByte() const { return static_cast<uint8_t>(mask_ & 1); }
+
+  // Audited escape hatch: emits kDeclassify(site) into the trace, un-poisons under
+  // SNOOPY_CT_CHECK, and returns the plain bool.
+  bool Declassify(const char* site) const {
+    TraceRecord(TraceOp::kDeclassify, DeclassifySiteHash(site));
+    UnpoisonSecret(&mask_, sizeof(mask_));
+    return static_cast<bool>(mask_ & 1);
+  }
+
+ private:
+  constexpr explicit SecretBool(uint64_t mask) : mask_(mask) {}
+  uint64_t mask_;
+};
+
+static_assert(std::is_trivially_copyable_v<SecretBool> && sizeof(SecretBool) == 8,
+              "SecretBool must move through CtCondSwapBytes like a plain word");
+
+// A secret unsigned integer. Arithmetic and bitwise operations stay in the taint
+// domain; comparisons return SecretBool; conversion to bool/integer is deleted, so a
+// Secret can never become a branch condition or an array index.
+template <typename T>
+class Secret {
+  static_assert(std::is_integral_v<T> && std::is_unsigned_v<T>,
+                "Secret<T> supports unsigned integral types");
+
+ public:
+  constexpr Secret() : v_(0) {}
+  constexpr Secret(T v) : v_(v) {}  // NOLINT: implicit so public constants mix freely
+
+  Secret operator+(Secret o) const { return Secret(static_cast<T>(v_ + o.v_)); }
+  Secret operator-(Secret o) const { return Secret(static_cast<T>(v_ - o.v_)); }
+  Secret operator&(Secret o) const { return Secret(static_cast<T>(v_ & o.v_)); }
+  Secret operator|(Secret o) const { return Secret(static_cast<T>(v_ | o.v_)); }
+  Secret operator^(Secret o) const { return Secret(static_cast<T>(v_ ^ o.v_)); }
+  Secret operator~() const { return Secret(static_cast<T>(~v_)); }
+  Secret operator<<(int s) const { return Secret(static_cast<T>(v_ << s)); }
+  Secret operator>>(int s) const { return Secret(static_cast<T>(v_ >> s)); }
+  Secret& operator+=(Secret o) { v_ = static_cast<T>(v_ + o.v_); return *this; }
+  Secret& operator-=(Secret o) { v_ = static_cast<T>(v_ - o.v_); return *this; }
+  Secret& operator|=(Secret o) { v_ = static_cast<T>(v_ | o.v_); return *this; }
+  Secret& operator&=(Secret o) { v_ = static_cast<T>(v_ & o.v_); return *this; }
+
+  SecretBool operator==(Secret o) const { return SecretBool::FromBool(CtEq64(v_, o.v_)); }
+  SecretBool operator!=(Secret o) const { return !(*this == o); }
+  SecretBool operator<(Secret o) const { return SecretBool::FromBool(CtLt64(v_, o.v_)); }
+  SecretBool operator<=(Secret o) const { return SecretBool::FromBool(CtLe64(v_, o.v_)); }
+  SecretBool operator>(Secret o) const { return SecretBool::FromBool(CtGt64(v_, o.v_)); }
+  SecretBool operator>=(Secret o) const { return SecretBool::FromBool(CtGe64(v_, o.v_)); }
+
+  // A Secret is not a bool and not an index.
+  explicit operator bool() const = delete;
+
+  // True iff the low bit / any bit is set, staying in the taint domain.
+  SecretBool LowBit() const { return SecretBool::FromMask(CtMask64(v_ & 1)); }
+  SecretBool NonZero() const { return SecretBool::FromWord(v_); }
+
+  // Audited escape hatch; see SecretBool::Declassify.
+  T Declassify(const char* site) const {
+    TraceRecord(TraceOp::kDeclassify, DeclassifySiteHash(site));
+    UnpoisonSecret(&v_, sizeof(v_));
+    return v_;
+  }
+
+  // TCB escape without an audit event, for implementing new oblivious primitives on
+  // top of existing ones (e.g. the SipHash adapter). Flagged by ct_lint outside the
+  // manifest's "tcb" file list.
+  T SecretValueForPrimitive() const { return v_; }
+
+ private:
+  T v_;
+};
+
+static_assert(std::is_trivially_copyable_v<Secret<uint64_t>> &&
+                  sizeof(Secret<uint64_t>) == 8,
+              "Secret<T> must move through CtCondSwapBytes like the raw T");
+
+using SecretU8 = Secret<uint8_t>;
+using SecretU32 = Secret<uint32_t>;
+using SecretU64 = Secret<uint64_t>;
+
+// ---- Interop with the primitives (SecretBool-conditioned oblivious operators) ----
+
+// Select between secrets under a secret condition.
+template <typename T>
+Secret<T> CtSelect(SecretBool c, Secret<T> a, Secret<T> b) {
+  return Secret<T>(static_cast<T>(CtSelect64Mask(
+      c.mask(), a.SecretValueForPrimitive(), b.SecretValueForPrimitive())));
+}
+
+inline SecretBool CtSelect(SecretBool c, SecretBool a, SecretBool b) {
+  return SecretBool::FromMask(CtSelect64Mask(c.mask(), a.mask(), b.mask()));
+}
+
+// Non-template spelling so public constants convert implicitly:
+// `count += CtSelectU64(keep, 1, 0)`.
+inline SecretU64 CtSelectU64(SecretBool c, SecretU64 a, SecretU64 b) {
+  return CtSelect(c, a, b);
+}
+
+// dst <- (c ? src : dst) over raw bytes / trivially-copyable values, mask-driven.
+inline void CtCondCopyBytes(SecretBool c, void* dst, const void* src, size_t n) {
+  CtCondCopyBytesMask(c.mask(), dst, src, n);
+}
+
+inline void CtCondSwapBytes(SecretBool c, void* a, void* b, size_t n) {
+  CtCondSwapBytesMask(c.mask(), a, b, n);
+}
+
+template <typename T>
+void OCmpSet(SecretBool c, T& dst, const T& src) {
+  static_assert(std::is_trivially_copyable_v<T>, "OCmpSet requires trivially copyable T");
+  CtCondCopyBytesMask(c.mask(), &dst, &src, sizeof(T));
+}
+
+template <typename T>
+void OCmpSwap(SecretBool c, T& a, T& b) {
+  static_assert(std::is_trivially_copyable_v<T>, "OCmpSwap requires trivially copyable T");
+  CtCondSwapBytesMask(c.mask(), &a, &b, sizeof(T));
+}
+
+// Constant-time equality over secret buffers, staying in the taint domain (the
+// Secret-typed sibling of CtEqualBytes; used for MAC/tag comparison).
+inline SecretBool SecretEqualBytes(const void* a, const void* b, size_t n) {
+  const auto* pa = static_cast<const uint8_t*>(a);
+  const auto* pb = static_cast<const uint8_t*>(b);
+  uint64_t acc = 0;
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    uint64_t wa;
+    uint64_t wb;
+    std::memcpy(&wa, pa + i, 8);
+    std::memcpy(&wb, pb + i, 8);
+    acc |= wa ^ wb;
+  }
+  for (; i < n; ++i) {
+    acc |= static_cast<uint64_t>(pa[i] ^ pb[i]);
+  }
+  return !SecretBool::FromWord(acc);
+}
+
+// ---- Secret field loads/stores on raw record memory ----
+//
+// Records move as opaque byte blocks; these helpers are the typed ports where secret
+// fields enter and leave the taint domain. Stores write the raw word -- record bytes
+// are secret data wherever they sit, which the poisoning harness tracks dynamically.
+
+inline SecretU64 LoadSecretU64(const uint8_t* rec, size_t off) {
+  uint64_t v;
+  std::memcpy(&v, rec + off, sizeof(v));
+  return SecretU64(v);
+}
+
+inline SecretU32 LoadSecretU32(const uint8_t* rec, size_t off) {
+  uint32_t v;
+  std::memcpy(&v, rec + off, sizeof(v));
+  return SecretU32(v);
+}
+
+inline SecretU8 LoadSecretU8(const uint8_t* rec, size_t off) { return SecretU8(rec[off]); }
+
+inline void StoreSecretU64(uint8_t* rec, size_t off, SecretU64 v) {
+  const uint64_t raw = v.SecretValueForPrimitive();
+  std::memcpy(rec + off, &raw, sizeof(raw));
+}
+
+inline void StoreSecretU32(uint8_t* rec, size_t off, SecretU32 v) {
+  const uint32_t raw = v.SecretValueForPrimitive();
+  std::memcpy(rec + off, &raw, sizeof(raw));
+}
+
+// Stores into a typed struct field (e.g. RequestHeader members) instead of a raw
+// record offset. Same taint boundary as the offset-based stores above.
+inline void StoreSecret(uint64_t& dst, SecretU64 v) { dst = v.SecretValueForPrimitive(); }
+inline void StoreSecret(uint32_t& dst, SecretU32 v) { dst = v.SecretValueForPrimitive(); }
+inline void StoreSecret(uint8_t& dst, SecretU8 v) { dst = v.SecretValueForPrimitive(); }
+
+// Widening conversions within the taint domain (always safe).
+inline SecretU64 Widen(SecretU32 v) { return SecretU64(v.SecretValueForPrimitive()); }
+inline SecretU64 Widen(SecretU8 v) { return SecretU64(v.SecretValueForPrimitive()); }
+
+// Explicit (named, auditable) narrowing for values the caller guarantees fit, e.g. a
+// bin index < 2^32 being stored into a uint32 record field.
+inline SecretU32 NarrowToU32(SecretU64 v) {
+  return SecretU32(static_cast<uint32_t>(v.SecretValueForPrimitive()));
+}
+
+// v mod m for a public modulus m (bucket counts are public geometry). Caveat shared
+// with the seed implementation: integer division latency is operand-dependent on some
+// microarchitectures; like the paper we treat source-level access patterns as the
+// boundary (see README "Security model and caveats").
+inline SecretU64 ModPublic(SecretU64 v, uint64_t m) {
+  return SecretU64(v.SecretValueForPrimitive() % m);
+}
+
+}  // namespace snoopy
+
+#endif  // SNOOPY_SRC_OBL_SECRET_H_

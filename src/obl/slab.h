@@ -16,6 +16,9 @@
 
 namespace snoopy {
 
+template <typename T>
+class Secret;  // obl/secret.h
+
 class ByteSlab {
  public:
   ByteSlab() : record_bytes_(1) {}
@@ -34,6 +37,15 @@ class ByteSlab {
     assert(i < size());
     return data_.data() + i * record_bytes_;
   }
+
+  // Record indices are addresses the adversary observes; a secret-typed index is a
+  // type error. Obliviously select a record with CtCondCopyBytes over a full scan.
+  template <typename T>
+  uint8_t* Record(Secret<T>) = delete;
+  template <typename T>
+  const uint8_t* Record(Secret<T>) const = delete;
+  template <typename T>
+  void Truncate(Secret<T>) = delete;
 
   // Appends a copy of the record pointed to by `rec` (record_bytes() bytes).
   void Append(const uint8_t* rec) {

@@ -18,7 +18,7 @@ struct Rec {
   uint64_t payload;
 };
 
-bool RecLess(const Rec& a, const Rec& b) { return CtLt64(a.key, b.key); }
+SecretBool RecLess(const Rec& a, const Rec& b) { return SecretU64(a.key) < SecretU64(b.key); }
 
 class BitonicSortSizes : public ::testing::TestWithParam<size_t> {};
 
@@ -93,11 +93,7 @@ TEST(BitonicSort, SlabVariantSortsRuntimeSizedRecords) {
     std::memset(slab.Record(i) + 8, static_cast<int>(i & 0xff), stride - 8);
   }
   BitonicSortSlab(slab, [](const uint8_t* a, const uint8_t* b) {
-    uint64_t ka;
-    uint64_t kb;
-    std::memcpy(&ka, a, 8);
-    std::memcpy(&kb, b, 8);
-    return CtLt64(ka, kb);
+    return LoadSecretU64(a, 0) < LoadSecretU64(b, 0);
   });
   std::sort(keys.begin(), keys.end());
   for (size_t i = 0; i < n; ++i) {

@@ -1,0 +1,53 @@
+// Fixture for the objdump-based no-branch smoke test (tools/check_nobranch.py).
+//
+// Each nb_* function wraps one oblivious primitive with a fixed, small size so the
+// optimizer can fully unroll its loops. The checker compiles this file at -O2 and
+// -O3, disassembles the object, and asserts that no conditional branch instruction
+// appears inside any nb_* symbol: the machine code realizes the mask arithmetic the
+// source promises. noipa keeps the compiler from specializing the functions on
+// constant arguments or folding them into each other.
+
+#include <cstdint>
+
+#include "src/obl/primitives.h"
+#include "src/obl/secret.h"
+
+extern "C" {
+
+__attribute__((noipa)) uint64_t nb_ct_select64(uint64_t c, uint64_t a, uint64_t b) {
+  return snoopy::CtSelect64(c != 0, a, b);
+}
+
+// restrict matches the primitives' contract (callers never alias dst/src); without
+// it the -O3 vectorizer guards the unrolled copy with a (public) overlap check that
+// the disassembly scan cannot tell apart from a data-dependent branch.
+__attribute__((noipa)) void nb_ct_cond_copy32(uint64_t c, uint8_t* __restrict__ dst,
+                                              const uint8_t* __restrict__ src) {
+  snoopy::CtCondCopyBytes(c != 0, dst, src, 32);
+}
+
+__attribute__((noipa)) void nb_ct_cond_swap32(uint64_t c, uint8_t* __restrict__ a,
+                                              uint8_t* __restrict__ b) {
+  snoopy::CtCondSwapBytes(c != 0, a, b, 32);
+}
+
+__attribute__((noipa)) uint64_t nb_ct_equal32(const uint8_t* a, const uint8_t* b) {
+  return static_cast<uint64_t>(snoopy::CtEqualBytes(a, b, 32));
+}
+
+__attribute__((noipa)) uint64_t nb_secret_select(uint64_t c, uint64_t a, uint64_t b) {
+  using namespace snoopy;
+  const SecretU64 r = CtSelectU64(SecretBool::FromWord(c), SecretU64(a), SecretU64(b));
+  return r.SecretValueForPrimitive();  // ct-ok: nobranch fixture reads the raw lane
+}
+
+__attribute__((noipa)) uint64_t nb_secret_compare_chain(uint64_t x, uint64_t y) {
+  using namespace snoopy;
+  const SecretU64 sx(x);
+  const SecretU64 sy(y);
+  const SecretBool lt = sx < sy;
+  const SecretBool eq = sx == sy;
+  return (lt | (eq & !lt)).mask();
+}
+
+}  // extern "C"

@@ -16,6 +16,9 @@
 #include "src/core/snoopy.h"
 #include "src/crypto/rng.h"
 #include "src/enclave/trace.h"
+#include "src/obl/compaction.h"
+#include "src/obl/hash_table.h"
+#include "src/obl/slab.h"
 
 namespace snoopy {
 namespace {
@@ -107,6 +110,120 @@ TEST(Obliviousness, PublicParametersDoShapeTheTrace) {
       << "subORAM count is public and should alter the trace";
   EXPECT_NE(base, EpochTraceDigest(2, 3, 140, UniformReads(24, 100, 1), 7))
       << "data size is public and should alter the trace";
+}
+
+// ---- Kernel-level trace identity ----
+//
+// The epoch tests above exercise the whole pipeline; these isolate the two kernels
+// with secret-dependent data movement (compaction routing, hash-table bucketing) and
+// assert their traces depend only on public geometry, not on the secrets.
+
+TEST(Obliviousness, CompactionTraceIndependentOfKeepPattern) {
+  // Same n and kept count (public), different keep patterns and payloads (secret).
+  auto run = [](size_t (*compact)(ByteSlab&, std::span<uint8_t>),
+                const std::vector<size_t>& keep_positions, uint8_t fill) {
+    constexpr size_t kN = 80;
+    ByteSlab slab(kN, 24);
+    for (size_t i = 0; i < kN; ++i) {
+      std::memset(slab.Record(i), fill + static_cast<int>(i % 7), 24);
+    }
+    std::vector<uint8_t> flags(kN, 0);
+    for (const size_t p : keep_positions) {
+      flags[p] = 1;
+    }
+    TraceScope scope;
+    const size_t kept = compact(slab, std::span<uint8_t>(flags));
+    EXPECT_EQ(kept, keep_positions.size());
+    return scope.Digest();
+  };
+  const std::vector<size_t> front = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  const std::vector<size_t> spread = {3, 11, 19, 27, 35, 43, 51, 59, 67, 79};
+  EXPECT_EQ(run(&GoodrichCompact, front, 10), run(&GoodrichCompact, spread, 200))
+      << "Goodrich routing leaked the keep pattern";
+  EXPECT_EQ(run(&SortCompact, front, 10), run(&SortCompact, spread, 200))
+      << "sort-based compaction leaked the keep pattern";
+}
+
+TEST(Obliviousness, CompactionTraceRespondsToPublicGeometry) {
+  auto run = [](size_t n, size_t kept) {
+    ByteSlab slab(n, 24);
+    std::vector<uint8_t> flags(n, 0);
+    for (size_t i = 0; i < kept; ++i) {
+      flags[i] = 1;
+    }
+    TraceScope scope;
+    GoodrichCompact(slab, std::span<uint8_t>(flags));
+    return scope.Digest();
+  };
+  // n is public and must shape the trace; the kept *count* is declassified output, but
+  // the routing itself is fixed by n alone, so two counts give the same trace.
+  EXPECT_NE(run(80, 10), run(96, 10));
+  EXPECT_EQ(run(80, 10), run(80, 40));
+}
+
+TEST(Obliviousness, HashTableTraceIndependentOfBatchKeys) {
+  // Two batches of equal size with disjoint key sets and different payloads; the
+  // construction sorts, scans, and bucket layout are fixed by (n, lambda) alone.
+  auto run = [](uint64_t key_base, uint64_t key_step, uint8_t fill) {
+    constexpr size_t kN = 96;
+    ByteSlab slab(kN, 48);
+    for (size_t i = 0; i < kN; ++i) {
+      uint8_t* rec = slab.Record(i);
+      std::memset(rec, fill, 48);
+      const uint64_t key = key_base + i * key_step;
+      std::memcpy(rec, &key, 8);
+      rec[12] = 0;  // real record
+    }
+    const OhtSchema schema{/*key_offset=*/0, /*bin_offset=*/8, /*dummy_offset=*/12,
+                           /*order_offset=*/16, /*dedup_offset=*/24};
+    TwoTierOht oht(schema, /*lambda=*/40);
+    Rng rng(17);
+    TraceScope scope;
+    EXPECT_TRUE(oht.Build(std::move(slab), rng));
+    ByteSlab out = oht.ExtractAll();
+    EXPECT_EQ(out.size(), kN);
+    return scope.Digest();
+  };
+  EXPECT_EQ(run(1000, 1, 3), run(900000, 7, 250))
+      << "hash table construction leaked the batch's key distribution";
+}
+
+TEST(Obliviousness, HashTableLookupTraceDependsOnlyOnBucketIndices) {
+  // A full-bucket scan's trace is (bucket index, tier) -- a PRF of the key, public
+  // under the once-per-key usage discipline. Two different keys mapping to different
+  // buckets give different traces; the same key twice gives the same trace.
+  constexpr size_t kN = 64;
+  ByteSlab slab(kN, 48);
+  for (size_t i = 0; i < kN; ++i) {
+    uint8_t* rec = slab.Record(i);
+    std::memset(rec, 0, 48);
+    const uint64_t key = 5000 + i;
+    std::memcpy(rec, &key, 8);
+  }
+  const OhtSchema schema{/*key_offset=*/0, /*bin_offset=*/8, /*dummy_offset=*/12,
+                         /*order_offset=*/16, /*dedup_offset=*/24};
+  TwoTierOht oht(schema, /*lambda=*/40);
+  Rng rng(23);
+  ASSERT_TRUE(oht.Build(std::move(slab), rng));
+  auto probe = [&](uint64_t key) {
+    TraceScope scope;
+    oht.Tier1Bucket(key);
+    oht.Tier2Bucket(key);
+    return scope.Events();
+  };
+  EXPECT_EQ(probe(5000), probe(5000));
+  // Find a second key landing in a different tier-1 bucket (exists for any non-trivial
+  // table; scan a few candidates to avoid assuming the PRF).
+  const uint64_t b0 = oht.Tier1BucketIndex(5000);
+  uint64_t other = 0;
+  for (uint64_t k = 5001; k < 5064; ++k) {
+    if (oht.Tier1BucketIndex(k) != b0) {
+      other = k;
+      break;
+    }
+  }
+  ASSERT_NE(other, 0u);
+  EXPECT_NE(probe(5000), probe(other));
 }
 
 TEST(Obliviousness, MultiEpochTraceStillIndependent) {

@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""check_nobranch: assert that compiled oblivious primitives contain no conditional
+branches.
+
+Source-level constant-time discipline (masks instead of branches) survives the
+compiler only if nothing in the toolchain re-introduces a jump. This check compiles
+tests/ct_nobranch_fixture.cc at a requested optimization level, disassembles the
+object with objdump, and scans every nb_* symbol for conditional-branch mnemonics.
+Loop back-edges count too -- the fixture uses small fixed sizes precisely so that
+every loop fully unrolls; a surviving loop means the "fully unrolled, branch-free"
+claim no longer holds and the fixture (or primitive) needs attention.
+
+Usage:
+  check_nobranch.py --compiler g++ --repo-root . --opt -O2 [--objdump objdump]
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import subprocess
+import sys
+import tempfile
+
+EXPECTED_SYMBOLS = [
+    "nb_ct_select64",
+    "nb_ct_cond_copy32",
+    "nb_ct_cond_swap32",
+    "nb_ct_equal32",
+    "nb_secret_select",
+    "nb_secret_compare_chain",
+]
+
+# x86-64 conditional control transfer: all j* except jmp, plus the loop family.
+X86_COND = re.compile(r"^\s*(j(?!mp)[a-z]+|loopn?e?|jr?cxz)\b")
+# aarch64: conditional branches and compare/test-and-branch.
+A64_COND = re.compile(r"^\s*(b\.[a-z]+|cbn?z|tbn?z)\b")
+
+SYMBOL_RE = re.compile(r"^[0-9a-f]+\s+<(\w+)>:")
+# objdump -d instruction line: address, raw bytes, then the mnemonic column.
+INSN_RE = re.compile(r"^\s*[0-9a-f]+:\s*(?:[0-9a-f]{2}\s)+\s*(.*)$")
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--compiler", required=True)
+    ap.add_argument("--repo-root", required=True, type=pathlib.Path)
+    ap.add_argument("--opt", default="-O2")
+    ap.add_argument("--objdump", default="objdump")
+    args = ap.parse_args()
+    root = args.repo_root.resolve()
+    fixture = root / "tests" / "ct_nobranch_fixture.cc"
+
+    with tempfile.TemporaryDirectory() as tmp:
+        obj = pathlib.Path(tmp) / "fixture.o"
+        compile_cmd = [
+            args.compiler, "-std=c++20", *args.opt.split(), "-c", str(fixture),
+            "-I", str(root), "-o", str(obj),
+        ]
+        r = subprocess.run(compile_cmd, capture_output=True, text=True)
+        if r.returncode != 0:
+            print(f"compile failed: {' '.join(compile_cmd)}\n{r.stderr}")
+            return 1
+        r = subprocess.run([args.objdump, "-d", "--no-show-raw-insn", str(obj)],
+                           capture_output=True, text=True)
+        if r.returncode != 0:
+            print(f"objdump failed:\n{r.stderr}")
+            return 1
+        disasm = r.stdout
+
+    # Partition the disassembly by symbol.
+    per_symbol: dict[str, list[str]] = {}
+    current = None
+    for line in disasm.splitlines():
+        m = SYMBOL_RE.match(line)
+        if m:
+            current = m.group(1)
+            per_symbol[current] = []
+        elif current is not None and line.strip():
+            per_symbol[current].append(line)
+
+    failures = 0
+    for sym in EXPECTED_SYMBOLS:
+        if sym not in per_symbol:
+            print(f"FAIL {sym}: symbol not found in disassembly")
+            failures += 1
+            continue
+        hits = []
+        for line in per_symbol[sym]:
+            # With --no-show-raw-insn the mnemonic follows "addr:\t".
+            text = line.split(":", 1)[1] if ":" in line else line
+            if X86_COND.match(text.strip()) or A64_COND.match(text.strip()):
+                hits.append(line.strip())
+        if hits:
+            print(f"FAIL {sym} ({args.opt}): conditional branch(es) in compiled code:")
+            for h in hits:
+                print(f"    {h}")
+            failures += 1
+        else:
+            print(f"ok {sym} ({args.opt}): {len(per_symbol[sym])} insns, no conditional branches")
+
+    if failures:
+        print(f"check_nobranch: {failures} failure(s) at {args.opt}")
+        return 1
+    print(f"check_nobranch: all {len(EXPECTED_SYMBOLS)} symbols branch-free at {args.opt}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

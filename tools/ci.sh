@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# One-command local CI: tier-1 tests + constant-time lint + sanitizer pass.
+#
+#   tools/ci.sh            # everything
+#   tools/ci.sh --fast     # skip the ASan/UBSan build (lint + default-build tests)
+#
+# Builds out-of-tree under build/ (default config) and build-asan/ (sanitizers), so a
+# developer's existing build directory is reused, not clobbered.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FAST=0
+[[ "${1:-}" == "--fast" ]] && FAST=1
+
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+echo "== constant-time lint (self-test corpus + real tree) =="
+python3 tools/ct_lint.py --repo-root . --self-test
+
+echo "== default build + full test suite =="
+cmake -S . -B build >/dev/null
+cmake --build build -j"${JOBS}"
+ctest --test-dir build --output-on-failure
+
+echo "== lint target (clang-tidy when installed) =="
+cmake --build build --target lint
+
+if [[ "${FAST}" == "1" ]]; then
+  echo "== --fast: skipping sanitizer build =="
+  exit 0
+fi
+
+echo "== ASan/UBSan build + full test suite =="
+cmake -S . -B build-asan -DSNOOPY_SANITIZE=ON >/dev/null
+cmake --build build-asan -j"${JOBS}"
+ctest --test-dir build-asan --output-on-failure
+
+echo "ci.sh: all checks passed"

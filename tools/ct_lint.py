@@ -1,0 +1,618 @@
+#!/usr/bin/env python3
+"""ct_lint: constant-time discipline linter for Snoopy's oblivious regions.
+
+Snoopy's security argument (paper Appendix B) requires that code handling secret
+request/object data is *oblivious*: no branch, memory index, or early-exit may depend
+on a secret. The Secret<T>/SecretBool wrappers (src/obl/secret.h) push most of that
+discipline into the type system; this linter closes the gaps the C++ type system
+cannot see:
+
+  * raw (untyped) locals inside an oblivious region flowing into a branch or index,
+  * short-circuit operators (&&/||) that would reintroduce a hidden branch,
+  * variable-time library calls (memcmp & friends) on secret buffers,
+  * use of the Secret<T> TCB escape hatch outside the trusted files.
+
+The unit of enforcement is a *region*:
+
+    // SNOOPY_OBLIVIOUS_BEGIN(name)
+    // ct-public: i n stride ...     <- identifiers that are public inside the region
+    ...code...
+    // SNOOPY_OBLIVIOUS_END(name)
+
+Inside a region every identifier is secret unless it is (a) declared on a ct-public
+line, (b) a builtin/allowlisted accessor, or (c) the expression routes through an
+audited `.Declassify("site")` call. Findings can be suppressed with a trailing
+`// ct-ok: reason` on the offending line (or the line above).
+
+Files are classified by tools/ct_manifest.json:
+  tcb      - the taint boundary itself (secret.h, primitives.h, ...); not linted.
+  enforced - must contain at least one region; regions are linted.
+  public   - no secret handling expected; only the TCB-escape rule applies.
+  exempt   - intentionally non-oblivious (baselines); must carry an in-file
+             `// SNOOPY_LINT_EXEMPT: reason` marker.
+
+Rules:
+  CT001 secret-branch       if/while/for condition mentions a non-public identifier
+  CT002 secret-ternary      ?: condition mentions a non-public identifier
+  CT003 short-circuit       &&/|| operand mentions a non-public identifier
+  CT004 secret-index        subscript expression mentions a non-public identifier
+  CT005 banned-call         memcmp/strcmp/... anywhere in a region
+  CT006 unvetted-call       call to a function outside the oblivious allowlist
+  CT007 tcb-escape          SecretValueForPrimitive() outside a tcb file
+  CT008 manifest            region/manifest structural problems
+
+Exit status: 0 if no findings, 1 otherwise. `--self-test` runs the planted-violation
+corpus (tools/ct_lint_selftest/), an injection demo against bitonic_sort.h, and then
+the real tree.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import re
+import sys
+from dataclasses import dataclass, field
+
+# --------------------------------------------------------------------------- lexing
+
+RE_BEGIN = re.compile(r"//\s*SNOOPY_OBLIVIOUS_BEGIN\((\w+)\)")
+RE_END = re.compile(r"//\s*SNOOPY_OBLIVIOUS_END\((\w+)\)")
+RE_PUBLIC = re.compile(r"//\s*ct-public:\s*(.*)")
+RE_CALLS = re.compile(r"//\s*ct-calls:\s*(.*)")
+RE_OK = re.compile(r"//\s*ct-ok\b")
+RE_EXEMPT = re.compile(r"//\s*SNOOPY_LINT_EXEMPT:\s*\S")
+RE_EXPECT = re.compile(r"//\s*EXPECT:\s*([A-Z0-9 ]+)")
+RE_EXPECT_FILE = re.compile(r"//\s*EXPECT-FILE:\s*([A-Z0-9 ]+)")
+
+TOKEN_RE = re.compile(
+    r"[A-Za-z_]\w*"  # identifier / keyword
+    r"|\d[\w.]*"  # number
+    r"|&&|\|\||::|->|<<=?|>>=?|<=|>=|==|!=|\+=|-=|\*=|/=|\|=|&=|\^=|\+\+|--"
+    r"|[^\sA-Za-z_0-9]"  # single punctuation
+)
+
+KEYWORDS = {
+    "if", "else", "while", "for", "do", "switch", "case", "default", "return",
+    "break", "continue", "goto", "throw", "try", "catch", "new", "delete",
+    "const", "constexpr", "static", "inline", "extern", "mutable", "volatile",
+    "auto", "void", "bool", "char", "int", "unsigned", "signed", "long", "short",
+    "float", "double", "struct", "class", "enum", "union", "namespace", "using",
+    "typename", "template", "typedef", "public", "private", "protected", "friend",
+    "operator", "sizeof", "alignof", "static_cast", "reinterpret_cast",
+    "const_cast", "dynamic_cast", "noexcept", "explicit", "virtual", "override",
+    "final", "this", "true", "false", "nullptr", "co_await", "co_return",
+}
+
+# Identifiers that are always considered public: fixed-width types, common
+# size/capacity accessors (container identity and geometry are public), and the
+# declassify escape itself.
+BUILTIN_PUBLIC = {
+    "uint8_t", "uint16_t", "uint32_t", "uint64_t", "int8_t", "int16_t",
+    "int32_t", "int64_t", "size_t", "ptrdiff_t", "uintptr_t", "std",
+    "size", "empty", "length", "record_bytes", "value_size", "capacity",
+    "Declassify", "first", "second", "value", "data", "begin", "end",
+}
+
+# Calls that may appear inside an oblivious region. Prefixes cover the oblivious
+# primitive families; exact names cover vetted helpers and public-geometry accessors.
+CALL_ALLOW_PREFIXES = (
+    "Ct", "Secret", "Load", "Store", "Oblivious", "Bitonic", "Goodrich",
+    "Trace", "OCmp", "Poison", "Unpoison", "Sip", "Choose", "Run",
+)
+CALL_ALLOW = {
+    # libc / language
+    "memcpy", "memset", "assert", "move", "swap", "get",
+    # secret.h vocabulary
+    "Widen", "NarrowToU32", "ModPublic", "Declassify", "ToFlagByte", "NonZero",
+    "LowBit", "FromWord", "FromBool", "FromMask", "False", "True", "mask",
+    # public container/geometry accessors
+    "size", "empty", "data", "record_bytes", "Record", "Append", "AppendZero",
+    "Truncate", "clear", "reserve", "resize", "push_back", "emplace_back",
+    "assign", "begin", "end", "join", "hardware_concurrency", "value_size",
+    "slab", "Header", "Value", "params",
+    # vetted project helpers reachable from regions
+    "Uniform", "Next64", "NextSipKey", "Tier1Bucket", "Tier2Bucket",
+    "Tier1BucketIndex", "Tier2BucketIndex", "SubOramOf", "HmacSha256",
+    "ComputeTag", "Crypt", "KeystreamBlock", "Finalize", "Update",
+    "make_dummy", "key_of", "apply", "cswap", "less",
+    # record/aggregate constructors (value moves, no control flow)
+    "ByteSlab", "RequestBatch", "OhtParams", "BinSchema", "BinPlacementOptions",
+    # abort paths (reached only on declassified/public conditions)
+    "invalid_argument", "runtime_error", "out_of_range", "logic_error",
+}
+
+BANNED_CALLS = {
+    "memcmp", "strcmp", "strncmp", "strcasecmp", "bcmp", "equal",
+    "lexicographical_compare", "find", "count", "binary_search", "sort",
+    "stable_sort", "qsort", "bsearch",
+}
+
+
+@dataclass
+class Tok:
+    text: str
+    line: int
+
+
+@dataclass
+class Region:
+    name: str
+    begin: int  # line numbers, inclusive
+    end: int
+    publics: set = field(default_factory=set)
+    extra_calls: set = field(default_factory=set)  # region-local vetted helpers
+
+
+@dataclass
+class Finding:
+    path: str
+    line: int
+    code: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: {self.code}: {self.message}"
+
+
+def lex(text: str):
+    """Strips comments/strings (capturing lint directives) and tokenizes.
+
+    Returns (tokens, directives) where directives is a list of (line, kind, payload)
+    with kind in {begin, end, public, ok, exempt, expect, expect_file}.
+    """
+    directives = []
+    out = []
+    i = 0
+    line = 1
+    n = len(text)
+    while i < n:
+        c = text[i]
+        if c == "\n":
+            line += 1
+            i += 1
+        elif c == "/" and i + 1 < n and text[i + 1] == "/":
+            j = text.find("\n", i)
+            j = n if j < 0 else j
+            comment = text[i:j]
+            for regex, kind in (
+                (RE_BEGIN, "begin"), (RE_END, "end"), (RE_PUBLIC, "public"),
+                (RE_CALLS, "calls"),
+                (RE_EXPECT_FILE, "expect_file"), (RE_EXPECT, "expect"),
+            ):
+                m = regex.search(comment)
+                if m:
+                    directives.append((line, kind, m.group(1).strip()))
+                    break
+            else:
+                if RE_OK.search(comment):
+                    directives.append((line, "ok", ""))
+                elif RE_EXEMPT.search(comment):
+                    directives.append((line, "exempt", ""))
+            i = j
+        elif c == "/" and i + 1 < n and text[i + 1] == "*":
+            j = text.find("*/", i + 2)
+            j = n - 2 if j < 0 else j
+            line += text.count("\n", i, j + 2)
+            i = j + 2
+        elif c in "\"'":
+            # String/char literal: skip with escape handling, emit placeholder.
+            quote = c
+            j = i + 1
+            while j < n and text[j] != quote:
+                j += 2 if text[j] == "\\" else 1
+            out.append(Tok('""' if quote == '"' else "'0'", line))
+            i = j + 1
+        else:
+            m = TOKEN_RE.match(text, i)
+            if m and not m.group().isspace():
+                out.append(Tok(m.group(), line))
+                i = m.end()
+            else:
+                i += 1
+    return out, directives
+
+
+# ------------------------------------------------------------------- region parsing
+
+def parse_regions(path: str, directives, findings) -> list[Region]:
+    regions = []
+    open_region = None
+    for line, kind, payload in directives:
+        if kind == "begin":
+            if open_region is not None:
+                findings.append(Finding(path, line, "CT008",
+                                        f"region '{payload}' opened inside region "
+                                        f"'{open_region.name}'"))
+            open_region = Region(payload, line, -1)
+        elif kind == "end":
+            if open_region is None or open_region.name != payload:
+                findings.append(Finding(path, line, "CT008",
+                                        f"unmatched SNOOPY_OBLIVIOUS_END({payload})"))
+                open_region = None
+                continue
+            open_region.end = line
+            regions.append(open_region)
+            open_region = None
+        elif kind == "public" and open_region is not None:
+            open_region.publics.update(payload.split())
+        elif kind == "calls" and open_region is not None:
+            open_region.extra_calls.update(payload.split())
+    if open_region is not None:
+        findings.append(Finding(path, open_region.begin, "CT008",
+                                f"region '{open_region.name}' never closed"))
+    return regions
+
+
+# ------------------------------------------------------------------- token helpers
+
+def match_forward(tokens, i, open_t, close_t):
+    """Index just past the token matching tokens[i] == open_t."""
+    depth = 0
+    while i < len(tokens):
+        if tokens[i].text == open_t:
+            depth += 1
+        elif tokens[i].text == close_t:
+            depth -= 1
+            if depth == 0:
+                return i + 1
+        i += 1
+    return len(tokens)
+
+
+BOUNDARY_BACK = {"=", "(", ",", ";", "{", "}", "return", "[", "?", ":"}
+BOUNDARY_FWD = {")", ";", ",", "}", "]", "?", ":"}
+
+
+def operand_back(tokens, i):
+    """Tokens of the expression ending just before index i (exclusive)."""
+    depth = 0
+    j = i - 1
+    while j >= 0:
+        t = tokens[j].text
+        if t in ")]":
+            depth += 1
+        elif t in "([":
+            if depth == 0:
+                break
+            depth -= 1
+        elif depth == 0 and t in BOUNDARY_BACK:
+            break
+        j -= 1
+    return tokens[j + 1:i]
+
+
+def operand_fwd(tokens, i):
+    """Tokens of the expression starting just after index i (exclusive)."""
+    depth = 0
+    j = i + 1
+    while j < len(tokens):
+        t = tokens[j].text
+        if t in "([":
+            depth += 1
+        elif t in ")]":
+            if depth == 0:
+                break
+            depth -= 1
+        elif depth == 0 and t in BOUNDARY_FWD:
+            break
+        j += 1
+    return tokens[i + 1:j]
+
+
+def non_public_idents(tokens, publics):
+    """Identifiers in `tokens` that are neither public nor builtin; None means the
+    expression routes through Declassify and is exempt wholesale."""
+    bad = []
+    for t in tokens:
+        if t.text == "Declassify":
+            return None
+        if not re.match(r"[A-Za-z_]", t.text):
+            continue
+        if t.text in KEYWORDS or t.text in BUILTIN_PUBLIC or t.text in CALL_ALLOW:
+            continue
+        if t.text in publics:
+            continue
+        bad.append(t.text)
+    return bad
+
+
+def call_allowed(name: str) -> bool:
+    return name in CALL_ALLOW or name.startswith(CALL_ALLOW_PREFIXES)
+
+
+# ------------------------------------------------------------------------ the linter
+
+def lint_region_tokens(path, tokens, region, findings):
+    pub = region.publics
+
+    def check_expr(expr, code, what, line):
+        bad = non_public_idents(expr, pub)
+        if bad:
+            findings.append(Finding(path, line, code,
+                                    f"{what} depends on non-public identifier(s): "
+                                    f"{', '.join(sorted(set(bad)))}"))
+
+    i = 0
+    while i < len(tokens):
+        t = tokens[i]
+        # --- branches -------------------------------------------------------
+        if t.text in ("if", "while") and i + 1 < len(tokens) and tokens[i + 1].text == "(":
+            end = match_forward(tokens, i + 1, "(", ")")
+            check_expr(tokens[i + 2:end - 1], "CT001", f"`{t.text}` condition", t.line)
+        elif t.text == "for" and i + 1 < len(tokens) and tokens[i + 1].text == "(":
+            end = match_forward(tokens, i + 1, "(", ")")
+            clauses = tokens[i + 2:end - 1]
+            # Split on top-level ';'. A range-for has none and carries no condition.
+            depth = 0
+            semis = []
+            for k, tok in enumerate(clauses):
+                if tok.text in "([":
+                    depth += 1
+                elif tok.text in ")]":
+                    depth -= 1
+                elif tok.text == ";" and depth == 0:
+                    semis.append(k)
+            if len(semis) >= 2:
+                check_expr(clauses[semis[0] + 1:semis[1]], "CT001",
+                           "`for` condition", t.line)
+        # --- ternaries ------------------------------------------------------
+        elif t.text == "?":
+            check_expr(operand_back(tokens, i), "CT002", "`?:` condition", t.line)
+        # --- short-circuit --------------------------------------------------
+        elif t.text in ("&&", "||"):
+            # Not a branch when `&&` is an rvalue-reference declarator:
+            # `Type&& name,` / `Type&& name)`.
+            prev = tokens[i - 1].text if i > 0 else ""
+            nxt = tokens[i + 1].text if i + 1 < len(tokens) else ""
+            nxt2 = tokens[i + 2].text if i + 2 < len(tokens) else ""
+            is_rvalue_ref = (t.text == "&&"
+                             and bool(re.match(r"[A-Za-z_>]", prev))
+                             and bool(re.match(r"[A-Za-z_]", nxt))
+                             and nxt2 in (",", ")"))
+            if not is_rvalue_ref:
+                expr = operand_back(tokens, i) + operand_fwd(tokens, i)
+                check_expr(expr, "CT003", f"`{t.text}` operand", t.line)
+        # --- subscripts -----------------------------------------------------
+        elif t.text == "[":
+            prev = tokens[i - 1].text if i > 0 else ""
+            is_subscript = bool(re.match(r"[A-Za-z_0-9]", prev)) or prev in (")", "]")
+            if is_subscript and prev not in KEYWORDS:
+                end = match_forward(tokens, i, "[", "]")
+                check_expr(tokens[i + 1:end - 1], "CT004", "subscript index", t.line)
+        # --- calls ----------------------------------------------------------
+        if (re.match(r"[A-Za-z_]", t.text) and t.text not in KEYWORDS
+                and i + 1 < len(tokens) and tokens[i + 1].text == "("):
+            # Walk back over a qualified chain (a::b::f, x.f, p->f) to find what
+            # precedes it; an identifier or template-closer there means this is a
+            # declaration/definition, not a call.
+            j = i
+            while j >= 2 and tokens[j - 1].text in ("::", ".", "->"):
+                j -= 2
+            before = tokens[j - 1].text if j > 0 else ""
+            is_decl = bool(re.match(r"[A-Za-z_]", before)) and before not in (
+                "return", "throw", "else", "do", "in")
+            is_decl = is_decl or before in (">", "*", "&")
+            if not is_decl:
+                if t.text in BANNED_CALLS:
+                    findings.append(Finding(path, t.line, "CT005",
+                                            f"variable-time call `{t.text}` in "
+                                            f"oblivious region"))
+                elif not call_allowed(t.text) and t.text not in region.extra_calls:
+                    findings.append(Finding(path, t.line, "CT006",
+                                            f"call to `{t.text}` is not on the "
+                                            f"oblivious allowlist"))
+        i += 1
+
+
+def lint_file(path: pathlib.Path, cls: str, rel: str, findings: list):
+    text = path.read_text()
+    tokens, directives = lex(text)
+    ok_lines = {line for line, kind, _ in directives if kind == "ok"}
+    has_exempt_marker = any(kind == "exempt" for _, kind, _ in directives)
+
+    raw = []
+    if cls == "exempt":
+        if not has_exempt_marker:
+            raw.append(Finding(rel, 1, "CT008",
+                               "manifest class 'exempt' requires an in-file "
+                               "`// SNOOPY_LINT_EXEMPT: reason` marker"))
+        _trim_suppressed(raw, ok_lines, findings)
+        return
+
+    regions = parse_regions(rel, directives, raw)
+    if cls == "enforced" and not regions:
+        raw.append(Finding(rel, 1, "CT008",
+                           "manifest class 'enforced' but no SNOOPY_OBLIVIOUS regions"))
+    if cls in ("public",) and regions:
+        raw.append(Finding(rel, regions[0].begin, "CT008",
+                           "file has oblivious regions but manifest class is "
+                           f"'{cls}' (expected 'enforced')"))
+
+    if cls != "tcb":
+        for t in tokens:
+            if t.text == "SecretValueForPrimitive":
+                raw.append(Finding(rel, t.line, "CT007",
+                                   "TCB escape SecretValueForPrimitive() outside a "
+                                   "tcb-classified file"))
+
+    if cls == "enforced":
+        for region in regions:
+            rtokens = [t for t in tokens if region.begin <= t.line <= region.end]
+            lint_region_tokens(rel, rtokens, region, raw)
+
+    _trim_suppressed(raw, ok_lines, findings)
+
+
+def _trim_suppressed(raw, ok_lines, findings):
+    for f in raw:
+        if f.line in ok_lines or (f.line - 1) in ok_lines:
+            continue
+        findings.append(f)
+
+
+# ---------------------------------------------------------------------- tree driver
+
+def load_manifest(root: pathlib.Path, manifest_path: pathlib.Path):
+    with open(manifest_path) as fh:
+        manifest = json.load(fh)
+    classes = {}
+    for entry in manifest["files"]:
+        classes[entry["path"]] = entry["class"]
+    return manifest, classes
+
+
+def lint_tree(root: pathlib.Path, manifest_path: pathlib.Path) -> list:
+    findings = []
+    manifest, classes = load_manifest(root, manifest_path)
+
+    for rel, cls in sorted(classes.items()):
+        p = root / rel
+        if not p.exists():
+            findings.append(Finding(rel, 1, "CT008", "manifest lists missing file"))
+            continue
+        lint_file(p, cls, rel, findings)
+
+    # Coverage: every source file under the coverage roots must be classified.
+    for cov in manifest.get("coverage_roots", []):
+        for p in sorted((root / cov).rglob("*")):
+            if p.suffix not in (".cc", ".h"):
+                continue
+            rel = str(p.relative_to(root))
+            if rel not in classes:
+                findings.append(Finding(rel, 1, "CT008",
+                                        f"file under coverage root '{cov}' is not "
+                                        f"classified in the manifest"))
+
+    # Files outside the manifest must not open regions or use the TCB escape.
+    for sub in ("src", "tests", "bench", "examples"):
+        base = root / sub
+        if not base.exists():
+            continue
+        for p in sorted(base.rglob("*")):
+            if p.suffix not in (".cc", ".h"):
+                continue
+            rel = str(p.relative_to(root))
+            if rel in classes:
+                continue
+            text = p.read_text()
+            if "SNOOPY_OBLIVIOUS_BEGIN" in text:
+                findings.append(Finding(rel, 1, "CT008",
+                                        "file opens oblivious regions but is not in "
+                                        "the manifest"))
+            for m in re.finditer(r"SecretValueForPrimitive", text):
+                line = text.count("\n", 0, m.start()) + 1
+                ctx = text.splitlines()[line - 1]
+                if "ct-ok" not in ctx:
+                    findings.append(Finding(rel, line, "CT007",
+                                            "TCB escape SecretValueForPrimitive() in "
+                                            "unclassified file"))
+    return findings
+
+
+# ------------------------------------------------------------------------ self-test
+
+def self_test(root: pathlib.Path, manifest_path: pathlib.Path) -> int:
+    failures = 0
+    corpus = root / "tools" / "ct_lint_selftest"
+
+    # 1. Planted violations: every EXPECT marker must be found, nothing extra.
+    for p in sorted(corpus.glob("*.cc")):
+        rel = str(p.relative_to(root))
+        text = p.read_text()
+        _, directives = lex(text)
+        expected = set()
+        for line, kind, payload in directives:
+            if kind == "expect":
+                for code in payload.split():
+                    expected.add((line, code))
+            elif kind == "expect_file":
+                for code in payload.split():
+                    expected.add((0, code))
+        findings = []
+        lint_file(p, "enforced", rel, findings)
+        got = {(f.line, f.code) for f in findings}
+        exp_lines = {e for e in expected if e[0] != 0}
+        exp_codes = {c for (l, c) in expected if l == 0}  # EXPECT-FILE: any line
+        missed = (exp_lines - got) | {
+            (0, c) for c in exp_codes if all(fc != c for (_, fc) in got)}
+        extra = {(l, c) for (l, c) in got
+                 if (l, c) not in exp_lines and c not in exp_codes}
+        if missed:
+            failures += 1
+            print(f"SELF-TEST FAIL {rel}: planted violations not caught: "
+                  f"{sorted(missed)}")
+        if extra:
+            failures += 1
+            print(f"SELF-TEST FAIL {rel}: unexpected findings: {sorted(extra)}")
+            for f in findings:
+                if (f.line, f.code) in extra:
+                    print(f"    {f}")
+        if not missed and not extra:
+            print(f"self-test ok: {rel} ({len(expected)} planted, all caught)")
+
+    # 2. Injection demo: adding `if (secret)` to a real kernel must fail the lint.
+    target = root / "src" / "obl" / "bitonic_sort.h"
+    text = target.read_text()
+    needle = "const SecretBool out_of_order = asc ? less(data[j], data[i]) : less(data[i], data[j]);"
+    if needle not in text:
+        print("SELF-TEST FAIL: injection anchor not found in bitonic_sort.h")
+        failures += 1
+    else:
+        mutated = text.replace(
+            needle, needle + "\n        if (out_of_order_raw) { return; }", 1)
+        demo = root / "build" / "ct_lint_demo.h"
+        demo.parent.mkdir(exist_ok=True)
+        demo.write_text(mutated)
+        findings = []
+        lint_file(demo, "enforced", "ct_lint_demo.h", findings)
+        hits = [f for f in findings if f.code == "CT001"]
+        demo.unlink()
+        if hits:
+            print(f"self-test ok: injected secret branch caught ({hits[0].code})")
+        else:
+            print("SELF-TEST FAIL: injected `if (secret)` was not flagged")
+            failures += 1
+
+    # 3. The real tree must be clean.
+    findings = lint_tree(root, manifest_path)
+    if findings:
+        failures += 1
+        print(f"SELF-TEST FAIL: real tree has {len(findings)} finding(s):")
+        for f in findings:
+            print(f"  {f}")
+    else:
+        print("self-test ok: real tree clean")
+    return failures
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--repo-root", default=".", type=pathlib.Path)
+    ap.add_argument("--manifest", default=None, type=pathlib.Path)
+    ap.add_argument("--self-test", action="store_true")
+    args = ap.parse_args()
+    root = args.repo_root.resolve()
+    manifest = args.manifest or root / "tools" / "ct_manifest.json"
+
+    if args.self_test:
+        failures = self_test(root, manifest)
+        if failures:
+            print(f"ct_lint self-test: {failures} failure(s)")
+            return 1
+        print("ct_lint self-test: all checks passed")
+        return 0
+
+    findings = lint_tree(root, manifest)
+    for f in findings:
+        print(f)
+    if findings:
+        print(f"ct_lint: {len(findings)} finding(s)")
+        return 1
+    print("ct_lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

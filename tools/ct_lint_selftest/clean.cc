@@ -1,0 +1,34 @@
+// Negative control for tools/ct_lint.py --self-test: real-world oblivious idioms
+// that must produce zero findings. Never compiled.
+
+#include <cstdint>
+
+namespace selftest {
+
+// SNOOPY_OBLIVIOUS_BEGIN(clean)
+// ct-public: i j n stride asc threads flags kept
+
+void Clean(uint8_t* base, uint8_t* flags_buf, uint64_t n, uint64_t stride) {
+  SecretU64 count = 0;
+  SecretU64 prev_key = ~uint64_t{0};
+  for (uint64_t i = 0; i < n; ++i) {
+    TraceRecord(TraceOp::kRead, i);
+    const SecretU64 key = LoadSecretU64(base, i * stride);
+    const SecretBool same = key == prev_key;
+    count += CtSelectU64(same, 0, 1);
+    prev_key = key;
+    flags_buf[i] = same.ToFlagByte();
+  }
+  const uint64_t kept = count.Declassify("selftest.clean.count");
+  if (kept == n) {
+    return;
+  }
+  for (uint64_t j = 0; j + 1 < n; ++j) {
+    const SecretBool move = SecretBool::FromWord(flags_buf[j]) & (count & 1).NonZero();
+    CtCondSwapBytes(move, base + j * stride, base + (j + 1) * stride, stride);
+  }
+}
+
+// SNOOPY_OBLIVIOUS_END(clean)
+
+}  // namespace selftest

@@ -1,0 +1,60 @@
+// Planted-violation corpus for tools/ct_lint.py --self-test.
+//
+// Every line tagged `// EXPECT: <codes>` must produce exactly those findings; any
+// miss or extra fails the self-test. This file is never compiled -- it only needs to
+// tokenize like C++.
+
+#include <cstdint>
+
+namespace selftest {
+
+// SNOOPY_OBLIVIOUS_BEGIN(planted)
+// ct-public: i n len table_size pub_flag
+
+void Planted(uint64_t secret_key, uint64_t secret_len, bool secret_flag,
+             uint64_t* table, uint8_t* tag_a, uint8_t* tag_b) {
+  uint64_t x = 0;
+  if (secret_flag) {  // EXPECT: CT001
+    x = 1;
+  }
+  while (secret_len > 0) {  // EXPECT: CT001
+    secret_len -= 1;
+  }
+  for (uint64_t i = 0; i < secret_len; ++i) {  // EXPECT: CT001
+    x += i;
+  }
+  const uint64_t v = secret_flag ? 1 : 2;  // EXPECT: CT002
+  const bool both = secret_flag && pub_flag;  // EXPECT: CT003
+  x += table[secret_key];  // EXPECT: CT004
+  if (memcmp(tag_a, tag_b, 16) == 0) {  // EXPECT: CT001 CT005
+    x = 2;
+  }
+  leak_to_network(secret_key);  // EXPECT: CT006
+  x += secret_word.SecretValueForPrimitive();  // EXPECT: CT007
+
+  // Public control flow and oblivious idioms must NOT be flagged:
+  for (uint64_t i = 0; i < n; ++i) {
+    x += table[i];
+  }
+  if (len == 0) {
+    x = 3;
+  }
+  const uint64_t w = pub_flag ? 4 : 5;
+  CtCondCopyBytes(secret_flag_typed, tag_a, tag_b, len);
+  const bool audited = secret_bool.Declassify("selftest.site");
+  if (secret_bool_2.Declassify("selftest.site2")) {
+    x = 4;
+  }
+  if (secret_flag) {  // ct-ok: suppression smoke test -- intentionally unflagged
+    x = 5;
+  }
+  (void)x;
+  (void)v;
+  (void)both;
+  (void)w;
+  (void)audited;
+}
+
+// SNOOPY_OBLIVIOUS_END(planted)
+
+}  // namespace selftest

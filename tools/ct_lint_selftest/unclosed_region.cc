@@ -1,0 +1,20 @@
+// Structural-rule probe for tools/ct_lint.py --self-test: a region that is opened
+// but never closed must be reported. Never compiled.
+// EXPECT-FILE: CT008
+
+#include <cstdint>
+
+namespace selftest {
+
+// SNOOPY_OBLIVIOUS_BEGIN(never_closed)
+// ct-public: i n
+
+inline uint64_t Sum(const uint64_t* xs, uint64_t n) {
+  uint64_t acc = 0;
+  for (uint64_t i = 0; i < n; ++i) {
+    acc += xs[i];
+  }
+  return acc;
+}
+
+}  // namespace selftest
