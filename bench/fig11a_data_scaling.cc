@@ -7,9 +7,21 @@
 
 #include "bench/bench_util.h"
 #include "src/sim/cluster.h"
+#include "src/telemetry/bench_json.h"
 
 namespace snoopy {
 namespace {
+
+ClusterMetrics RunAt(uint32_t s, uint64_t objects, double latency_bound,
+                     const CostModel& model) {
+  ClusterConfig cfg;
+  cfg.load_balancers = 1;
+  cfg.suborams = s;
+  cfg.num_objects = objects;
+  cfg.epoch_seconds = 2.0 * latency_bound / 5.0;
+  const ClusterSimulator sim(cfg, model);
+  return sim.Run(/*ops_per_second=*/2000, /*duration=*/4.0, /*seed=*/7);
+}
 
 // Largest object count a (1 LB, s subORAM) deployment can hold with mean latency
 // under the bound at a light constant load.
@@ -18,13 +30,7 @@ uint64_t MaxObjects(uint32_t s, double latency_bound, const CostModel& model) {
   uint64_t hi = 8000000;
   while (lo + 10000 < hi) {
     const uint64_t mid = (lo + hi) / 2;
-    ClusterConfig cfg;
-    cfg.load_balancers = 1;
-    cfg.suborams = s;
-    cfg.num_objects = mid;
-    cfg.epoch_seconds = 2.0 * latency_bound / 5.0;
-    const ClusterSimulator sim(cfg, model);
-    const ClusterMetrics m = sim.Run(/*ops_per_second=*/2000, /*duration=*/4.0, /*seed=*/7);
+    const ClusterMetrics m = RunAt(s, mid, latency_bound, model);
     if (!m.saturated && m.mean_latency_s <= latency_bound) {
       lo = mid;
     } else {
@@ -41,7 +47,9 @@ int main() {
   using namespace snoopy;
   PrintHeader("Figure 11a", "data size vs. subORAMs at <= 160 ms mean latency");
   const CostModel model;
-  std::printf("%10s %16s %18s\n", "subORAMs", "max objects", "objects/subORAM");
+  BenchJsonEmitter json("fig11a_data_scaling");
+  std::printf("%10s %16s %18s %9s %9s\n", "subORAMs", "max objects", "objects/subORAM",
+              "p50(ms)", "p99(ms)");
   uint64_t first = 0;
   uint64_t last = 0;
   for (uint32_t s = 1; s <= 15; s += 1) {
@@ -50,8 +58,18 @@ int main() {
       first = n;
     }
     last = n;
-    std::printf("%10u %16llu %18llu\n", s, static_cast<unsigned long long>(n),
-                static_cast<unsigned long long>(n / s));
+    // Re-run once at the capacity point to report its latency distribution.
+    const ClusterMetrics m = RunAt(s, n, 0.160, model);
+    std::printf("%10u %16llu %18llu %9.0f %9.0f\n", s, static_cast<unsigned long long>(n),
+                static_cast<unsigned long long>(n / s), m.latency_p50_s * 1e3,
+                m.latency_p99_s * 1e3);
+    json.AddPoint("capacity")
+        .Set("suborams", static_cast<double>(s))
+        .Set("max_objects", static_cast<double>(n))
+        .Set("latency_p50_s", m.latency_p50_s)
+        .Set("latency_p99_s", m.latency_p99_s)
+        .Set("mean_latency_s", m.mean_latency_s)
+        .Set("mean_batch_size", m.mean_batch_size);
     if (s >= 5) {
       s += 1;  // coarser grid at the tail to keep runtime low
     }
@@ -60,5 +78,9 @@ int main() {
               "the paper stores 2.8M. Shape check: linear growth, near-constant\n"
               "objects-per-subORAM.\n",
               static_cast<unsigned long long>((last - first) / 14));
+  const std::string path = json.WriteFile();
+  if (!path.empty()) {
+    std::printf("machine-readable output: %s\n", path.c_str());
+  }
   return 0;
 }

@@ -16,6 +16,7 @@
 #include "bench/bench_util.h"
 #include "src/core/load_balancer.h"
 #include "src/core/suboram.h"
+#include "src/enclave/epc.h"
 #include "src/sim/cost_model.h"
 
 namespace snoopy {
@@ -92,6 +93,23 @@ int main() {
                   model.LbMatchSeconds(r, 1, 4) * 1e3);
     }
   }
+  // The EPC cliff behind the 2^20 jump, from the paging model: per-epoch scan paging
+  // breakdown at each data size (~336 B/record working set: 160 B value + table slot
+  // and metadata overhead).
+  std::printf("\nEPC paging model (host loader, ~336 B/record working set):\n");
+  std::printf("%9s %14s %16s %16s %16s\n", "objects", "fits EPC", "resident (MB)",
+              "streamed (MB)", "scan (ms)");
+  const EpcModel epc;
+  for (const uint64_t objects : {uint64_t{1} << 10, uint64_t{1} << 15, uint64_t{1} << 20}) {
+    const uint64_t bytes = objects * 336;
+    EpcScanStats stats;
+    const double scan_s = epc.ScanSeconds(bytes, bytes, /*use_host_loader=*/true, &stats);
+    std::printf("%9llu %14s %16.1f %16.1f %16.2f\n",
+                static_cast<unsigned long long>(objects), epc.Fits(bytes) ? "yes" : "no",
+                static_cast<double>(stats.bytes_resident) / (1024.0 * 1024.0),
+                static_cast<double>(stats.bytes_streamed) / (1024.0 * 1024.0), scan_s * 1e3);
+  }
+
   std::printf("\npaper shape check: subORAM time tracks data size (big jump at 2^20 from\n"
               "enclave paging); load balancer time tracks batch size.\n");
   return 0;

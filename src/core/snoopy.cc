@@ -112,6 +112,20 @@ void Snoopy::set_fault_injector(FaultInjector* injector) {
   network_.set_fault_injector(injector);
 }
 
+double Snoopy::NowSeconds() const {
+  // Under fault injection the epoch pipeline advances the VirtualClock (retry
+  // backoffs, injected delays); spans read the same clock so chaos runs are
+  // deterministic. Outside fault injection, wall time.
+  return fault_injector_ != nullptr ? clock_.now_s() : SpanTimer::SteadyNowSeconds();
+}
+
+Histogram* Snoopy::PhaseHistogram(const char* phase) const {
+  if (metrics_ == nullptr) {
+    return nullptr;
+  }
+  return &metrics_->GetHistogram("snoopy_epoch_phase_seconds", {{"phase", phase}});
+}
+
 uint64_t Snoopy::EpochSeed(uint32_t lb, uint64_t epoch) const {
   return Mix64(lb_base_seeds_[lb] ^ Mix64(epoch));
 }
@@ -255,7 +269,13 @@ std::vector<uint8_t> Snoopy::SubOramEndpointHandler(uint32_t lb, uint32_t so,
   }
   auto& cache = so_response_cache_[so];
   if (const auto it = cache.find(lb); it != cache.end()) {
-    return it->second;  // retransmit: serve the cached epoch response
+    // Retransmit: serve the cached epoch response. Safe to count -- a dedup hit is
+    // caused by a network event (duplicate delivery or lost reply) the adversary
+    // already observes.
+    if (metrics_ != nullptr) {
+      metrics_->GetCounter("snoopy_dedup_hits_total").Increment();
+    }
+    return it->second;
   }
   std::vector<uint8_t> plain;
   if (!links_[lb][so]->a_to_b().Open(payload.subspan(8), plain)) {
@@ -298,7 +318,13 @@ std::vector<uint8_t> Snoopy::RetriedSubOramCall(
   };
 
   RetryExecutor executor(config_.retry, /*jitter_seed=*/EpochSeed(lb, epoch_) ^ so, &clock_);
-  executor.set_on_retry([this] { network_.RecordRetry(); });
+  const std::string caller = "lb/" + std::to_string(lb);
+  executor.set_on_retry([this, &caller, &endpoint] {
+    network_.RecordRetry(caller, endpoint);
+    if (metrics_ != nullptr) {
+      metrics_->GetCounter("snoopy_retries_total", {{"endpoint", endpoint}}).Increment();
+    }
+  });
   return executor.Execute(
       call, [&](const EndpointCrashedError&) { RecoverSubOram(so, prepared, lb); });
 }
@@ -338,6 +364,9 @@ void Snoopy::RecoverSubOram(uint32_t so,
     fault_injector_->Restart(component);
   }
   network_.RecordRecovery();
+  if (metrics_ != nullptr) {
+    metrics_->GetCounter("snoopy_recoveries_total", {{"component", component}}).Increment();
+  }
 
   // The snapshot predates this epoch's batches; replay the ones the subORAM had
   // already executed (in load-balancer order, the Appendix C linearization) so the
@@ -377,6 +406,10 @@ void Snoopy::RecoverLoadBalancer(uint32_t lb) {
     fault_injector_->Restart("lb/" + std::to_string(lb));
   }
   network_.RecordRecovery();
+  if (metrics_ != nullptr) {
+    metrics_->GetCounter("snoopy_recoveries_total", {{"component", "lb/" + std::to_string(lb)}})
+        .Increment();
+  }
 }
 
 void Snoopy::RegisterClient(uint64_t client_id, const AttestationQuote& client_quote) {
@@ -423,6 +456,19 @@ std::vector<ClientResponse> Snoopy::RunEpoch() {
   TraceRecord(TraceOp::kEpoch, epoch_, 0);
   std::vector<ClientResponse> all;
 
+  // Root epoch span plus public epoch facts. Request counts per load balancer are
+  // public in Snoopy's model: the network adversary observes which clients talk to
+  // which balancer; what stays hidden is the *content* and the key distribution,
+  // which never reaches telemetry (the batch size below is the padded f(R, S) of
+  // Theorem 3, not the true demand per subORAM).
+  const auto now_fn = [this] { return NowSeconds(); };
+  SpanTimer epoch_span(
+      metrics_ != nullptr ? &metrics_->GetHistogram("snoopy_epoch_seconds") : nullptr, now_fn);
+  if (metrics_ != nullptr) {
+    metrics_->GetCounter("snoopy_epochs_total").Increment();
+    metrics_->GetCounter("snoopy_requests_total").Increment(pending_requests());
+  }
+
   // Epoch-boundary crash polling: the failure process fires between epochs (crashes
   // mid-epoch are modelled by crash_before_reply faults on individual calls). A load
   // balancer is rebuilt statelessly; a subORAM is restored from its sealed snapshot
@@ -445,10 +491,18 @@ std::vector<ClientResponse> Snoopy::RunEpoch() {
   // balancer rebuilt after a crash prepares byte-identical batches.
   std::vector<LoadBalancer::PreparedEpoch> prepared;
   prepared.reserve(config_.num_load_balancers);
-  for (uint32_t lb = 0; lb < config_.num_load_balancers; ++lb) {
-    RequestBatch requests = std::move(pending_[lb]);
-    pending_[lb] = RequestBatch(config_.value_size);
-    prepared.push_back(lbs_[lb]->PrepareBatches(std::move(requests), EpochSeed(lb, epoch_)));
+  {
+    SpanTimer prepare_span(PhaseHistogram("lb_prepare"), now_fn);
+    for (uint32_t lb = 0; lb < config_.num_load_balancers; ++lb) {
+      RequestBatch requests = std::move(pending_[lb]);
+      pending_[lb] = RequestBatch(config_.value_size);
+      prepared.push_back(lbs_[lb]->PrepareBatches(std::move(requests), EpochSeed(lb, epoch_)));
+      if (metrics_ != nullptr) {
+        // The padded per-subORAM batch size f(R, S): public by Theorem 3.
+        metrics_->GetHistogram("snoopy_batch_size", {{"lb", std::to_string(lb)}})
+            .Observe(static_cast<double>(prepared[lb].batch_size));
+      }
+    }
   }
 
   // Phase 2: subORAMs execute the batches in fixed load-balancer order -- the
@@ -456,13 +510,17 @@ std::vector<ClientResponse> Snoopy::RunEpoch() {
   // sealed at the load balancer and opened inside the subORAM endpoint. Every call
   // runs under the retry policy and tolerates injected faults and crashes.
   std::vector<std::vector<RequestBatch>> responses(config_.num_load_balancers);
-  for (uint32_t lb = 0; lb < config_.num_load_balancers; ++lb) {
-    for (uint32_t so = 0; so < config_.num_suborams; ++so) {
-      responses[lb].push_back(CallSubOram(lb, so, prepared));
+  {
+    SpanTimer execute_span(PhaseHistogram("suboram_execute"), now_fn);
+    for (uint32_t lb = 0; lb < config_.num_load_balancers; ++lb) {
+      for (uint32_t so = 0; so < config_.num_suborams; ++so) {
+        responses[lb].push_back(CallSubOram(lb, so, prepared));
+      }
     }
   }
 
   // Phase 3: match responses to clients.
+  SpanTimer match_span(PhaseHistogram("response_match"), now_fn);
   for (uint32_t lb = 0; lb < config_.num_load_balancers; ++lb) {
     RequestBatch matched =
         lbs_[lb]->MatchResponses(std::move(prepared[lb]), std::move(responses[lb]));
@@ -491,6 +549,8 @@ std::vector<ClientResponse> Snoopy::RunEpoch() {
     }
   }
 
+  match_span.Stop();
+
   // Epoch boundary: seal each subORAM's post-epoch state (one trusted-counter bump
   // per subORAM per epoch, paper section 9) and retire the per-epoch dedup state.
   for (uint32_t so = 0; so < config_.num_suborams; ++so) {
@@ -499,6 +559,10 @@ std::vector<ClientResponse> Snoopy::RunEpoch() {
     so_executed_lbs_[so].clear();
   }
   ++epoch_;
+  epoch_span.Stop();
+  if (metrics_ != nullptr) {
+    network_.ExportTo(*metrics_);
+  }
   return all;
 }
 

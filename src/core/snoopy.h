@@ -35,6 +35,7 @@
 #include "src/net/fault.h"
 #include "src/net/network.h"
 #include "src/net/retry.h"
+#include "src/telemetry/metrics.h"
 
 namespace snoopy {
 
@@ -114,6 +115,17 @@ class Snoopy {
   void set_fault_injector(FaultInjector* injector);
   VirtualClock& clock() { return clock_; }
 
+  // --- Telemetry (leakage-safe; see src/telemetry/metrics.h) ----------------------
+  // Epoch phases are timed as spans (snoopy_epoch_seconds root, per-phase
+  // snoopy_epoch_phase_seconds{phase=...} children) and public facts are counted:
+  // requests, epochs, the public batch size f(R, S), retransmit-dedup hits, retries
+  // and recoveries per endpoint/component, and the network's per-pair wire traffic.
+  // Spans run off steady_clock normally and off the deterministic VirtualClock while
+  // a fault injector is attached. Defaults to the process-wide registry; pass nullptr
+  // to disable recording entirely (the disabled path is a handful of null checks).
+  void set_metrics_registry(MetricsRegistry* registry) { metrics_ = registry; }
+  MetricsRegistry* metrics_registry() const { return metrics_; }
+
   // Host-side sealed snapshot storage (untrusted in the threat model). The test
   // harness uses the replace hook to play a malicious host replaying stale state;
   // recovery must then refuse with UnsealStatus::kRollback.
@@ -166,6 +178,12 @@ class Snoopy {
   void RecoverLoadBalancer(uint32_t lb);
   void SealSubOramState(uint32_t so);
 
+  // Span time source: the deterministic VirtualClock under fault injection (chaos
+  // runs stay replayable), steady_clock otherwise.
+  double NowSeconds() const;
+  // Null when telemetry is disabled; otherwise the named phase-duration histogram.
+  Histogram* PhaseHistogram(const char* phase) const;
+
   SnoopyConfig config_;
   Rng rng_;
   SipKey partition_key_;
@@ -184,6 +202,7 @@ class Snoopy {
   // --- Robustness state -----------------------------------------------------------
   FaultInjector* fault_injector_ = nullptr;
   VirtualClock clock_;
+  MetricsRegistry* metrics_ = &MetricsRegistry::Global();
   std::vector<uint64_t> lb_base_seeds_;  // per-LB seed underlying EpochSeed
 
   // Rollback-protected persistence: one trusted counter per subORAM, snapshots kept

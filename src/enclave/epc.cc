@@ -3,9 +3,13 @@
 namespace snoopy {
 
 double EpcModel::ScanSeconds(uint64_t working_set_bytes, uint64_t scanned_bytes,
-                             bool use_host_loader) const {
+                             bool use_host_loader, EpcScanStats* stats) const {
   const double resident = static_cast<double>(scanned_bytes) * config_.resident_ns_per_byte;
   if (Fits(working_set_bytes)) {
+    if (stats != nullptr) {
+      *stats = EpcScanStats{};
+      stats->bytes_resident = scanned_bytes;
+    }
     return resident * 1e-9;
   }
   // Fraction of the scan that misses the EPC. A full sequential scan of a working set
@@ -15,11 +19,19 @@ double EpcModel::ScanSeconds(uint64_t working_set_bytes, uint64_t scanned_bytes,
                                    static_cast<double>(working_set_bytes);
   const double miss_bytes = static_cast<double>(scanned_bytes) * (1.0 - resident_fraction);
   double miss_ns;
+  uint64_t pages_faulted = 0;
   if (use_host_loader) {
     miss_ns = miss_bytes * config_.host_loader_ns_per_byte;
   } else {
     const double pages = miss_bytes / static_cast<double>(config_.page_bytes);
+    pages_faulted = static_cast<uint64_t>(pages + 0.5);
     miss_ns = pages * config_.page_fault_ns;
+  }
+  if (stats != nullptr) {
+    *stats = EpcScanStats{};
+    stats->pages_faulted = pages_faulted;
+    stats->bytes_streamed = static_cast<uint64_t>(miss_bytes + 0.5);
+    stats->bytes_resident = scanned_bytes - stats->bytes_streamed;
   }
   return (resident + miss_ns) * 1e-9;
 }

@@ -31,6 +31,16 @@ struct EpcConfig {
   double resident_ns_per_byte = 0.25;
 };
 
+// Paging telemetry for one modelled scan: how much of the traffic was served from
+// resident EPC, how much was streamed (host loader) or faulted in (demand paging).
+// Working-set and scan sizes are public deployment parameters (Figure 12's x-axis),
+// so these stats are safe to export.
+struct EpcScanStats {
+  uint64_t pages_faulted = 0;   // demand-paging mode only; 0 under the host loader
+  uint64_t bytes_streamed = 0;  // bytes served from outside the EPC (either mode)
+  uint64_t bytes_resident = 0;  // bytes served at resident speed
+};
+
 class EpcModel {
  public:
   explicit EpcModel(const EpcConfig& config = EpcConfig{}) : config_(config) {}
@@ -45,8 +55,9 @@ class EpcModel {
   // set. If the working set fits in EPC the scan runs at resident speed; otherwise the
   // out-of-EPC portion is either page-faulted in (use_host_loader == false) or streamed
   // through the shared buffer (use_host_loader == true, the paper's optimization).
+  // `stats`, when non-null, receives the paging breakdown for this scan.
   double ScanSeconds(uint64_t working_set_bytes, uint64_t scanned_bytes,
-                     bool use_host_loader = true) const;
+                     bool use_host_loader = true, EpcScanStats* stats = nullptr) const;
 
  private:
   EpcConfig config_;

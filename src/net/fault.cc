@@ -32,22 +32,22 @@ bool FaultInjector::Flip(double probability) {
 FaultAction FaultInjector::Decide(const std::string& endpoint) {
   ++decisions_;
   const FaultProfile& p = ProfileFor(endpoint);
+  FaultAction action = FaultAction::kNone;
   if (Flip(p.drop)) {
-    return FaultAction::kDrop;
+    action = FaultAction::kDrop;
+  } else if (Flip(p.duplicate)) {
+    action = FaultAction::kDuplicate;
+  } else if (Flip(p.corrupt)) {
+    action = rng_.Uniform(2) == 0 ? FaultAction::kCorruptRequest : FaultAction::kCorruptReply;
+  } else if (Flip(p.crash_before_reply)) {
+    action = FaultAction::kCrashBeforeReply;
+  } else if (Flip(p.delay)) {
+    action = FaultAction::kDelay;
   }
-  if (Flip(p.duplicate)) {
-    return FaultAction::kDuplicate;
+  if (action != FaultAction::kNone) {
+    fired_log_.push_back(FiredDecision{endpoint, action, /*epoch_crash=*/false});
   }
-  if (Flip(p.corrupt)) {
-    return rng_.Uniform(2) == 0 ? FaultAction::kCorruptRequest : FaultAction::kCorruptReply;
-  }
-  if (Flip(p.crash_before_reply)) {
-    return FaultAction::kCrashBeforeReply;
-  }
-  if (Flip(p.delay)) {
-    return FaultAction::kDelay;
-  }
-  return FaultAction::kNone;
+  return action;
 }
 
 bool FaultInjector::PollEpochCrash(const std::string& component) {
@@ -57,7 +57,29 @@ bool FaultInjector::PollEpochCrash(const std::string& component) {
     return false;
   }
   MarkCrashed(component);
+  fired_log_.push_back(
+      FiredDecision{component, FaultAction::kCrashBeforeReply, /*epoch_crash=*/true});
   return true;
+}
+
+uint64_t FaultInjector::fired_count(FaultAction action) const {
+  uint64_t n = 0;
+  for (const FiredDecision& d : fired_log_) {
+    if (!d.epoch_crash && d.action == action) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+uint64_t FaultInjector::fired_epoch_crashes() const {
+  uint64_t n = 0;
+  for (const FiredDecision& d : fired_log_) {
+    if (d.epoch_crash) {
+      ++n;
+    }
+  }
+  return n;
 }
 
 bool FaultInjector::IsCrashed(const std::string& endpoint) const {

@@ -152,6 +152,24 @@ class FaultInjector {
 
   uint64_t decisions() const { return decisions_; }
 
+  // --- Fired-decision log ----------------------------------------------------------
+  // Every decision that actually fired, in firing order: per-call faults (target =
+  // endpoint, epoch_crash = false) and epoch-boundary crash polls that hit (target =
+  // component, action = kCrashBeforeReply, epoch_crash = true). kNone decisions are
+  // not logged. The telemetry tests reconcile Network::Stats and the metrics registry
+  // against this log exactly -- each fired fault must account for a fixed number of
+  // retries/recoveries/dedup-hits, with no double counting on retransmit dedup.
+  struct FiredDecision {
+    std::string target;
+    FaultAction action = FaultAction::kNone;
+    bool epoch_crash = false;
+  };
+  const std::vector<FiredDecision>& fired_log() const { return fired_log_; }
+  // Fired per-call decisions of one kind (epoch-crash entries excluded).
+  uint64_t fired_count(FaultAction action) const;
+  uint64_t fired_epoch_crashes() const;
+  void ClearFiredLog() { fired_log_.clear(); }
+
  private:
   bool Flip(double probability);
 
@@ -160,6 +178,7 @@ class FaultInjector {
   std::map<std::string, FaultProfile> profiles_;  // by component
   std::set<std::string> crashed_;                 // components currently down
   uint64_t decisions_ = 0;
+  std::vector<FiredDecision> fired_log_;
 };
 
 }  // namespace snoopy

@@ -32,10 +32,12 @@ std::vector<uint8_t> Network::Call(const std::string& from, const std::string& t
   if (it == endpoints_.end()) {
     throw EndpointNotFoundError(to);
   }
+  PairStats& pair = stats_.per_pair[PairKey(from, to)];
 
   // A crashed component answers nothing; the caller's retry loop must recover it.
   if (fault_injector_ != nullptr && fault_injector_->IsCrashed(to)) {
     ++stats_.timeouts;
+    ++pair.timeouts;
     throw EndpointCrashedError(to);
   }
 
@@ -50,9 +52,12 @@ std::vector<uint8_t> Network::Call(const std::string& from, const std::string& t
   TraceRecord(TraceOp::kMsgSend, EndpointTag(to), payload.size());
   ++stats_.messages;
   stats_.bytes_sent += payload.size();
+  ++pair.messages;
+  pair.bytes_sent += payload.size();
 
   if (fault == FaultAction::kDrop) {
     ++stats_.timeouts;
+    ++pair.timeouts;
     throw TimeoutError(to);
   }
   if (fault == FaultAction::kDelay && clock_ != nullptr) {
@@ -71,6 +76,8 @@ std::vector<uint8_t> Network::Call(const std::string& from, const std::string& t
     // that "arrives".
     ++stats_.messages;
     stats_.bytes_sent += request.size();
+    ++pair.messages;
+    pair.bytes_sent += request.size();
     response = it->second(request);
   }
   if (fault == FaultAction::kCrashBeforeReply) {
@@ -78,6 +85,7 @@ std::vector<uint8_t> Network::Call(const std::string& from, const std::string& t
     // the caller sees only silence.
     fault_injector_->MarkCrashed(FaultInjector::ComponentOf(to));
     ++stats_.timeouts;
+    ++pair.timeouts;
     throw TimeoutError(to);
   }
   if (fault == FaultAction::kCorruptReply) {
@@ -86,7 +94,35 @@ std::vector<uint8_t> Network::Call(const std::string& from, const std::string& t
 
   TraceRecord(TraceOp::kMsgRecv, EndpointTag(from), response.size());
   stats_.bytes_received += response.size();
+  pair.bytes_received += response.size();
   return response;
+}
+
+void Network::ExportTo(MetricsRegistry& registry) const {
+  // Snapshot export: gauges carrying the current totals. Every value here is a wire
+  // fact the network adversary observes directly, so publishing it leaks nothing.
+  registry.GetGauge("snoopy_net_messages").SetValue(static_cast<double>(stats_.messages));
+  registry.GetGauge("snoopy_net_bytes_sent").SetValue(static_cast<double>(stats_.bytes_sent));
+  registry.GetGauge("snoopy_net_bytes_received")
+      .SetValue(static_cast<double>(stats_.bytes_received));
+  registry.GetGauge("snoopy_net_retries").SetValue(static_cast<double>(stats_.retries));
+  registry.GetGauge("snoopy_net_timeouts").SetValue(static_cast<double>(stats_.timeouts));
+  registry.GetGauge("snoopy_net_faults_injected")
+      .SetValue(static_cast<double>(stats_.faults_injected));
+  registry.GetGauge("snoopy_net_recoveries").SetValue(static_cast<double>(stats_.recoveries));
+  for (const auto& [pair_key, ps] : stats_.per_pair) {
+    const MetricLabels labels = {{"pair", pair_key}};
+    registry.GetGauge("snoopy_net_pair_messages", labels)
+        .SetValue(static_cast<double>(ps.messages));
+    registry.GetGauge("snoopy_net_pair_bytes_sent", labels)
+        .SetValue(static_cast<double>(ps.bytes_sent));
+    registry.GetGauge("snoopy_net_pair_bytes_received", labels)
+        .SetValue(static_cast<double>(ps.bytes_received));
+    registry.GetGauge("snoopy_net_pair_retries", labels)
+        .SetValue(static_cast<double>(ps.retries));
+    registry.GetGauge("snoopy_net_pair_timeouts", labels)
+        .SetValue(static_cast<double>(ps.timeouts));
+  }
 }
 
 }  // namespace snoopy

@@ -25,6 +25,7 @@
 
 #include "src/net/fault.h"
 #include "src/net/retry.h"
+#include "src/telemetry/metrics.h"
 
 namespace snoopy {
 
@@ -49,6 +50,16 @@ class Network {
   FaultInjector* fault_injector() const { return fault_injector_; }
   void set_clock(VirtualClock* clock) { clock_ = clock; }
 
+  // Per-endpoint-pair traffic breakdown (keyed "from->to"). All of these are
+  // adversary-visible wire facts, so recording them is leakage-free by definition.
+  struct PairStats {
+    uint64_t messages = 0;
+    uint64_t bytes_sent = 0;
+    uint64_t bytes_received = 0;
+    uint64_t retries = 0;   // resends on this pair (RecordRetry(from, to))
+    uint64_t timeouts = 0;  // calls on this pair that ended without a reply
+  };
+
   struct Stats {
     uint64_t messages = 0;
     uint64_t bytes_sent = 0;
@@ -58,14 +69,30 @@ class Network {
     uint64_t timeouts = 0;         // calls that ended without a reply
     uint64_t faults_injected = 0;  // fault decisions that fired
     uint64_t recoveries = 0;       // component restore/rebuild events (RecordRecovery)
+    // Per-pair breakdown; the aggregate fields above stay the sums over pairs (plus
+    // recoveries/faults, which are per-component rather than per-pair events).
+    std::map<std::string, PairStats> per_pair;
   };
   const Stats& stats() const { return stats_; }
   void ResetStats() { stats_ = Stats{}; }
 
+  static std::string PairKey(const std::string& from, const std::string& to) {
+    return from + "->" + to;
+  }
+
   // Bumped by the owning orchestrator's retry/recovery code, which is where those
-  // events are visible.
+  // events are visible. The no-argument form keeps pre-breakdown callers
+  // source-compatible (aggregate only).
   void RecordRetry() { ++stats_.retries; }
+  void RecordRetry(const std::string& from, const std::string& to) {
+    ++stats_.retries;
+    ++stats_.per_pair[PairKey(from, to)].retries;
+  }
   void RecordRecovery() { ++stats_.recoveries; }
+
+  // Publishes a snapshot of the stats block into `registry` as gauges
+  // (snoopy_net_* series, per-pair series labeled pair="from->to").
+  void ExportTo(MetricsRegistry& registry) const;
 
  private:
   std::map<std::string, Handler> endpoints_;

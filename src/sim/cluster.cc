@@ -166,8 +166,16 @@ ClusterMetrics ClusterSimulator::Run(double ops_per_second, double duration,
           resp_arrive + model_.LbMatchSeconds(r, s, model_.config().cores);
       lb_free[i] = std::max(lb_free[i], done);
       // Arrivals are uniform within the epoch given their count, so the aggregate
-      // latency contribution is r * (done - mean arrival time).
+      // latency contribution is r * (done - mean arrival time), and the cohort's
+      // latency distribution is uniform over [done - boundary, done - boundary +
+      // t_epoch] (latest arrival waits least). ObserveUniform spreads that mass in
+      // O(buckets), preserving the O(L + S)-per-epoch design.
       latency_sum += static_cast<double>(r) * (done - epoch_mean_arrival);
+      if (config_.latency_histogram) {
+        metrics.latency_histogram.ObserveUniform(done - boundary,
+                                                 done - boundary + t_epoch,
+                                                 static_cast<double>(r));
+      }
       metrics.max_latency_s = std::max(metrics.max_latency_s, done - (boundary - t_epoch));
       completed += r;
       last_done = std::max(last_done, done);
@@ -178,6 +186,11 @@ ClusterMetrics ClusterSimulator::Run(double ops_per_second, double duration,
   metrics.throughput = metrics.completed_ops / duration;
   metrics.mean_latency_s = completed == 0 ? 0.0 : latency_sum / static_cast<double>(completed);
   metrics.mean_batch_size = epochs == 0 ? 0.0 : batch_sum / static_cast<double>(epochs);
+  if (config_.latency_histogram && metrics.latency_histogram.count() > 0) {
+    metrics.latency_p50_s = metrics.latency_histogram.Quantile(0.50);
+    metrics.latency_p90_s = metrics.latency_histogram.Quantile(0.90);
+    metrics.latency_p99_s = metrics.latency_histogram.Quantile(0.99);
+  }
   // Saturation heuristic: the pipeline finished far behind the arrival window.
   metrics.saturated = last_done > duration + 4 * config_.epoch_seconds;
   return metrics;

@@ -18,6 +18,7 @@
 #include <cstdint>
 
 #include "src/sim/cost_model.h"
+#include "src/telemetry/metrics.h"
 
 namespace snoopy {
 
@@ -39,6 +40,10 @@ struct ClusterConfig {
   double lb_mttr_s = 0;
   double suboram_mttf_s = 0;
   double suboram_mttr_s = 0;
+  // Collect the per-request latency distribution (histogram-backed percentiles in
+  // ClusterMetrics). Costs O(histogram buckets) per (epoch, load balancer) -- the
+  // per-epoch work stays O(L + S) -- but can be switched off for overhead studies.
+  bool latency_histogram = true;
 };
 
 struct ClusterMetrics {
@@ -47,6 +52,14 @@ struct ClusterMetrics {
   double throughput = 0;         // completed / duration
   double mean_latency_s = 0;
   double max_latency_s = 0;
+  // Histogram-backed percentiles (0 when config.latency_histogram is off or no
+  // request completed). Arrivals are uniform within an epoch given their count, so
+  // each (epoch, lb) cohort contributes a uniform latency mass -- exact under the
+  // model, not a sampling approximation.
+  double latency_p50_s = 0;
+  double latency_p90_s = 0;
+  double latency_p99_s = 0;
+  Histogram latency_histogram;  // full distribution, mergeable across runs
   double mean_batch_size = 0;    // per-subORAM batch size f(R, S) averaged over epochs
   bool saturated = false;        // backlog kept growing: offered load is unsustainable
   uint64_t failures = 0;         // machine crashes during the simulated window

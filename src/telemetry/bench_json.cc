@@ -1,0 +1,78 @@
+#include "src/telemetry/bench_json.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace snoopy {
+
+namespace {
+
+std::string Escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+    }
+    out += c;
+  }
+  return out;
+}
+
+std::string Num(double v) {
+  if (!std::isfinite(v)) {
+    return "null";  // JSON has no inf/nan
+  }
+  if (v == static_cast<double>(static_cast<long long>(v)) && std::fabs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+}  // namespace
+
+BenchJsonEmitter::Point& BenchJsonEmitter::AddPoint(const std::string& series) {
+  points_.emplace_back();
+  points_.back().series_ = series;
+  return points_.back();
+}
+
+std::string BenchJsonEmitter::Render() const {
+  std::string out = "{\"bench\":\"" + Escape(name_) + "\",\"schema\":1,\"points\":[";
+  bool first_point = true;
+  for (const Point& p : points_) {
+    if (!first_point) {
+      out += ",";
+    }
+    first_point = false;
+    out += "{\"series\":\"" + Escape(p.series_) + "\"";
+    for (const auto& [k, v] : p.numbers_) {
+      out += ",\"" + Escape(k) + "\":" + Num(v);
+    }
+    for (const auto& [k, v] : p.strings_) {
+      out += ",\"" + Escape(k) + "\":\"" + Escape(v) + "\"";
+    }
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string BenchJsonEmitter::WriteFile(const std::string& dir) const {
+  const std::string path = dir + "/BENCH_" + name_ + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return "";
+  }
+  const std::string body = Render();
+  const size_t written = std::fwrite(body.data(), 1, body.size(), f);
+  const bool ok = written == body.size() && std::fputc('\n', f) != EOF;
+  std::fclose(f);
+  return ok ? path : "";
+}
+
+}  // namespace snoopy

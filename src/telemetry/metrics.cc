@@ -1,0 +1,385 @@
+#include "src/telemetry/metrics.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace snoopy {
+
+namespace {
+
+// Fixed-format double rendering: enough digits to round-trip, no locale surprises.
+std::string Num(double v) {
+  if (v == static_cast<double>(static_cast<long long>(v)) && std::fabs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+std::string EscapeJson(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string LabelsKey(const std::string& name, const MetricLabels& labels) {
+  if (labels.empty()) {
+    return name;
+  }
+  std::string key = name + "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) {
+      key += ",";
+    }
+    first = false;
+    key += k + "=\"" + v + "\"";
+  }
+  key += "}";
+  return key;
+}
+
+// Prometheus label block with optional extra (quantile) label appended.
+std::string PromLabels(const MetricLabels& labels, const std::string& extra_key = "",
+                       const std::string& extra_value = "") {
+  if (labels.empty() && extra_key.empty()) {
+    return "";
+  }
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) {
+      out += ",";
+    }
+    first = false;
+    out += k + "=\"" + v + "\"";
+  }
+  if (!extra_key.empty()) {
+    if (!first) {
+      out += ",";
+    }
+    out += extra_key + "=\"" + extra_value + "\"";
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+// ------------------------------------------------------------------------ Histogram
+
+int Histogram::BucketIndex(double v) {
+  if (!(v > 0)) {  // zero, negative, NaN
+    return 0;
+  }
+  int e = 0;
+  const double m = std::frexp(v, &e);  // v = m * 2^e, m in [0.5, 1)
+  const int exp = e - 1;               // v in [2^exp, 2^(exp+1))
+  if (exp < kMinExp) {
+    return 0;  // underflow
+  }
+  if (exp > kMaxExp) {
+    return kNumBuckets - 1;  // overflow clamps into the top bucket
+  }
+  int sub = static_cast<int>((m - 0.5) * 2 * kSubBuckets);
+  sub = std::clamp(sub, 0, kSubBuckets - 1);
+  return 1 + (exp - kMinExp) * kSubBuckets + sub;
+}
+
+double Histogram::BucketLowerEdge(int index) {
+  if (index <= 0) {
+    return 0;
+  }
+  const int exp = kMinExp + (index - 1) / kSubBuckets;
+  const int sub = (index - 1) % kSubBuckets;
+  return std::ldexp(1.0 + static_cast<double>(sub) / kSubBuckets, exp);
+}
+
+double Histogram::BucketUpperEdge(int index) {
+  if (index <= 0) {
+    return 0;
+  }
+  const int exp = kMinExp + (index - 1) / kSubBuckets;
+  const int sub = (index - 1) % kSubBuckets;
+  return std::ldexp(1.0 + static_cast<double>(sub + 1) / kSubBuckets, exp);
+}
+
+void Histogram::Observe(double v) {
+  counts_[BucketIndex(v)] += 1;
+  if (count_ == 0) {
+    min_ = v;
+    max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  count_ += 1;
+  sum_ += v;
+}
+
+void Histogram::ObserveUniform(double lo, double hi, double count) {
+  if (count <= 0) {
+    return;
+  }
+  if (hi < lo) {
+    std::swap(lo, hi);
+  }
+  if (count_ == 0) {
+    min_ = lo;
+    max_ = hi;
+  } else {
+    min_ = std::min(min_, lo);
+    max_ = std::max(max_, hi);
+  }
+  count_ += count;
+  sum_ += count * 0.5 * (lo + hi);
+
+  const double width = hi - lo;
+  if (width <= 0) {
+    counts_[BucketIndex(lo)] += count;
+    return;
+  }
+  const int first = BucketIndex(std::max(lo, 0.0));
+  const int last = BucketIndex(hi);
+  // Mass below the first positive bucket (lo <= 0) lands in the underflow bucket.
+  if (lo < 0) {
+    counts_[0] += count * (0.0 - lo) / width;
+  }
+  for (int i = std::max(first, 1); i <= last; ++i) {
+    const double blo = std::max(BucketLowerEdge(i), lo);
+    const double bhi = std::min(BucketUpperEdge(i), hi);
+    if (bhi > blo) {
+      counts_[i] += count * (bhi - blo) / width;
+    }
+  }
+  if (first == 0 && lo >= 0) {
+    // The sliver of [lo, hi] below the smallest representable bucket edge.
+    const double tiny_hi = std::min(BucketLowerEdge(1), hi);
+    if (tiny_hi > lo) {
+      counts_[0] += count * (tiny_hi - lo) / width;
+    }
+  }
+}
+
+void Histogram::Merge(const Histogram& other) {
+  for (int i = 0; i < kNumBuckets; ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  if (other.count_ > 0) {
+    if (count_ == 0) {
+      min_ = other.min_;
+      max_ = other.max_;
+    } else {
+      min_ = std::min(min_, other.min_);
+      max_ = std::max(max_, other.max_);
+    }
+    count_ += other.count_;
+    sum_ += other.sum_;
+  }
+}
+
+double Histogram::Quantile(double q) const {
+  if (count_ <= 0) {
+    return 0;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * count_;
+  double cum = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    if (counts_[i] <= 0) {
+      continue;
+    }
+    if (cum + counts_[i] >= target) {
+      const double lo = i == 0 ? min_ : BucketLowerEdge(i);
+      const double hi = i == 0 ? std::min(max_, BucketUpperEdge(1)) : BucketUpperEdge(i);
+      const double frac = counts_[i] > 0 ? (target - cum) / counts_[i] : 0;
+      return std::clamp(lo + (hi - lo) * frac, min_, max_);
+    }
+    cum += counts_[i];
+  }
+  return max_;
+}
+
+void Histogram::Reset() {
+  std::fill(counts_.begin(), counts_.end(), 0.0);
+  count_ = sum_ = min_ = max_ = 0;
+}
+
+// ------------------------------------------------------------------------- Registry
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+MetricsRegistry::Entry& MetricsRegistry::GetEntry(const std::string& name,
+                                                  const MetricLabels& labels) {
+  const std::string key = LabelsKey(name, labels);
+  auto [it, inserted] = entries_.try_emplace(key);
+  if (inserted) {
+    it->second.name = name;
+    it->second.labels = labels;
+  }
+  return it->second;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name, const MetricLabels& labels) {
+  Entry& e = GetEntry(name, labels);
+  if (e.gauge != nullptr || e.histogram != nullptr) {
+    throw std::logic_error("metric '" + name + "' already registered with another type");
+  }
+  if (e.counter == nullptr) {
+    e.counter = std::make_unique<Counter>();
+  }
+  return *e.counter;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name, const MetricLabels& labels) {
+  Entry& e = GetEntry(name, labels);
+  if (e.counter != nullptr || e.histogram != nullptr) {
+    throw std::logic_error("metric '" + name + "' already registered with another type");
+  }
+  if (e.gauge == nullptr) {
+    e.gauge = std::make_unique<Gauge>();
+  }
+  return *e.gauge;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name, const MetricLabels& labels) {
+  Entry& e = GetEntry(name, labels);
+  if (e.counter != nullptr || e.gauge != nullptr) {
+    throw std::logic_error("metric '" + name + "' already registered with another type");
+  }
+  if (e.histogram == nullptr) {
+    e.histogram = std::make_unique<Histogram>();
+  }
+  return *e.histogram;
+}
+
+bool MetricsRegistry::Has(const std::string& name, const MetricLabels& labels) const {
+  return entries_.count(LabelsKey(name, labels)) != 0;
+}
+
+std::string MetricsRegistry::RenderPrometheus() const {
+  std::string out;
+  std::string last_family;
+  for (const auto& [key, e] : entries_) {
+    const char* type = e.counter ? "counter" : (e.gauge ? "gauge" : "summary");
+    if (e.name != last_family) {
+      out += "# TYPE " + e.name + " " + type + "\n";
+      last_family = e.name;
+    }
+    if (e.counter != nullptr) {
+      out += e.name + PromLabels(e.labels) + " " +
+             Num(static_cast<double>(e.counter->value())) + "\n";
+    } else if (e.gauge != nullptr) {
+      out += e.name + PromLabels(e.labels) + " " + Num(e.gauge->value()) + "\n";
+    } else if (e.histogram != nullptr) {
+      const Histogram& h = *e.histogram;
+      for (const auto& [q, label] : {std::pair<double, const char*>{0.5, "0.5"},
+                                     {0.9, "0.9"},
+                                     {0.99, "0.99"},
+                                     {0.999, "0.999"}}) {
+        out += e.name + PromLabels(e.labels, "quantile", label) + " " +
+               Num(h.Quantile(q)) + "\n";
+      }
+      out += e.name + "_sum" + PromLabels(e.labels) + " " + Num(h.sum()) + "\n";
+      out += e.name + "_count" + PromLabels(e.labels) + " " + Num(h.count()) + "\n";
+    }
+  }
+  return out;
+}
+
+std::string MetricsRegistry::RenderJson() const {
+  std::string out = "{\"metrics\":[";
+  bool first = true;
+  for (const auto& [key, e] : entries_) {
+    if (!first) {
+      out += ",";
+    }
+    first = false;
+    out += "{\"name\":\"" + EscapeJson(e.name) + "\",\"labels\":{";
+    bool lf = true;
+    for (const auto& [k, v] : e.labels) {
+      if (!lf) {
+        out += ",";
+      }
+      lf = false;
+      out += "\"" + EscapeJson(k) + "\":\"" + EscapeJson(v) + "\"";
+    }
+    out += "},";
+    if (e.counter != nullptr) {
+      out += "\"type\":\"counter\",\"value\":" + Num(static_cast<double>(e.counter->value()));
+    } else if (e.gauge != nullptr) {
+      out += "\"type\":\"gauge\",\"value\":" + Num(e.gauge->value());
+    } else if (e.histogram != nullptr) {
+      const Histogram& h = *e.histogram;
+      out += "\"type\":\"histogram\",\"count\":" + Num(h.count()) +
+             ",\"sum\":" + Num(h.sum()) + ",\"min\":" + Num(h.min()) +
+             ",\"max\":" + Num(h.max()) + ",\"mean\":" + Num(h.mean()) +
+             ",\"p50\":" + Num(h.Quantile(0.5)) + ",\"p90\":" + Num(h.Quantile(0.9)) +
+             ",\"p99\":" + Num(h.Quantile(0.99)) + ",\"p999\":" + Num(h.Quantile(0.999));
+    } else {
+      out += "\"type\":\"empty\"";
+    }
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+void MetricsRegistry::Reset() {
+  for (auto& [key, e] : entries_) {
+    if (e.counter != nullptr) {
+      e.counter->Reset();
+    }
+    if (e.gauge != nullptr) {
+      e.gauge->Reset();
+    }
+    if (e.histogram != nullptr) {
+      e.histogram->Reset();
+    }
+  }
+}
+
+// ------------------------------------------------------------------------ SpanTimer
+
+double SpanTimer::Stop() {
+  if (stopped_ || histogram_ == nullptr || !now_s_) {
+    stopped_ = true;
+    return 0;
+  }
+  stopped_ = true;
+  const double elapsed = now_s_() - start_s_;
+  histogram_->Observe(elapsed < 0 ? 0 : elapsed);
+  return elapsed;
+}
+
+double SpanTimer::SteadyNowSeconds() {
+  static const auto t0 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+}  // namespace snoopy

@@ -1,5 +1,7 @@
 #include "src/sim/cluster.h"
 
+#include <algorithm>
+
 #include <gtest/gtest.h>
 
 namespace snoopy {
@@ -110,6 +112,54 @@ TEST(ClusterSimulator, FailureProcessIsSeedDeterministic) {
   EXPECT_EQ(a.failures, b.failures);
   EXPECT_EQ(a.downtime_s, b.downtime_s);
   EXPECT_EQ(a.mean_latency_s, b.mean_latency_s);
+}
+
+TEST(ClusterSimulator, LatencyPercentilesAreOrderedAndBracketed) {
+  const CostModel model;
+  const ClusterSimulator sim(SmallConfig(), model);
+  const ClusterMetrics m = sim.Run(/*ops_per_second=*/2000, /*duration=*/6.0, /*seed=*/1);
+  ASSERT_GT(m.latency_histogram.count(), 0.0);
+  EXPECT_GT(m.latency_p50_s, 0.0);
+  EXPECT_LE(m.latency_p50_s, m.latency_p90_s);
+  EXPECT_LE(m.latency_p90_s, m.latency_p99_s);
+  EXPECT_LE(m.latency_p99_s, m.max_latency_s * 1.0001);
+  // The histogram's mean must agree with the exact mean (its mass is exact per
+  // cohort, not sampled), and the tail cannot dip below the mean's cohort floor.
+  EXPECT_NEAR(m.latency_histogram.mean(), m.mean_latency_s,
+              0.05 * m.mean_latency_s + 1e-9);
+  EXPECT_GE(m.latency_p99_s, m.mean_latency_s);
+}
+
+TEST(ClusterSimulator, DisablingLatencyHistogramOnlyDropsPercentiles) {
+  // The overhead-study switch: turning the histogram off must zero the percentile
+  // fields without perturbing any other metric of the same seeded run.
+  const CostModel model;
+  ClusterConfig off_cfg = SmallConfig();
+  off_cfg.latency_histogram = false;
+  const ClusterMetrics on = ClusterSimulator(SmallConfig(), model).Run(2000, 6.0, /*seed=*/1);
+  const ClusterMetrics off = ClusterSimulator(off_cfg, model).Run(2000, 6.0, /*seed=*/1);
+  EXPECT_EQ(off.latency_histogram.count(), 0.0);
+  EXPECT_EQ(off.latency_p50_s, 0.0);
+  EXPECT_EQ(off.latency_p99_s, 0.0);
+  EXPECT_EQ(on.completed_ops, off.completed_ops);
+  EXPECT_EQ(on.throughput, off.throughput);
+  EXPECT_EQ(on.mean_latency_s, off.mean_latency_s);
+  EXPECT_EQ(on.max_latency_s, off.max_latency_s);
+}
+
+TEST(ClusterSimulator, LatencyHistogramsMergeAcrossRuns) {
+  // Mergeability is the point of histogram-backed percentiles: shard the runs, merge
+  // the distributions, and the combined count is the sum of the parts.
+  const CostModel model;
+  const ClusterSimulator sim(SmallConfig(), model);
+  const ClusterMetrics a = sim.Run(2000, 6.0, /*seed=*/1);
+  const ClusterMetrics b = sim.Run(2000, 6.0, /*seed=*/2);
+  Histogram merged;
+  merged.Merge(a.latency_histogram);
+  merged.Merge(b.latency_histogram);
+  EXPECT_DOUBLE_EQ(merged.count(),
+                   a.latency_histogram.count() + b.latency_histogram.count());
+  EXPECT_GE(merged.Quantile(0.99), std::min(a.latency_p99_s, b.latency_p99_s) * 0.9);
 }
 
 TEST(ClusterSimulator, BestSplitUsesAllMachines) {

@@ -33,6 +33,57 @@ TEST(EpcModel, HostLoaderBeatsPageFaults) {
   EXPECT_LT(with_loader, with_faults / 2.0);
 }
 
+TEST(EpcModel, Fig12CrossoverAtDefaultRecordSize) {
+  // Pins the Figure 12 cliff to concrete deployment numbers: at the paper's ~336-byte
+  // sealed record, 2^19 objects still fit the 188 MB usable EPC while 2^20 do not, and
+  // crossing the boundary raises the per-byte scan cost even with the host loader.
+  const EpcModel model;
+  const uint64_t record_bytes = 336;
+  const uint64_t below = (1ull << 19) * record_bytes;  // ~168 MB
+  const uint64_t above = (1ull << 20) * record_bytes;  // ~336 MB
+  EXPECT_TRUE(model.Fits(below));
+  EXPECT_FALSE(model.Fits(above));
+  const double below_per_byte = model.ScanSeconds(below, below) / static_cast<double>(below);
+  const double above_per_byte = model.ScanSeconds(above, above) / static_cast<double>(above);
+  EXPECT_GT(above_per_byte, 1.3 * below_per_byte)
+      << "crossing the EPC boundary must show up as a per-byte cost jump (Figure 12)";
+}
+
+TEST(EpcModel, ScanStatsAccountForEveryByte) {
+  const EpcModel model;
+  const uint64_t epc = model.config().usable_epc_bytes;
+
+  // Resident scan: everything served from EPC, nothing streamed or faulted.
+  EpcScanStats fits{};
+  model.ScanSeconds(epc / 2, epc / 2, /*use_host_loader=*/true, &fits);
+  EXPECT_EQ(fits.bytes_resident, epc / 2);
+  EXPECT_EQ(fits.bytes_streamed, 0u);
+  EXPECT_EQ(fits.pages_faulted, 0u);
+
+  // Host-loader miss: the out-of-EPC fraction streams, the rest stays resident, and
+  // no page faults occur. resident + streamed must cover the scan exactly.
+  const uint64_t ws = 4 * epc;
+  EpcScanStats streamed{};
+  model.ScanSeconds(ws, ws, /*use_host_loader=*/true, &streamed);
+  EXPECT_EQ(streamed.pages_faulted, 0u);
+  EXPECT_EQ(streamed.bytes_resident + streamed.bytes_streamed, ws);
+  // Three quarters of a 4x-EPC working set miss.
+  EXPECT_NEAR(static_cast<double>(streamed.bytes_streamed), 0.75 * static_cast<double>(ws),
+              1.0);
+
+  // Demand paging: same byte split, but the misses arrive as page faults.
+  EpcScanStats faulted{};
+  model.ScanSeconds(ws, ws, /*use_host_loader=*/false, &faulted);
+  EXPECT_EQ(faulted.bytes_streamed, streamed.bytes_streamed);
+  EXPECT_NEAR(static_cast<double>(faulted.pages_faulted),
+              static_cast<double>(faulted.bytes_streamed) /
+                  static_cast<double>(model.config().page_bytes),
+              1.0);
+
+  // The out-param is optional and its absence changes nothing.
+  EXPECT_EQ(model.ScanSeconds(ws, ws, true, nullptr), model.ScanSeconds(ws, ws, true));
+}
+
 TEST(EpcModel, FitsMatchesConfig) {
   EpcConfig cfg;
   cfg.usable_epc_bytes = 1000;

@@ -26,6 +26,31 @@ ctest --test-dir build --output-on-failure
 echo "== lint target (clang-tidy when installed) =="
 cmake --build build --target lint
 
+echo "== metrics smoke (one epoch; JSON export must parse with required series) =="
+build/examples/metrics_smoke > build/metrics_smoke.json
+python3 - build/metrics_smoke.json <<'PYEOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+names = {m["name"] for m in doc["metrics"]}
+required = {
+    "snoopy_epochs_total", "snoopy_requests_total", "snoopy_epoch_seconds",
+    "snoopy_epoch_phase_seconds", "snoopy_batch_size",
+    "snoopy_net_messages", "snoopy_net_bytes_sent", "snoopy_net_pair_messages",
+}
+missing = sorted(required - names)
+if missing:
+    sys.exit(f"metrics smoke: missing required series: {missing}")
+phases = {m["labels"].get("phase") for m in doc["metrics"]
+          if m["name"] == "snoopy_epoch_phase_seconds"}
+expected_phases = {"lb_prepare", "suboram_execute", "response_match"}
+if not expected_phases <= phases:
+    sys.exit(f"metrics smoke: missing phase spans: {sorted(expected_phases - phases)}")
+epochs = next(m for m in doc["metrics"] if m["name"] == "snoopy_epochs_total")
+if epochs["value"] != 1:
+    sys.exit(f"metrics smoke: expected 1 epoch, got {epochs['value']}")
+print(f"metrics smoke ok: {len(doc['metrics'])} series, all required present")
+PYEOF
+
 if [[ "${FAST}" == "1" ]]; then
   echo "== --fast: skipping sanitizer build =="
   exit 0

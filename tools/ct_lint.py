@@ -10,7 +10,9 @@ cannot see:
   * raw (untyped) locals inside an oblivious region flowing into a branch or index,
   * short-circuit operators (&&/||) that would reintroduce a hidden branch,
   * variable-time library calls (memcmp & friends) on secret buffers,
-  * use of the Secret<T> TCB escape hatch outside the trusted files.
+  * use of the Secret<T> TCB escape hatch outside the trusted files,
+  * telemetry record calls (src/telemetry) inside an oblivious region -- a metric
+    bumped on a secret-dependent path is an access-pattern side channel.
 
 The unit of enforcement is a *region*:
 
@@ -40,6 +42,9 @@ Rules:
   CT006 unvetted-call       call to a function outside the oblivious allowlist
   CT007 tcb-escape          SecretValueForPrimitive() outside a tcb file
   CT008 manifest            region/manifest structural problems
+  CT009 metric-in-region    telemetry record call inside an oblivious region without
+                            a `ct-public: <name>` annotation vouching that every
+                            recorded value is public
 
 Exit status: 0 if no findings, 1 otherwise. `--self-test` runs the planted-violation
 corpus (tools/ct_lint_selftest/), an injection demo against bitonic_sort.h, and then
@@ -127,6 +132,15 @@ BANNED_CALLS = {
     "memcmp", "strcmp", "strncmp", "strcasecmp", "bcmp", "equal",
     "lexicographical_compare", "find", "count", "binary_search", "sort",
     "stable_sort", "qsort", "bsearch",
+}
+
+# Telemetry record/lookup entry points (src/telemetry/metrics.h). Inside an oblivious
+# region these are flagged as CT009 unless the region's `ct-public:` line names the
+# call, asserting that every value it records is public. The set can be extended with
+# the manifest's top-level "metric_calls" key.
+METRIC_CALLS = {
+    "Increment", "SetValue", "Observe", "ObserveUniform",
+    "GetCounter", "GetGauge", "GetHistogram",
 }
 
 
@@ -395,7 +409,16 @@ def lint_region_tokens(path, tokens, region, findings):
                 "return", "throw", "else", "do", "in")
             is_decl = is_decl or before in (">", "*", "&")
             if not is_decl:
-                if t.text in BANNED_CALLS:
+                if t.text in METRIC_CALLS:
+                    # A ct-public annotation for the call name is the audited opt-in:
+                    # the author asserts every value this call records is public.
+                    if t.text not in region.publics:
+                        findings.append(Finding(path, t.line, "CT009",
+                                                f"telemetry call `{t.text}` inside "
+                                                f"oblivious region; annotate "
+                                                f"`ct-public: {t.text}` only if every "
+                                                f"recorded value is public"))
+                elif t.text in BANNED_CALLS:
                     findings.append(Finding(path, t.line, "CT005",
                                             f"variable-time call `{t.text}` in "
                                             f"oblivious region"))
@@ -466,6 +489,7 @@ def load_manifest(root: pathlib.Path, manifest_path: pathlib.Path):
 def lint_tree(root: pathlib.Path, manifest_path: pathlib.Path) -> list:
     findings = []
     manifest, classes = load_manifest(root, manifest_path)
+    METRIC_CALLS.update(manifest.get("metric_calls", []))
 
     for rel, cls in sorted(classes.items()):
         p = root / rel

@@ -1,0 +1,48 @@
+// Planted secret-into-metric violations for tools/ct_lint.py --self-test (CT009).
+//
+// Telemetry record calls inside an oblivious region are access-pattern leaks unless
+// the region's `ct-public:` line names the call, vouching that every recorded value
+// is public. This file plants both the violation and the audited opt-in; it is never
+// compiled -- it only needs to tokenize like C++.
+
+#include <cstdint>
+
+namespace selftest {
+
+// SNOOPY_OBLIVIOUS_BEGIN(metric_leak)
+// ct-public: i n counter hist matches batch_size
+
+void MetricLeak(uint8_t* base, uint64_t n, uint64_t stride) {
+  SecretU64 matches_secret = 0;
+  for (uint64_t i = 0; i < n; ++i) {
+    const SecretU64 key = LoadSecretU64(base, i * stride);
+    const SecretBool hit = key == 0;
+    matches_secret += CtSelectU64(hit, 1, 0);
+    // The classic leak: bumping a counter on the secret-dependent path. Even with a
+    // constant argument, *reaching* the call leaks that the branch was taken.
+    counter.Increment(1);  // EXPECT: CT009
+  }
+  // Recording a secret-derived value (the deleted overload also catches this at
+  // compile time; the linter catches it before a compiler ever runs).
+  hist.Observe(matches_secret);  // EXPECT: CT009
+  GetCounter("selftest_matches").Increment(matches_secret);  // EXPECT: CT009
+}
+
+// SNOOPY_OBLIVIOUS_END(metric_leak)
+
+// SNOOPY_OBLIVIOUS_BEGIN(metric_public_ok)
+// ct-public: i n batch_size hist Observe
+
+// The audited opt-in: `ct-public: Observe` asserts every value this region records
+// is public (here the padded batch size f(R, S), public by Theorem 3). No findings.
+void MetricPublicOk(uint8_t* base, uint64_t n, uint64_t batch_size) {
+  for (uint64_t i = 0; i < n; ++i) {
+    const SecretU64 key = LoadSecretU64(base, i * 8);
+    StoreSecretU64(base, i * 8, key);
+  }
+  hist.Observe(batch_size);
+}
+
+// SNOOPY_OBLIVIOUS_END(metric_public_ok)
+
+}  // namespace selftest
