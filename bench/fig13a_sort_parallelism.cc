@@ -46,14 +46,14 @@ int main() {
   using namespace snoopy;
   PrintHeader("Figure 13a", "bitonic sort thread scaling (measured + 4-core model)");
   const CostModel model;
-  std::printf("%9s | %10s %10s %10s %10s | %10s %10s\n", "items", "1 thr(s)", "2 thr(s)",
-              "3 thr(s)", "adaptive", "model 1thr", "model 3thr");
+  std::printf("%9s | %11s %11s %11s %11s | %13s %13s\n", "items", "1 thr(s)", "2 thr(s)",
+              "3 thr(s)", "adaptive(s)", "model 1thr(s)", "model 3thr(s)");
   for (const size_t n : {size_t{1} << 10, size_t{1} << 12, size_t{1} << 14, size_t{1} << 16}) {
     const double t1 = SortTime(n, 1, n);
     const double t2 = SortTime(n, 2, n);
     const double t3 = SortTime(n, 3, n);
     const double ta = SortTime(n, AdaptiveSortThreads(n, 3), n);
-    std::printf("%9zu | %10.3f %10.3f %10.3f %10.3f | %10.3f %10.3f\n", n, t1, t2, t3, ta,
+    std::printf("%9zu | %11.3f %11.3f %11.3f %11.3f | %13.3f %13.3f\n", n, t1, t2, t3, ta,
                 model.BitonicSortSeconds(n, kRecordBytes, 1),
                 model.BitonicSortSeconds(n, kRecordBytes, 3));
   }

@@ -51,12 +51,13 @@ int main() {
   using namespace snoopy;
   PrintHeader("Figure 13b", "subORAM batch processing thread scaling (batch = 4K)");
   const CostModel model;
-  std::printf("%10s | %12s | %12s %12s %12s\n", "objects", "measured 1thr",
-              "model 1thr", "model 2thr", "model 3thr");
+  // Units live in the header so every row cell matches its header width exactly.
+  std::printf("%10s | %16s | %14s %14s %14s\n", "objects", "measured 1thr ms",
+              "model 1thr ms", "model 2thr ms", "model 3thr ms");
   for (const uint64_t n : {uint64_t{1} << 12, uint64_t{1} << 14, uint64_t{1} << 16,
                            uint64_t{1} << 18}) {
     const double measured = ProcessTime(n, 1);
-    std::printf("%10llu | %10.0f ms | %10.0f %12.0f %12.0f ms\n",
+    std::printf("%10llu | %16.0f | %14.0f %14.0f %14.0f\n",
                 static_cast<unsigned long long>(n), measured * 1e3,
                 model.SubOramBatchSeconds(kBatch, n, 1) * 1e3,
                 model.SubOramBatchSeconds(kBatch, n, 2) * 1e3,

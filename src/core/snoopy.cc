@@ -1,8 +1,11 @@
 #include "src/core/snoopy.h"
 
+#include <atomic>
 #include <cstring>
+#include <exception>
 #include <stdexcept>
 #include <string>
+#include <thread>
 
 #include "src/enclave/trace.h"
 #include "src/obl/bitonic_sort.h"
@@ -22,6 +25,60 @@ uint64_t Mix64(uint64_t x) {
 
 std::string SubOramEndpointName(uint32_t so, uint32_t lb) {
   return "suboram/" + std::to_string(so) + "/from/" + std::to_string(lb);
+}
+
+// Runs tasks 0..n-1 across up to `threads` workers (the calling thread included) and
+// merges every task's trace events back into the caller's sink in task-index order.
+// Each task index is a *public* id (load balancer or subORAM number), so the merge
+// order is simulatable and the merged trace is byte-identical at any thread count:
+// with threads <= 1 the tasks simply run inline in index order, which produces the
+// same event sequence the buffered merge reproduces. Task assignment to workers is
+// dynamic (work-stealing counter); that never affects the result because each task
+// touches only its own per-index state and per-endpoint fault streams.
+//
+// A task that throws doesn't stop its siblings (mirroring independent machines in the
+// real deployment); after the join, the lowest-index exception is rethrown so the
+// surfaced error doesn't depend on scheduling.
+template <typename Task>
+void RunIndexedPhase(size_t n, int threads, const Task& task) {
+  const size_t max_workers = threads < 1 ? 1 : static_cast<size_t>(threads);
+  const size_t workers = n < max_workers ? n : max_workers;
+  if (workers <= 1) {
+    for (size_t i = 0; i < n; ++i) {
+      task(i);
+    }
+    return;
+  }
+  std::vector<std::vector<TraceEvent>> buffers(n);
+  std::vector<std::exception_ptr> errors(n);
+  std::atomic<size_t> next{0};
+  auto work = [&] {
+    for (size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
+      TraceThreadBuffer buffer{&buffers[i]};
+      try {
+        task(i);
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(workers - 1);
+  for (size_t w = 1; w < workers; ++w) {
+    pool.emplace_back(work);
+  }
+  work();
+  for (std::thread& t : pool) {
+    t.join();
+  }
+  for (const std::vector<TraceEvent>& buffer : buffers) {
+    TraceAppendCurrent(buffer);
+  }
+  for (std::exception_ptr& error : errors) {
+    if (error) {
+      std::rethrow_exception(error);
+    }
+  }
 }
 
 // Default factory: the paper's throughput-optimized subORAM.
@@ -354,9 +411,16 @@ void Snoopy::RecoverSubOram(uint32_t so,
 
   // The restarted enclave has no channel state: every load balancer re-attests and
   // both ends start fresh sessions. Bumping the generation invalidates any sealed
-  // bytes still held by in-flight callers.
+  // bytes still held by in-flight callers. The rng_ lock serializes concurrent
+  // subORAM recoveries (parallel phase 2); each recovery touches only its own
+  // subORAM's links/cache, so the key draw is the lone shared mutation.
   for (uint32_t lb = 0; lb < config_.num_load_balancers; ++lb) {
-    links_[lb][so]->Rekey(rng_.NextKey32());
+    std::array<uint8_t, 32> key;
+    {
+      std::lock_guard<std::mutex> g(rng_mu_);
+      key = rng_.NextKey32();
+    }
+    links_[lb][so]->Rekey(key);
     ++link_generation_[lb][so];
   }
   so_response_cache_[so].clear();
@@ -399,7 +463,12 @@ void Snoopy::RecoverLoadBalancer(uint32_t lb) {
   const LoadBalancerConfig lbc = lbs_[lb]->config();
   lbs_[lb] = std::make_unique<LoadBalancer>(lbc, partition_key_, lb_base_seeds_[lb]);
   for (uint32_t so = 0; so < config_.num_suborams; ++so) {
-    links_[lb][so]->Rekey(rng_.NextKey32());
+    std::array<uint8_t, 32> key;
+    {
+      std::lock_guard<std::mutex> g(rng_mu_);
+      key = rng_.NextKey32();
+    }
+    links_[lb][so]->Rekey(key);
     ++link_generation_[lb][so];
   }
   if (fault_injector_ != nullptr) {
@@ -486,44 +555,59 @@ std::vector<ClientResponse> Snoopy::RunEpoch() {
     }
   }
 
-  // Phase 1: every load balancer prepares its batches independently (section 4.3).
-  // The per-(lb, epoch) seed fixes the epoch's dummy-key randomness, so a load
-  // balancer rebuilt after a crash prepares byte-identical batches.
-  std::vector<LoadBalancer::PreparedEpoch> prepared;
-  prepared.reserve(config_.num_load_balancers);
+  // Phase 1: every load balancer prepares its batches independently (section 4.3) --
+  // one parallel task per load balancer. The per-(lb, epoch) seed fixes the epoch's
+  // dummy-key randomness, so preparation is a pure function of (pending requests,
+  // seed) and thread count changes nothing; a load balancer rebuilt after a crash
+  // prepares byte-identical batches for the same reason.
+  std::vector<LoadBalancer::PreparedEpoch> prepared(config_.num_load_balancers);
   {
     SpanTimer prepare_span(PhaseHistogram("lb_prepare"), now_fn);
-    for (uint32_t lb = 0; lb < config_.num_load_balancers; ++lb) {
+    RunIndexedPhase(config_.num_load_balancers, config_.epoch_threads, [&](size_t lb) {
       RequestBatch requests = std::move(pending_[lb]);
       pending_[lb] = RequestBatch(config_.value_size);
-      prepared.push_back(lbs_[lb]->PrepareBatches(std::move(requests), EpochSeed(lb, epoch_)));
+      prepared[lb] = lbs_[lb]->PrepareBatches(std::move(requests),
+                                              EpochSeed(static_cast<uint32_t>(lb), epoch_));
       if (metrics_ != nullptr) {
         // The padded per-subORAM batch size f(R, S): public by Theorem 3.
         metrics_->GetHistogram("snoopy_batch_size", {{"lb", std::to_string(lb)}})
             .Observe(static_cast<double>(prepared[lb].batch_size));
       }
-    }
+    });
   }
 
-  // Phase 2: subORAMs execute the batches in fixed load-balancer order -- the
-  // linearization order of Appendix C. The per-hop encryption is real: each batch is
-  // sealed at the load balancer and opened inside the subORAM endpoint. Every call
-  // runs under the retry policy and tolerates injected faults and crashes.
+  // Phase 2: subORAMs execute the batches -- one task per subORAM, each applying its
+  // batches in fixed load-balancer order, which is the linearization order of
+  // Appendix C (the order is *per subORAM*, so distinct subORAMs may run
+  // concurrently; this is the paper's Figure 9a scaling axis). The per-hop encryption
+  // is real: each batch is sealed at the load balancer and opened inside the subORAM
+  // endpoint. Every call runs under the retry policy and tolerates injected faults
+  // and crashes; per-endpoint fault streams keep every (lb, so) exchange's fault
+  // sequence independent of how the subORAM tasks interleave.
   std::vector<std::vector<RequestBatch>> responses(config_.num_load_balancers);
+  for (auto& per_lb : responses) {
+    per_lb.resize(config_.num_suborams);
+  }
   {
     SpanTimer execute_span(PhaseHistogram("suboram_execute"), now_fn);
-    for (uint32_t lb = 0; lb < config_.num_load_balancers; ++lb) {
-      for (uint32_t so = 0; so < config_.num_suborams; ++so) {
-        responses[lb].push_back(CallSubOram(lb, so, prepared));
+    RunIndexedPhase(config_.num_suborams, config_.epoch_threads, [&](size_t so) {
+      for (uint32_t lb = 0; lb < config_.num_load_balancers; ++lb) {
+        responses[lb][so] = CallSubOram(lb, static_cast<uint32_t>(so), prepared);
       }
-    }
+    });
   }
 
-  // Phase 3: match responses to clients.
+  // Phase 3: match responses to clients. The oblivious matching (Figure 6) is one
+  // task per load balancer; delivery stays on the orchestrator thread because sealing
+  // into client mailboxes advances per-client channel counters in submission order.
   SpanTimer match_span(PhaseHistogram("response_match"), now_fn);
-  for (uint32_t lb = 0; lb < config_.num_load_balancers; ++lb) {
-    RequestBatch matched =
+  std::vector<RequestBatch> matched_by_lb(config_.num_load_balancers);
+  RunIndexedPhase(config_.num_load_balancers, config_.epoch_threads, [&](size_t lb) {
+    matched_by_lb[lb] =
         lbs_[lb]->MatchResponses(std::move(prepared[lb]), std::move(responses[lb]));
+  });
+  for (uint32_t lb = 0; lb < config_.num_load_balancers; ++lb) {
+    RequestBatch& matched = matched_by_lb[lb];
     for (size_t i = 0; i < matched.size(); ++i) {
       const RequestHeader& h = matched.Header(i);
       const auto session = clients_.find(h.client_id);

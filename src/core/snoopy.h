@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <set>
 #include <span>
 #include <vector>
@@ -45,6 +46,15 @@ struct SnoopyConfig {
   size_t value_size = 160;
   uint32_t lambda = kDefaultLambda;
   int sort_threads = 1;
+  // Worker threads for the epoch pipeline (Figure 9a's scaling claim needs the
+  // orchestrator off the critical path): phase 1 prepares load-balancer batches
+  // concurrently, phase 2 runs one worker per subORAM (each applying its batches in
+  // load-balancer order, preserving the Appendix C linearization per subORAM), and
+  // phase 3 matches responses concurrently per load balancer. 1 (default) is fully
+  // sequential. Any setting produces identical client responses and, with per-thread
+  // trace buffers merged in public-id order, byte-identical enclave traces; see
+  // DESIGN.md "Threading model".
+  int epoch_threads = 1;
   bool check_distinct = true;
   // Partition the initial data with an oblivious sort, as in the paper's
   // LoadBalancer.Initialize (Appendix B, Figure 23). Costs O(n log^2 n); the default
@@ -186,6 +196,10 @@ class Snoopy {
 
   SnoopyConfig config_;
   Rng rng_;
+  // Guards rng_ during parallel phase 2: concurrent subORAM recoveries draw rekeying
+  // material from the shared stream. Key *values* then depend on scheduling, but keys
+  // only ever change ciphertext bytes, never message sizes, responses, or traces.
+  std::mutex rng_mu_;
   SipKey partition_key_;
   uint64_t epoch_ = 0;
 

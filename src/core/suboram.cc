@@ -90,14 +90,12 @@ RequestBatch SubOram::ProcessBatch(RequestBatch&& batch) {
       threads > 1 && table.params().bins2 > 0 ? table.params().bins2 : 0);
 
   // SNOOPY_OBLIVIOUS_BEGIN(suboram_scan)
-  // ct-public: i off begin end stride value_size trace bucket threads
+  // ct-public: i off begin end stride value_size bucket threads
   // ct-public: obj_key table tier1_locks tier2_locks
-  auto scan_range = [&](size_t begin, size_t end, bool trace) {
+  auto scan_range = [&](size_t begin, size_t end) {
     std::vector<uint8_t> old_value(value_size);
     for (size_t i = begin; i < end; ++i) {
-      if (trace) {
-        TraceRecord(TraceOp::kRead, i);
-      }
+      TraceRecord(TraceOp::kRead, i);
       uint8_t* obj = store_.Record(i);
       uint64_t obj_key;
       std::memcpy(&obj_key, obj, 8);
@@ -144,11 +142,17 @@ RequestBatch SubOram::ProcessBatch(RequestBatch&& batch) {
   // SNOOPY_OBLIVIOUS_END(suboram_scan)
 
   if (threads <= 1) {
-    scan_range(0, n_objects, /*trace=*/true);
+    scan_range(0, n_objects);
   } else {
-    // Parallel path: trace emission is skipped (the recorder is not thread-safe);
-    // obliviousness analysis uses the sequential path.
+    // Parallel path. The scan is split into fixed-size chunks whose boundaries depend
+    // only on (n_objects, threads) — both public — so the split itself leaks nothing.
+    // A marker event records the parallel structure, then each worker buffers its
+    // trace events thread-locally (the shared recorder is not thread-safe) and the
+    // buffers are merged in chunk-index order, reproducing the sequential kRead
+    // sequence deterministically.
+    TraceRecord(TraceOp::kParallelScan, static_cast<uint64_t>(threads), n_objects);
     std::vector<std::thread> workers;
+    std::vector<std::vector<TraceEvent>> chunk_events(static_cast<size_t>(threads));
     const size_t chunk = (n_objects + threads - 1) / threads;
     for (int t = 0; t < threads; ++t) {
       const size_t begin = t * chunk;
@@ -156,10 +160,17 @@ RequestBatch SubOram::ProcessBatch(RequestBatch&& batch) {
       if (begin >= end) {
         break;
       }
-      workers.emplace_back([&, begin, end] { scan_range(begin, end, /*trace=*/false); });
+      std::vector<TraceEvent>* sink = &chunk_events[static_cast<size_t>(t)];
+      workers.emplace_back([&, begin, end, sink] {
+        TraceThreadBuffer buffer{sink};
+        scan_range(begin, end);
+      });
     }
     for (std::thread& w : workers) {
       w.join();
+    }
+    for (const std::vector<TraceEvent>& events : chunk_events) {
+      TraceAppendCurrent(events);
     }
   }
 

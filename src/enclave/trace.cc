@@ -53,14 +53,14 @@ uint64_t MemoryTraceDigest(const std::vector<TraceEvent>& events) {
 std::string TraceRecorder::ToString(size_t limit) const {
   static constexpr const char* kNames[] = {"?",      "cswap",  "cset", "read", "write",
                                            "bucket", "append", "send", "recv", "epoch",
-                                           "declassify"};
+                                           "declassify", "pscan"};
   std::ostringstream out;
   out << events_.size() << " events:";
   const size_t n = events_.size() < limit ? events_.size() : limit;
   for (size_t i = 0; i < n; ++i) {
     const TraceEvent& e = events_[i];
     const auto idx = static_cast<size_t>(e.op);
-    out << ' ' << (idx < 11 ? kNames[idx] : "?") << '(' << e.a << ',' << e.b << ')';
+    out << ' ' << (idx < 12 ? kNames[idx] : "?") << '(' << e.a << ',' << e.b << ')';
   }
   if (events_.size() > limit) {
     out << " ...";

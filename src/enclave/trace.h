@@ -10,10 +10,20 @@
 //
 // Recording is off by default and costs one predictable branch per event when disabled,
 // so production/bench paths are unaffected.
+//
+// Threading model: the recorder's main event stream is single-owner (the orchestrating
+// thread). Worker threads NEVER touch it directly; instead each worker installs a
+// TraceThreadBuffer redirecting its events into a thread-local sink, and the owner
+// merges the sinks back with TraceAppendCurrent in a *deterministic* order keyed by
+// public ids (load-balancer id, subORAM id, chunk index, recursion position). Because
+// the merge keys are public and the per-sink event order is sequential, the merged
+// trace of a parallel run is byte-identical to the sequential run's trace -- which is
+// exactly what the trace-identity tests pin. See DESIGN.md "Threading model".
 
 #ifndef SNOOPY_SRC_ENCLAVE_TRACE_H_
 #define SNOOPY_SRC_ENCLAVE_TRACE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -33,6 +43,7 @@ enum class TraceOp : uint8_t {
   kMsgRecv = 8,     // message of b bytes from endpoint a
   kEpoch = 9,       // epoch boundary marker
   kDeclassify = 10,  // Secret<T>::Declassify at site a (FNV-1a of the site label)
+  kParallelScan = 11,  // parallel region marker: a workers over b items (public only)
 };
 
 struct TraceEvent {
@@ -45,8 +56,10 @@ struct TraceEvent {
   }
 };
 
-// Process-global trace recorder. Not thread-safe by design: obliviousness tests run
-// the algorithm under test single-threaded so the event order is deterministic.
+// Process-global trace recorder. The main stream (`events_`) is owned by the
+// orchestrating thread; worker threads must route events through TraceThreadBuffer
+// (below). `enabled_` is atomic so workers may read it while the owner never toggles
+// it mid-parallel-region (Enable/Disable happen strictly outside parallel phases).
 class TraceRecorder {
  public:
   // Inline so that header-only users (obl/secret.h runs in every layer, including
@@ -56,16 +69,34 @@ class TraceRecorder {
     return recorder;
   }
 
-  void Enable() { enabled_ = true; }
-  void Disable() { enabled_ = false; }
-  bool enabled() const { return enabled_; }
+  void Enable() { enabled_.store(true, std::memory_order_relaxed); }
+  void Disable() { enabled_.store(false, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
 
   void Clear() { events_.clear(); }
 
+  // Records into the calling thread's sink: its installed TraceThreadBuffer if any,
+  // else the recorder's main stream (owner thread only).
   void Record(TraceOp op, uint64_t a, uint64_t b) {
-    if (enabled_) {
+    if (!enabled()) {
+      return;
+    }
+    if (std::vector<TraceEvent>* sink = tls_sink()) {
+      sink->push_back(TraceEvent{op, a, b});
+    } else {
       events_.push_back(TraceEvent{op, a, b});
     }
+  }
+
+  // Appends an already-collected event batch to the calling thread's current sink.
+  // This is the merge half of the per-thread-buffer protocol: after joining workers,
+  // the owner appends their buffers in a deterministic public-key order.
+  void AppendCurrent(const std::vector<TraceEvent>& events) {
+    if (!enabled() || events.empty()) {
+      return;
+    }
+    std::vector<TraceEvent>& out = tls_sink() != nullptr ? *tls_sink() : events_;
+    out.insert(out.end(), events.begin(), events.end());
   }
 
   const std::vector<TraceEvent>& events() const { return events_; }
@@ -78,13 +109,47 @@ class TraceRecorder {
   std::string ToString(size_t limit = 64) const;
 
  private:
-  bool enabled_ = false;
+  friend class TraceThreadBuffer;
+
+  // The calling thread's redirection target (null = the recorder's main stream).
+  static std::vector<TraceEvent>*& tls_sink() {
+    thread_local std::vector<TraceEvent>* sink = nullptr;
+    return sink;
+  }
+
+  std::atomic<bool> enabled_{false};
   std::vector<TraceEvent> events_;
 };
 
 inline void TraceRecord(TraceOp op, uint64_t a, uint64_t b = 0) {
   TraceRecorder::Global().Record(op, a, b);
 }
+
+// Appends `events` to the calling thread's current trace sink (see
+// TraceRecorder::AppendCurrent). No-op when recording is disabled.
+inline void TraceAppendCurrent(const std::vector<TraceEvent>& events) {
+  TraceRecorder::Global().AppendCurrent(events);
+}
+
+// RAII redirection of the calling thread's trace events into `sink` (a plain vector
+// owned by the caller; no locking -- each sink belongs to exactly one thread at a
+// time). Nests: the previous sink is restored on destruction, so recursive parallel
+// algorithms (bitonic sort halves) can stack buffers. Cheap when recording is
+// disabled: Record() checks the enabled flag before consulting the sink.
+class TraceThreadBuffer {
+ public:
+  explicit TraceThreadBuffer(std::vector<TraceEvent>* sink)
+      : prev_(TraceRecorder::tls_sink()) {
+    TraceRecorder::tls_sink() = sink;
+  }
+  ~TraceThreadBuffer() { TraceRecorder::tls_sink() = prev_; }
+
+  TraceThreadBuffer(const TraceThreadBuffer&) = delete;
+  TraceThreadBuffer& operator=(const TraceThreadBuffer&) = delete;
+
+ private:
+  std::vector<TraceEvent>* prev_;
+};
 
 // True for events describing enclave-internal memory accesses, false for the network
 // communication pattern (kMsgSend/kMsgRecv). The fault-recovery tests compare the
@@ -100,6 +165,16 @@ std::vector<TraceEvent> MemoryEvents(const std::vector<TraceEvent>& events);
 // FNV-1a digest over only the memory events of `events` (same encoding as
 // TraceRecorder::Digest).
 uint64_t MemoryTraceDigest(const std::vector<TraceEvent>& events);
+
+// Non-vacuous byte-for-byte trace equality: two *empty* traces compare UNEQUAL. An
+// empty trace means recording was off or the events were suppressed, and a
+// trace-identity test passing on empty-vs-empty proves nothing -- parallel paths that
+// once dropped their events made exactly that mistake. Use this (not ==) whenever the
+// assertion is "these two runs leak the same thing".
+inline bool NonVacuousTraceEq(const std::vector<TraceEvent>& x,
+                              const std::vector<TraceEvent>& y) {
+  return !x.empty() && !y.empty() && x == y;
+}
 
 // RAII capture: clears the global recorder, enables it for the scope's lifetime, and
 // leaves the captured events in place for inspection after destruction.

@@ -2,6 +2,27 @@
 
 namespace snoopy {
 
+namespace {
+
+// splitmix64 finalizer: decorrelates the per-target seeds derived below.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+uint64_t FnvHash(const std::string& s) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : s) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
 std::string FaultInjector::ComponentOf(const std::string& endpoint) {
   const size_t first = endpoint.find('/');
   if (first == std::string::npos) {
@@ -12,36 +33,49 @@ std::string FaultInjector::ComponentOf(const std::string& endpoint) {
 }
 
 void FaultInjector::SetProfile(const std::string& component, const FaultProfile& profile) {
+  std::lock_guard<std::mutex> g(mu_);
   profiles_[component] = profile;
 }
 
 const FaultProfile& FaultInjector::ProfileFor(const std::string& endpoint) const {
+  std::lock_guard<std::mutex> g(mu_);
   const auto it = profiles_.find(ComponentOf(endpoint));
   return it == profiles_.end() ? default_profile_ : it->second;
 }
 
-bool FaultInjector::Flip(double probability) {
+Rng& FaultInjector::StreamFor(const std::string& target) {
+  const auto it = streams_.find(target);
+  if (it != streams_.end()) {
+    return it->second;
+  }
+  return streams_.try_emplace(target, Mix64(seed_ ^ FnvHash(target))).first->second;
+}
+
+bool FaultInjector::Flip(Rng& rng, double probability) {
   if (probability <= 0) {
     return false;
   }
   // 53-bit uniform in [0, 1); plenty of resolution for test probabilities.
-  const double u = static_cast<double>(rng_.Next64() >> 11) / 9007199254740992.0;
+  const double u = static_cast<double>(rng.Next64() >> 11) / 9007199254740992.0;
   return u < probability;
 }
 
 FaultAction FaultInjector::Decide(const std::string& endpoint) {
+  std::lock_guard<std::mutex> g(mu_);
   ++decisions_;
-  const FaultProfile& p = ProfileFor(endpoint);
+  const auto pit = profiles_.find(ComponentOf(endpoint));
+  const FaultProfile& p = pit == profiles_.end() ? default_profile_ : pit->second;
+  Rng& rng = StreamFor(endpoint);
   FaultAction action = FaultAction::kNone;
-  if (Flip(p.drop)) {
+  if (Flip(rng, p.drop)) {
     action = FaultAction::kDrop;
-  } else if (Flip(p.duplicate)) {
+  } else if (Flip(rng, p.duplicate)) {
     action = FaultAction::kDuplicate;
-  } else if (Flip(p.corrupt)) {
-    action = rng_.Uniform(2) == 0 ? FaultAction::kCorruptRequest : FaultAction::kCorruptReply;
-  } else if (Flip(p.crash_before_reply)) {
+  } else if (Flip(rng, p.corrupt)) {
+    action = rng.Uniform(2) == 0 ? FaultAction::kCorruptRequest : FaultAction::kCorruptReply;
+  } else if (Flip(rng, p.crash_before_reply)) {
     action = FaultAction::kCrashBeforeReply;
-  } else if (Flip(p.delay)) {
+  } else if (Flip(rng, p.delay)) {
     action = FaultAction::kDelay;
   }
   if (action != FaultAction::kNone) {
@@ -51,18 +85,20 @@ FaultAction FaultInjector::Decide(const std::string& endpoint) {
 }
 
 bool FaultInjector::PollEpochCrash(const std::string& component) {
+  std::lock_guard<std::mutex> g(mu_);
   const auto it = profiles_.find(component);
   const FaultProfile& p = it == profiles_.end() ? default_profile_ : it->second;
-  if (!Flip(p.crash_at_epoch_start)) {
+  if (!Flip(StreamFor(component), p.crash_at_epoch_start)) {
     return false;
   }
-  MarkCrashed(component);
+  crashed_.insert(component);
   fired_log_.push_back(
       FiredDecision{component, FaultAction::kCrashBeforeReply, /*epoch_crash=*/true});
   return true;
 }
 
 uint64_t FaultInjector::fired_count(FaultAction action) const {
+  std::lock_guard<std::mutex> g(mu_);
   uint64_t n = 0;
   for (const FiredDecision& d : fired_log_) {
     if (!d.epoch_crash && d.action == action) {
@@ -73,6 +109,7 @@ uint64_t FaultInjector::fired_count(FaultAction action) const {
 }
 
 uint64_t FaultInjector::fired_epoch_crashes() const {
+  std::lock_guard<std::mutex> g(mu_);
   uint64_t n = 0;
   for (const FiredDecision& d : fired_log_) {
     if (d.epoch_crash) {
@@ -83,15 +120,23 @@ uint64_t FaultInjector::fired_epoch_crashes() const {
 }
 
 bool FaultInjector::IsCrashed(const std::string& endpoint) const {
+  std::lock_guard<std::mutex> g(mu_);
   return crashed_.count(ComponentOf(endpoint)) != 0;
 }
 
-void FaultInjector::CorruptBit(std::vector<uint8_t>& bytes) {
+void FaultInjector::CorruptBit(const std::string& endpoint, std::vector<uint8_t>& bytes) {
   if (bytes.empty()) {
     return;
   }
-  const uint64_t bit = rng_.Uniform(bytes.size() * 8);
+  std::lock_guard<std::mutex> g(mu_);
+  const uint64_t bit = StreamFor(endpoint).Uniform(bytes.size() * 8);
   bytes[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+}
+
+void FaultInjector::CorruptBit(std::vector<uint8_t>& bytes) {
+  // Dedicated stream so direct callers (tests corrupting payloads by hand) don't
+  // perturb any endpoint's decision sequence.
+  CorruptBit("__direct__", bytes);
 }
 
 }  // namespace snoopy

@@ -8,15 +8,23 @@
 // whether the callee crashes before replying -- and a NetworkError hierarchy gives
 // callers enough structure to retry, recover, or surface each case deliberately.
 //
-// Determinism matters: the injector draws every decision from one seeded CSPRNG, so a
-// chaos run is a pure function of (seed, call sequence) and failures found by the
-// fault-recovery tests replay exactly.
+// Determinism matters: the injector derives one CSPRNG *stream per target* from its
+// seed, so every decision is a pure function of (seed, target, per-target call index).
+// That invariant is what lets the parallel epoch executor run subORAM workers
+// concurrently without changing which faults fire: each endpoint's call sequence is
+// deterministic within its worker, and no other thread's draws can perturb its
+// stream. Chaos runs replay exactly at any epoch_threads setting, and the
+// chaos-reconciliation telemetry test keeps balancing to the decision.
+//
+// Thread safety: all mutating entry points are mutex-guarded; Decide/PollEpochCrash/
+// CorruptBit may be called from concurrent epoch workers.
 
 #ifndef SNOOPY_SRC_NET_FAULT_H_
 #define SNOOPY_SRC_NET_FAULT_H_
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <set>
 #include <stdexcept>
 #include <string>
@@ -123,7 +131,7 @@ enum class FaultAction : uint8_t {
 // stay down until Restart() -- recovery code calls Restart after restoring state.
 class FaultInjector {
  public:
-  explicit FaultInjector(uint64_t seed) : rng_(seed) {}
+  explicit FaultInjector(uint64_t seed) : seed_(seed) {}
 
   // "suboram/2/from/1" -> "suboram/2"; names with fewer than two segments map to
   // themselves.
@@ -133,24 +141,39 @@ class FaultInjector {
   void SetProfile(const std::string& component, const FaultProfile& profile);
   const FaultProfile& ProfileFor(const std::string& endpoint) const;
 
-  // Draws the fault (if any) for one delivery to `endpoint`. Corruption picks request
-  // vs. reply direction with a fair coin.
+  // Draws the fault (if any) for one delivery to `endpoint`, from the endpoint's own
+  // deterministic stream. Corruption picks request vs. reply direction with a fair
+  // coin (same stream).
   FaultAction Decide(const std::string& endpoint);
 
   // Epoch-boundary crash poll for a component (load balancer or subORAM); marks the
-  // component crashed when the draw fires so the caller must recover it.
+  // component crashed when the draw fires so the caller must recover it. Draws from
+  // the component's stream.
   bool PollEpochCrash(const std::string& component);
 
   bool IsCrashed(const std::string& endpoint) const;
-  void MarkCrashed(const std::string& component) { crashed_.insert(component); }
-  void Restart(const std::string& component) { crashed_.erase(component); }
+  void MarkCrashed(const std::string& component) {
+    std::lock_guard<std::mutex> g(mu_);
+    crashed_.insert(component);
+  }
+  void Restart(const std::string& component) {
+    std::lock_guard<std::mutex> g(mu_);
+    crashed_.erase(component);
+  }
 
-  // Flips one uniformly chosen bit (no-op on empty payloads).
+  // Flips one uniformly chosen bit (no-op on empty payloads), drawing the bit index
+  // from `endpoint`'s stream so corruption stays deterministic per target under
+  // concurrency. The endpoint-less overload draws from a dedicated stream (direct
+  // test callers).
+  void CorruptBit(const std::string& endpoint, std::vector<uint8_t>& bytes);
   void CorruptBit(std::vector<uint8_t>& bytes);
 
   double delay_s(const std::string& endpoint) const { return ProfileFor(endpoint).delay_s; }
 
-  uint64_t decisions() const { return decisions_; }
+  uint64_t decisions() const {
+    std::lock_guard<std::mutex> g(mu_);
+    return decisions_;
+  }
 
   // --- Fired-decision log ----------------------------------------------------------
   // Every decision that actually fired, in firing order: per-call faults (target =
@@ -164,16 +187,30 @@ class FaultInjector {
     FaultAction action = FaultAction::kNone;
     bool epoch_crash = false;
   };
-  const std::vector<FiredDecision>& fired_log() const { return fired_log_; }
+  // Snapshot copy: safe to iterate while workers keep firing. Under parallel epochs
+  // the *order* of entries from different targets depends on scheduling, but the
+  // per-target subsequences (which the reconciliation test counts) are deterministic.
+  std::vector<FiredDecision> fired_log() const {
+    std::lock_guard<std::mutex> g(mu_);
+    return fired_log_;
+  }
   // Fired per-call decisions of one kind (epoch-crash entries excluded).
   uint64_t fired_count(FaultAction action) const;
   uint64_t fired_epoch_crashes() const;
-  void ClearFiredLog() { fired_log_.clear(); }
+  void ClearFiredLog() {
+    std::lock_guard<std::mutex> g(mu_);
+    fired_log_.clear();
+  }
 
  private:
-  bool Flip(double probability);
+  static bool Flip(Rng& rng, double probability);
+  // The per-target stream, created on first use: seeded from (seed_, target) only, so
+  // a target's draw sequence never depends on other targets' traffic. Requires mu_.
+  Rng& StreamFor(const std::string& target);
 
-  Rng rng_;
+  const uint64_t seed_;
+  mutable std::mutex mu_;
+  std::map<std::string, Rng> streams_;            // by target (endpoint or component)
   FaultProfile default_profile_;
   std::map<std::string, FaultProfile> profiles_;  // by component
   std::set<std::string> crashed_;                 // components currently down

@@ -28,36 +28,47 @@ bool Network::HasEndpoint(const std::string& endpoint) const {
 
 std::vector<uint8_t> Network::Call(const std::string& from, const std::string& to,
                                    std::span<const uint8_t> payload) {
-  const auto it = endpoints_.find(to);
+  const auto it = endpoints_.find(to);  // read-only after wiring; no lock needed
   if (it == endpoints_.end()) {
     throw EndpointNotFoundError(to);
   }
-  PairStats& pair = stats_.per_pair[PairKey(from, to)];
+  // std::map nodes are stable, so the pair reference stays valid after unlocking;
+  // every mutation below re-takes stats_mu_ (never held across handler invocations).
+  PairStats* pair = nullptr;
+  {
+    std::lock_guard<std::mutex> g(stats_mu_);
+    pair = &stats_.per_pair[PairKey(from, to)];
+  }
 
   // A crashed component answers nothing; the caller's retry loop must recover it.
   if (fault_injector_ != nullptr && fault_injector_->IsCrashed(to)) {
+    std::lock_guard<std::mutex> g(stats_mu_);
     ++stats_.timeouts;
-    ++pair.timeouts;
+    ++pair->timeouts;
     throw EndpointCrashedError(to);
   }
 
   const FaultAction fault =
       fault_injector_ != nullptr ? fault_injector_->Decide(to) : FaultAction::kNone;
-  if (fault != FaultAction::kNone) {
-    ++stats_.faults_injected;
-  }
 
   // The send happens (and is adversary-visible) for every fault except a pre-send
   // drop, which we still trace: the adversary saw the bytes leave before losing them.
   TraceRecord(TraceOp::kMsgSend, EndpointTag(to), payload.size());
-  ++stats_.messages;
-  stats_.bytes_sent += payload.size();
-  ++pair.messages;
-  pair.bytes_sent += payload.size();
+  {
+    std::lock_guard<std::mutex> g(stats_mu_);
+    if (fault != FaultAction::kNone) {
+      ++stats_.faults_injected;
+    }
+    ++stats_.messages;
+    stats_.bytes_sent += payload.size();
+    ++pair->messages;
+    pair->bytes_sent += payload.size();
+  }
 
   if (fault == FaultAction::kDrop) {
+    std::lock_guard<std::mutex> g(stats_mu_);
     ++stats_.timeouts;
-    ++pair.timeouts;
+    ++pair->timeouts;
     throw TimeoutError(to);
   }
   if (fault == FaultAction::kDelay && clock_ != nullptr) {
@@ -66,7 +77,7 @@ std::vector<uint8_t> Network::Call(const std::string& from, const std::string& t
 
   std::vector<uint8_t> request(payload.begin(), payload.end());
   if (fault == FaultAction::kCorruptRequest) {
-    fault_injector_->CorruptBit(request);
+    fault_injector_->CorruptBit(to, request);
   }
 
   std::vector<uint8_t> response = it->second(request);
@@ -74,33 +85,41 @@ std::vector<uint8_t> Network::Call(const std::string& from, const std::string& t
     // Second delivery of the identical bytes; receivers deduplicate (the subORAM
     // endpoint re-serves its cached epoch response). The duplicate's reply is the one
     // that "arrives".
-    ++stats_.messages;
-    stats_.bytes_sent += request.size();
-    ++pair.messages;
-    pair.bytes_sent += request.size();
+    {
+      std::lock_guard<std::mutex> g(stats_mu_);
+      ++stats_.messages;
+      stats_.bytes_sent += request.size();
+      ++pair->messages;
+      pair->bytes_sent += request.size();
+    }
     response = it->second(request);
   }
   if (fault == FaultAction::kCrashBeforeReply) {
     // The callee did the work, then died before replying: its component goes down and
     // the caller sees only silence.
     fault_injector_->MarkCrashed(FaultInjector::ComponentOf(to));
+    std::lock_guard<std::mutex> g(stats_mu_);
     ++stats_.timeouts;
-    ++pair.timeouts;
+    ++pair->timeouts;
     throw TimeoutError(to);
   }
   if (fault == FaultAction::kCorruptReply) {
-    fault_injector_->CorruptBit(response);
+    fault_injector_->CorruptBit(to, response);
   }
 
   TraceRecord(TraceOp::kMsgRecv, EndpointTag(from), response.size());
-  stats_.bytes_received += response.size();
-  pair.bytes_received += response.size();
+  {
+    std::lock_guard<std::mutex> g(stats_mu_);
+    stats_.bytes_received += response.size();
+    pair->bytes_received += response.size();
+  }
   return response;
 }
 
 void Network::ExportTo(MetricsRegistry& registry) const {
   // Snapshot export: gauges carrying the current totals. Every value here is a wire
   // fact the network adversary observes directly, so publishing it leaks nothing.
+  std::lock_guard<std::mutex> g(stats_mu_);
   registry.GetGauge("snoopy_net_messages").SetValue(static_cast<double>(stats_.messages));
   registry.GetGauge("snoopy_net_bytes_sent").SetValue(static_cast<double>(stats_.bytes_sent));
   registry.GetGauge("snoopy_net_bytes_received")

@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
@@ -73,8 +74,13 @@ class Network {
     // recoveries/faults, which are per-component rather than per-pair events).
     std::map<std::string, PairStats> per_pair;
   };
+  // Callers read stats at quiescent points (between epochs / after a run); the
+  // returned reference aliases live state, so don't hold it across concurrent Calls.
   const Stats& stats() const { return stats_; }
-  void ResetStats() { stats_ = Stats{}; }
+  void ResetStats() {
+    std::lock_guard<std::mutex> g(stats_mu_);
+    stats_ = Stats{};
+  }
 
   static std::string PairKey(const std::string& from, const std::string& to) {
     return from + "->" + to;
@@ -82,20 +88,31 @@ class Network {
 
   // Bumped by the owning orchestrator's retry/recovery code, which is where those
   // events are visible. The no-argument form keeps pre-breakdown callers
-  // source-compatible (aggregate only).
-  void RecordRetry() { ++stats_.retries; }
+  // source-compatible (aggregate only). Safe from concurrent epoch workers.
+  void RecordRetry() {
+    std::lock_guard<std::mutex> g(stats_mu_);
+    ++stats_.retries;
+  }
   void RecordRetry(const std::string& from, const std::string& to) {
+    std::lock_guard<std::mutex> g(stats_mu_);
     ++stats_.retries;
     ++stats_.per_pair[PairKey(from, to)].retries;
   }
-  void RecordRecovery() { ++stats_.recoveries; }
+  void RecordRecovery() {
+    std::lock_guard<std::mutex> g(stats_mu_);
+    ++stats_.recoveries;
+  }
 
   // Publishes a snapshot of the stats block into `registry` as gauges
   // (snoopy_net_* series, per-pair series labeled pair="from->to").
   void ExportTo(MetricsRegistry& registry) const;
 
  private:
+  // Endpoint registration happens during wiring, strictly before concurrent Calls;
+  // the map is read-only afterwards, so lookups take no lock. The stats block is the
+  // shared-mutation hot spot: guarded by stats_mu_, never held across a handler call.
   std::map<std::string, Handler> endpoints_;
+  mutable std::mutex stats_mu_;
   Stats stats_;
   FaultInjector* fault_injector_ = nullptr;
   VirtualClock* clock_ = nullptr;

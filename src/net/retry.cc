@@ -27,13 +27,19 @@ std::vector<uint8_t> RetryExecutor::Execute(
     const std::function<std::vector<uint8_t>()>& call,
     const std::function<void(const EndpointCrashedError&)>& recover) {
   VirtualClock* clock = clock_ != nullptr ? clock_ : &private_clock_;
-  const double start_s = clock->now_s();
+  // The deadline is accounted against this call's own backoff waits, not against
+  // elapsed shared-clock time: concurrent workers (and injected delays they absorb)
+  // advance the shared VirtualClock too, and charging their time here would make
+  // retry exhaustion depend on thread interleaving.
+  double waited_s = 0;
   std::string last_endpoint;
   for (int attempt = 1; attempt <= policy_.max_attempts; ++attempt) {
     last_attempts_ = attempt;
     if (attempt > 1) {
-      clock->Advance(policy_.BackoffSeconds(attempt, rng_));
-      if (clock->now_s() - start_s > policy_.deadline_s) {
+      const double backoff_s = policy_.BackoffSeconds(attempt, rng_);
+      clock->Advance(backoff_s);
+      waited_s += backoff_s;
+      if (waited_s > policy_.deadline_s) {
         break;
       }
       if (on_retry_) {

@@ -12,6 +12,7 @@
 #ifndef SNOOPY_SRC_NET_RETRY_H_
 #define SNOOPY_SRC_NET_RETRY_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -23,18 +24,22 @@
 namespace snoopy {
 
 // Deterministic stand-in for wall-clock time, shared by the network (injected delays)
-// and the retry executor (backoff waits). Seconds, monotone.
+// and the retry executor (backoff waits). Seconds, monotone. Advance is a CAS loop so
+// concurrent epoch workers never lose an advance; the final reading is the sum of all
+// advances and therefore independent of interleaving.
 class VirtualClock {
  public:
-  double now_s() const { return now_s_; }
+  double now_s() const { return now_s_.load(std::memory_order_relaxed); }
   void Advance(double seconds) {
     if (seconds > 0) {
-      now_s_ += seconds;
+      double cur = now_s_.load(std::memory_order_relaxed);
+      while (!now_s_.compare_exchange_weak(cur, cur + seconds, std::memory_order_relaxed)) {
+      }
     }
   }
 
  private:
-  double now_s_ = 0;
+  std::atomic<double> now_s_{0};
 };
 
 struct RetryPolicy {
@@ -43,7 +48,10 @@ struct RetryPolicy {
   double multiplier = 2.0;     // exponential growth factor
   double max_delay_s = 0.25;   // backoff cap
   double jitter = 0.5;         // fraction of each delay drawn uniformly at random
-  double deadline_s = 5.0;     // per-call virtual-time budget
+  // Per-call budget over the executor's *own* backoff waits (not the shared clock):
+  // other workers advancing the VirtualClock concurrently must not shrink this call's
+  // budget, or retry counts would depend on thread interleaving.
+  double deadline_s = 5.0;
 
   // Backoff before attempt `attempt` (1-based; attempt 1 has none): jittered
   // min(base * multiplier^(attempt-2), max).

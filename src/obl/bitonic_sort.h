@@ -19,6 +19,7 @@
 #include <span>
 #include <thread>
 #include <utility>
+#include <vector>
 
 #include "src/enclave/trace.h"
 #include "src/obl/primitives.h"
@@ -30,6 +31,7 @@ namespace snoopy {
 // SNOOPY_OBLIVIOUS_BEGIN(bitonic_sort)
 // ct-public: n lo m asc threads i j k stride max_threads hw cap kParallelThreshold
 // ct-calls: GreatestPowerOfTwoBelow BitonicMerge BitonicSortRec AdaptiveSortThreads
+// ct-calls: first second
 
 namespace internal {
 
@@ -42,6 +44,34 @@ inline size_t GreatestPowerOfTwoBelow(size_t n) {
   return k;
 }
 
+// Runs the two independent halves of a bitonic recursion step, parallel when
+// threads > 1. Trace safety: the shared recorder is not thread-safe, so each half
+// buffers its cswap events thread-locally (TraceThreadBuffer) and the parent appends
+// them after the join in the *sequential* recursion order (first half, then second).
+// The split point is public (a function of n alone), so the merged trace is
+// byte-identical to a single-threaded run — the trace-identity tests pin this.
+template <typename First, typename Second>
+void TraceForkJoinHalves(const First& first, const Second& second, int threads) {
+  if (threads > 1) {
+    std::vector<TraceEvent> first_events;
+    std::vector<TraceEvent> second_events;
+    std::thread half{[&] {
+      TraceThreadBuffer buffer{&first_events};
+      first();
+    }};
+    {
+      TraceThreadBuffer buffer{&second_events};
+      second();
+    }
+    half.join();
+    TraceAppendCurrent(first_events);
+    TraceAppendCurrent(second_events);
+  } else {
+    first();
+    second();
+  }
+}
+
 template <typename CSwap>
 void BitonicMerge(size_t lo, size_t n, bool asc, const CSwap& cswap, int threads) {
   if (n <= 1) {
@@ -51,14 +81,9 @@ void BitonicMerge(size_t lo, size_t n, bool asc, const CSwap& cswap, int threads
   for (size_t i = lo; i < lo + n - m; ++i) {
     cswap(i, i + m, asc);
   }
-  if (threads > 1) {
-    std::thread half{[&] { BitonicMerge(lo, m, asc, cswap, threads / 2); }};
-    BitonicMerge(lo + m, n - m, asc, cswap, threads - threads / 2);
-    half.join();
-  } else {
-    BitonicMerge(lo, m, asc, cswap, 1);
-    BitonicMerge(lo + m, n - m, asc, cswap, 1);
-  }
+  TraceForkJoinHalves([&] { BitonicMerge(lo, m, asc, cswap, threads / 2); },
+                      [&] { BitonicMerge(lo + m, n - m, asc, cswap, threads - threads / 2); },
+                      threads);
 }
 
 template <typename CSwap>
@@ -67,14 +92,9 @@ void BitonicSortRec(size_t lo, size_t n, bool asc, const CSwap& cswap, int threa
     return;
   }
   const size_t m = n / 2;
-  if (threads > 1) {
-    std::thread half{[&] { BitonicSortRec(lo, m, !asc, cswap, threads / 2); }};
-    BitonicSortRec(lo + m, n - m, asc, cswap, threads - threads / 2);
-    half.join();
-  } else {
-    BitonicSortRec(lo, m, !asc, cswap, 1);
-    BitonicSortRec(lo + m, n - m, asc, cswap, 1);
-  }
+  TraceForkJoinHalves([&] { BitonicSortRec(lo, m, !asc, cswap, threads / 2); },
+                      [&] { BitonicSortRec(lo + m, n - m, asc, cswap, threads - threads / 2); },
+                      threads);
   BitonicMerge(lo, n, asc, cswap, threads);
 }
 

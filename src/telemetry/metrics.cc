@@ -126,7 +126,42 @@ double Histogram::BucketUpperEdge(int index) {
   return std::ldexp(1.0 + static_cast<double>(sub + 1) / kSubBuckets, exp);
 }
 
+Histogram::Histogram(const Histogram& other) : counts_(kNumBuckets, 0.0) {
+  std::lock_guard<std::mutex> g(other.mu_);
+  counts_ = other.counts_;
+  count_ = other.count_;
+  sum_ = other.sum_;
+  min_ = other.min_;
+  max_ = other.max_;
+}
+
+Histogram& Histogram::operator=(const Histogram& other) {
+  if (this == &other) {
+    return *this;
+  }
+  // Snapshot the source first so the two locks are never held together (no ordering
+  // to get wrong, no self-deadlock).
+  std::vector<double> counts;
+  double count, sum, min, max;
+  {
+    std::lock_guard<std::mutex> g(other.mu_);
+    counts = other.counts_;
+    count = other.count_;
+    sum = other.sum_;
+    min = other.min_;
+    max = other.max_;
+  }
+  std::lock_guard<std::mutex> g(mu_);
+  counts_ = std::move(counts);
+  count_ = count;
+  sum_ = sum;
+  min_ = min;
+  max_ = max;
+  return *this;
+}
+
 void Histogram::Observe(double v) {
+  std::lock_guard<std::mutex> g(mu_);
   counts_[BucketIndex(v)] += 1;
   if (count_ == 0) {
     min_ = v;
@@ -143,6 +178,7 @@ void Histogram::ObserveUniform(double lo, double hi, double count) {
   if (count <= 0) {
     return;
   }
+  std::lock_guard<std::mutex> g(mu_);
   if (hi < lo) {
     std::swap(lo, hi);
   }
@@ -184,23 +220,32 @@ void Histogram::ObserveUniform(double lo, double hi, double count) {
 }
 
 void Histogram::Merge(const Histogram& other) {
+  // Snapshot under the source lock, apply under ours (same two-phase discipline as
+  // operator=, which also makes self-merge harmless).
+  const Histogram snap(other);
+  std::lock_guard<std::mutex> g(mu_);
   for (int i = 0; i < kNumBuckets; ++i) {
-    counts_[i] += other.counts_[i];
+    counts_[i] += snap.counts_[i];
   }
-  if (other.count_ > 0) {
+  if (snap.count_ > 0) {
     if (count_ == 0) {
-      min_ = other.min_;
-      max_ = other.max_;
+      min_ = snap.min_;
+      max_ = snap.max_;
     } else {
-      min_ = std::min(min_, other.min_);
-      max_ = std::max(max_, other.max_);
+      min_ = std::min(min_, snap.min_);
+      max_ = std::max(max_, snap.max_);
     }
-    count_ += other.count_;
-    sum_ += other.sum_;
+    count_ += snap.count_;
+    sum_ += snap.sum_;
   }
 }
 
 double Histogram::Quantile(double q) const {
+  std::lock_guard<std::mutex> g(mu_);
+  return QuantileLocked(q);
+}
+
+double Histogram::QuantileLocked(double q) const {
   if (count_ <= 0) {
     return 0;
   }
@@ -223,6 +268,7 @@ double Histogram::Quantile(double q) const {
 }
 
 void Histogram::Reset() {
+  std::lock_guard<std::mutex> g(mu_);
   std::fill(counts_.begin(), counts_.end(), 0.0);
   count_ = sum_ = min_ = max_ = 0;
 }
@@ -246,6 +292,7 @@ MetricsRegistry::Entry& MetricsRegistry::GetEntry(const std::string& name,
 }
 
 Counter& MetricsRegistry::GetCounter(const std::string& name, const MetricLabels& labels) {
+  std::lock_guard<std::mutex> g(mu_);
   Entry& e = GetEntry(name, labels);
   if (e.gauge != nullptr || e.histogram != nullptr) {
     throw std::logic_error("metric '" + name + "' already registered with another type");
@@ -257,6 +304,7 @@ Counter& MetricsRegistry::GetCounter(const std::string& name, const MetricLabels
 }
 
 Gauge& MetricsRegistry::GetGauge(const std::string& name, const MetricLabels& labels) {
+  std::lock_guard<std::mutex> g(mu_);
   Entry& e = GetEntry(name, labels);
   if (e.counter != nullptr || e.histogram != nullptr) {
     throw std::logic_error("metric '" + name + "' already registered with another type");
@@ -268,6 +316,7 @@ Gauge& MetricsRegistry::GetGauge(const std::string& name, const MetricLabels& la
 }
 
 Histogram& MetricsRegistry::GetHistogram(const std::string& name, const MetricLabels& labels) {
+  std::lock_guard<std::mutex> g(mu_);
   Entry& e = GetEntry(name, labels);
   if (e.counter != nullptr || e.gauge != nullptr) {
     throw std::logic_error("metric '" + name + "' already registered with another type");
@@ -279,10 +328,12 @@ Histogram& MetricsRegistry::GetHistogram(const std::string& name, const MetricLa
 }
 
 bool MetricsRegistry::Has(const std::string& name, const MetricLabels& labels) const {
+  std::lock_guard<std::mutex> g(mu_);
   return entries_.count(LabelsKey(name, labels)) != 0;
 }
 
 std::string MetricsRegistry::RenderPrometheus() const {
+  std::lock_guard<std::mutex> g(mu_);
   std::string out;
   std::string last_family;
   for (const auto& [key, e] : entries_) {
@@ -313,6 +364,7 @@ std::string MetricsRegistry::RenderPrometheus() const {
 }
 
 std::string MetricsRegistry::RenderJson() const {
+  std::lock_guard<std::mutex> g(mu_);
   std::string out = "{\"metrics\":[";
   bool first = true;
   for (const auto& [key, e] : entries_) {
@@ -351,6 +403,7 @@ std::string MetricsRegistry::RenderJson() const {
 }
 
 void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> g(mu_);
   for (auto& [key, e] : entries_) {
     if (e.counter != nullptr) {
       e.counter->Reset();

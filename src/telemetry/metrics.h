@@ -24,14 +24,23 @@
 // forward-declared only to delete their overloads. Span timers take the time source
 // as a callable so the functional deployment can run them off steady_clock and the
 // fault-injection deployment off the deterministic VirtualClock.
+//
+// Thread safety: the parallel epoch executor records metrics from worker threads, so
+// every metric object and the registry are individually thread-safe — counters and
+// gauges are atomics, histograms and the registry map are mutex-guarded, and Get*
+// still returns stable references (entries are never destroyed). SpanTimer instances
+// remain single-owner (create/Stop on one thread); only the histogram they record
+// into is shared.
 
 #ifndef SNOOPY_SRC_TELEMETRY_METRICS_H_
 #define SNOOPY_SRC_TELEMETRY_METRICS_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -43,12 +52,16 @@ template <typename T>
 class Secret;
 class SecretBool;
 
-// A monotonically increasing event count. Public values only.
+// A monotonically increasing event count. Public values only. Thread-safe (atomic;
+// relaxed ordering — counts are read only at quiescent points, never used to
+// synchronize other memory).
 class Counter {
  public:
-  void Increment(uint64_t delta = 1) { value_ += delta; }
-  uint64_t value() const { return value_; }
-  void Reset() { value_ = 0; }
+  void Increment(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
 
   // Secrets are unrecordable by construction (compile error, see header comment).
   template <typename T>
@@ -56,16 +69,21 @@ class Counter {
   void Increment(SecretBool) = delete;
 
  private:
-  uint64_t value_ = 0;
+  std::atomic<uint64_t> value_{0};
 };
 
-// A point-in-time measurement (last value wins). Public values only.
+// A point-in-time measurement (last value wins). Public values only. Thread-safe
+// (atomic double; Add is a CAS loop so concurrent adders never lose updates).
 class Gauge {
  public:
-  void SetValue(double v) { value_ = v; }
-  void Add(double delta) { value_ += delta; }
-  double value() const { return value_; }
-  void Reset() { value_ = 0; }
+  void SetValue(double v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(double delta) {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + delta, std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
 
   template <typename T>
   void SetValue(Secret<T>) = delete;
@@ -75,7 +93,7 @@ class Gauge {
   void Add(SecretBool) = delete;
 
  private:
-  double value_ = 0;
+  std::atomic<double> value_{0};
 };
 
 // Log-linear histogram over positive doubles: buckets cover [2^e, 2^(e+1)) for
@@ -93,6 +111,11 @@ class Histogram {
 
   Histogram() : counts_(kNumBuckets, 0.0) {}
 
+  // Copyable so value-type holders (sim ClusterMetrics) keep working; the mutex is
+  // per-instance and never copied.
+  Histogram(const Histogram& other);
+  Histogram& operator=(const Histogram& other);
+
   void Observe(double v);
   // Spreads `count` observations uniformly over [lo, hi] across the overlapped
   // buckets. O(buckets intersected), not O(count).
@@ -103,11 +126,14 @@ class Histogram {
   void Observe(Secret<T>) = delete;
   void Observe(SecretBool) = delete;
 
-  double count() const { return count_; }
-  double sum() const { return sum_; }
-  double min() const { return count_ > 0 ? min_ : 0; }
-  double max() const { return count_ > 0 ? max_ : 0; }
-  double mean() const { return count_ > 0 ? sum_ / count_ : 0; }
+  double count() const { std::lock_guard<std::mutex> g(mu_); return count_; }
+  double sum() const { std::lock_guard<std::mutex> g(mu_); return sum_; }
+  double min() const { std::lock_guard<std::mutex> g(mu_); return count_ > 0 ? min_ : 0; }
+  double max() const { std::lock_guard<std::mutex> g(mu_); return count_ > 0 ? max_ : 0; }
+  double mean() const {
+    std::lock_guard<std::mutex> g(mu_);
+    return count_ > 0 ? sum_ / count_ : 0;
+  }
 
   // q in [0, 1]; linear interpolation inside the landing bucket, clamped to the
   // observed [min, max]. Returns 0 on an empty histogram.
@@ -119,9 +145,15 @@ class Histogram {
   static int BucketIndex(double v);
   static double BucketLowerEdge(int index);
   static double BucketUpperEdge(int index);
-  const std::vector<double>& bucket_counts() const { return counts_; }
+  std::vector<double> bucket_counts() const {
+    std::lock_guard<std::mutex> g(mu_);
+    return counts_;
+  }
 
  private:
+  double QuantileLocked(double q) const;  // requires mu_ held
+
+  mutable std::mutex mu_;
   std::vector<double> counts_;
   double count_ = 0;
   double sum_ = 0;
@@ -133,7 +165,9 @@ using MetricLabels = std::map<std::string, std::string>;
 
 // Process-wide metric registry. Get* methods create on first use and return stable
 // references: Reset() zeroes values in place (it never destroys metric objects), so
-// instrumentation may cache the returned references across resets.
+// instrumentation may cache the returned references across resets. The entry map is
+// mutex-guarded, so Get*/Has/Render/Reset are safe to call from concurrent workers;
+// the returned metric objects are themselves thread-safe (above).
 class MetricsRegistry {
  public:
   static MetricsRegistry& Global();
@@ -144,7 +178,10 @@ class MetricsRegistry {
 
   // True if a metric with this exact name+labels already exists.
   bool Has(const std::string& name, const MetricLabels& labels = {}) const;
-  size_t size() const { return entries_.size(); }
+  size_t size() const {
+    std::lock_guard<std::mutex> g(mu_);
+    return entries_.size();
+  }
 
   // Prometheus text exposition: counters and gauges as samples, histograms as
   // summaries (quantile series plus _sum/_count).
@@ -163,8 +200,9 @@ class MetricsRegistry {
     std::unique_ptr<Gauge> gauge;
     std::unique_ptr<Histogram> histogram;
   };
-  Entry& GetEntry(const std::string& name, const MetricLabels& labels);
+  Entry& GetEntry(const std::string& name, const MetricLabels& labels);  // requires mu_
 
+  mutable std::mutex mu_;
   std::map<std::string, Entry> entries_;  // keyed by name{k="v",...}
 };
 

@@ -119,6 +119,52 @@ TEST(BitonicSort, NetworkShapeIsDataIndependent) {
   EXPECT_EQ(trace_for(2), trace_for(999));
 }
 
+TEST(BitonicSort, ParallelTraceIsByteIdenticalToSequential) {
+  // Regression for the parallel-sort trace race: recursion halves used to push their
+  // cswap events into the shared recorder concurrently (a data race, and a scrambled
+  // event order). Each half now buffers thread-locally and the parent appends the
+  // buffers in recursion order, so the merged trace must be byte-for-byte the
+  // sequential one -- not a permutation of it, and not empty. Under TSan (tools/ci.sh)
+  // this test also pins the absence of the concurrent push_back.
+  auto trace_for = [](int threads) {
+    Rng rng(41);
+    std::vector<Rec> data(333);  // non-power-of-two: exercises the uneven split
+    for (size_t i = 0; i < data.size(); ++i) {
+      data[i] = Rec{rng.Next64(), i};
+    }
+    TraceScope scope;
+    BitonicSort(std::span<Rec>(data), RecLess, threads);
+    return scope.Events();
+  };
+  const std::vector<TraceEvent> sequential = trace_for(1);
+  for (const int threads : {2, 3, 8}) {
+    EXPECT_TRUE(NonVacuousTraceEq(sequential, trace_for(threads)))
+        << "threads=" << threads;
+  }
+}
+
+TEST(BitonicSort, SlabParallelTraceIsByteIdenticalToSequential) {
+  // Same property through BitonicSortSlab, the fig13a path that exposed the race.
+  auto trace_for = [](int threads) {
+    const size_t stride = 24;
+    ByteSlab slab(200, stride);
+    Rng rng(6);
+    for (size_t i = 0; i < slab.size(); ++i) {
+      const uint64_t key = rng.Next64();
+      std::memcpy(slab.Record(i), &key, 8);
+    }
+    TraceScope scope;
+    BitonicSortSlab(
+        slab,
+        [](const uint8_t* a, const uint8_t* b) {
+          return LoadSecretU64(a, 0) < LoadSecretU64(b, 0);
+        },
+        threads);
+    return scope.Events();
+  };
+  EXPECT_TRUE(NonVacuousTraceEq(trace_for(1), trace_for(3)));
+}
+
 TEST(AdaptiveSortThreads, SmallInputsStaySequential) {
   EXPECT_EQ(AdaptiveSortThreads(100, 4), 1);
   EXPECT_EQ(AdaptiveSortThreads(1u << 20, 1), 1);

@@ -2,10 +2,11 @@
 # One-command local CI: tier-1 tests + constant-time lint + sanitizer pass.
 #
 #   tools/ci.sh            # everything
-#   tools/ci.sh --fast     # skip the ASan/UBSan build (lint + default-build tests)
+#   tools/ci.sh --fast     # skip the sanitizer builds (lint + default-build tests)
 #
-# Builds out-of-tree under build/ (default config) and build-asan/ (sanitizers), so a
-# developer's existing build directory is reused, not clobbered.
+# Builds out-of-tree under build/ (default config), build-asan/ (ASan+UBSan), and
+# build-tsan/ (TSan, threading-sensitive tests only), so a developer's existing build
+# directory is reused, not clobbered.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -52,7 +53,7 @@ print(f"metrics smoke ok: {len(doc['metrics'])} series, all required present")
 PYEOF
 
 if [[ "${FAST}" == "1" ]]; then
-  echo "== --fast: skipping sanitizer build =="
+  echo "== --fast: skipping sanitizer builds =="
   exit 0
 fi
 
@@ -60,5 +61,14 @@ echo "== ASan/UBSan build + full test suite =="
 cmake -S . -B build-asan -DSNOOPY_SANITIZE=ON >/dev/null
 cmake --build build-asan -j"${JOBS}"
 ctest --test-dir build-asan --output-on-failure
+
+echo "== TSan build + threading-sensitive tests =="
+# The race-prone surfaces: parallel bitonic sort (the fig13a trace-race fix),
+# parallel subORAM scan, and the parallel epoch executor.
+cmake -S . -B build-tsan -DSNOOPY_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j"${JOBS}" --target \
+  bitonic_sort_test suboram_test epoch_parallel_test
+ctest --test-dir build-tsan --output-on-failure \
+  -R '(BitonicSort|AdaptiveSortThreads|SubOram|EpochParallel)'
 
 echo "ci.sh: all checks passed"
