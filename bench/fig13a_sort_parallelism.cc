@@ -6,6 +6,10 @@
 // so measured multi-thread times show the coordination overhead without the speedup;
 // the model column projects the 4-core DC4s_v2 behaviour the paper plots (crossover
 // and all). Both are printed.
+//
+// This harness also sweeps the cache-blocked variant (RunBitonicNetworkBlocked)
+// against the unblocked network across tile sizes, on both the plain and the
+// adaptive-thread configuration, and emits the whole grid as machine-readable JSON.
 
 #include <cstdio>
 #include <cstring>
@@ -14,21 +18,27 @@
 #include "bench/bench_util.h"
 #include "src/crypto/rng.h"
 #include "src/obl/bitonic_sort.h"
+#include "src/obl/kernels.h"
 #include "src/obl/slab.h"
 #include "src/sim/cost_model.h"
+#include "src/telemetry/bench_json.h"
 
 namespace snoopy {
 namespace {
 
 constexpr size_t kRecordBytes = 208;  // header + 160B value, as in the system
 
-double SortTime(size_t n, int threads, uint64_t seed) {
-  ByteSlab slab(n, kRecordBytes);
+void FillSlab(ByteSlab& slab, uint64_t seed) {
   Rng rng(seed);
-  for (size_t i = 0; i < n; ++i) {
+  for (size_t i = 0; i < slab.size(); ++i) {
     uint64_t key = rng.Next64();
     std::memcpy(slab.Record(i), &key, 8);
   }
+}
+
+double SortTime(size_t n, int threads, uint64_t seed) {
+  ByteSlab slab(n, kRecordBytes);
+  FillSlab(slab, seed);
   return TimeSeconds([&] {
     BitonicSortSlab(
         slab,
@@ -39,6 +49,20 @@ double SortTime(size_t n, int threads, uint64_t seed) {
   });
 }
 
+// block_records == 0 means the implementation default (SortBlockRecords).
+double SortTimeBlocked(size_t n, int threads, size_t block_records, uint64_t seed) {
+  ByteSlab slab(n, kRecordBytes);
+  FillSlab(slab, seed);
+  return TimeSeconds([&] {
+    BitonicSortSlabBlocked(
+        slab,
+        [](const uint8_t* a, const uint8_t* b) {
+          return LoadSecretU64(a, 0) < LoadSecretU64(b, 0);
+        },
+        threads, block_records);
+  });
+}
+
 }  // namespace
 }  // namespace snoopy
 
@@ -46,17 +70,61 @@ int main() {
   using namespace snoopy;
   PrintHeader("Figure 13a", "bitonic sort thread scaling (measured + 4-core model)");
   const CostModel model;
+  BenchJsonEmitter emitter("fig13a_sort_parallelism");
   std::printf("%9s | %11s %11s %11s %11s | %13s %13s\n", "items", "1 thr(s)", "2 thr(s)",
               "3 thr(s)", "adaptive(s)", "model 1thr(s)", "model 3thr(s)");
   for (const size_t n : {size_t{1} << 10, size_t{1} << 12, size_t{1} << 14, size_t{1} << 16}) {
     const double t1 = SortTime(n, 1, n);
     const double t2 = SortTime(n, 2, n);
     const double t3 = SortTime(n, 3, n);
-    const double ta = SortTime(n, AdaptiveSortThreads(n, 3), n);
+    const int adaptive = AdaptiveSortThreads(n, 3, kRecordBytes);
+    const double ta = SortTime(n, adaptive, n);
     std::printf("%9zu | %11.3f %11.3f %11.3f %11.3f | %13.3f %13.3f\n", n, t1, t2, t3, ta,
                 model.BitonicSortSeconds(n, kRecordBytes, 1),
                 model.BitonicSortSeconds(n, kRecordBytes, 3));
+    for (const auto& [threads, seconds] :
+         {std::pair<int, double>{1, t1}, {2, t2}, {3, t3}, {adaptive, ta}}) {
+      emitter.AddPoint("sort_threads")
+          .Set("items", static_cast<double>(n))
+          .Set("threads", static_cast<double>(threads))
+          .Set("seconds", seconds)
+          .Set("model_seconds", model.BitonicSortSeconds(n, kRecordBytes, threads));
+    }
   }
+
+  // Blocked-network sweep: unblocked vs tile sizes around the L1-derived default,
+  // on one thread and on the adaptive thread count.
+  const size_t default_block = SortBlockRecords(kRecordBytes);
+  std::printf("\nblocked sweep (record=%zuB, default tile=%zu records):\n", kRecordBytes,
+              default_block);
+  std::printf("%9s %8s | %12s %12s\n", "items", "tile", "1 thr(s)", "adaptive(s)");
+  for (const size_t n : {size_t{1} << 14, size_t{1} << 16}) {
+    const int adaptive = AdaptiveSortThreads(n, 3, kRecordBytes);
+    const double unblocked1 = SortTime(n, 1, n);
+    const double unblockeda = SortTime(n, adaptive, n);
+    std::printf("%9zu %8s | %12.3f %12.3f\n", n, "none", unblocked1, unblockeda);
+    emitter.AddPoint("blocked_sort")
+        .Set("items", static_cast<double>(n))
+        .Set("block_records", 0.0)
+        .Set("seconds_1thr", unblocked1)
+        .Set("seconds_adaptive", unblockeda);
+    for (const size_t block : {default_block / 4, default_block, default_block * 4}) {
+      const double b1 = SortTimeBlocked(n, 1, block, n);
+      const double ba = SortTimeBlocked(n, adaptive, block, n);
+      std::printf("%9zu %8zu | %12.3f %12.3f\n", n, block, b1, ba);
+      emitter.AddPoint("blocked_sort")
+          .Set("items", static_cast<double>(n))
+          .Set("block_records", static_cast<double>(block))
+          .Set("seconds_1thr", b1)
+          .Set("seconds_adaptive", ba)
+          .Set("speedup_vs_unblocked_1thr", b1 > 0.0 ? unblocked1 / b1 : 0.0);
+    }
+  }
+  const std::string path = emitter.WriteFile(".");
+  if (!path.empty()) {
+    std::printf("\nwrote %s\n", path.c_str());
+  }
+
   std::printf("\npaper shape check (4-core SGX): one thread wins below ~2^13 items, three\n"
               "threads win above; the adaptive policy tracks the winner. The model columns\n"
               "show the projected crossover; measured multi-thread numbers on this 1-core\n"

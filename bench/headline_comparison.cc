@@ -14,6 +14,7 @@
 
 #include "bench/bench_util.h"
 #include "src/core/snoopy.h"
+#include "src/obl/kernels.h"
 #include "src/sim/cluster.h"
 #include "src/telemetry/bench_json.h"
 
@@ -56,14 +57,14 @@ double SubOramExecuteSeconds(int epoch_threads, uint64_t seed) {
   SnoopyConfig cfg;
   cfg.num_load_balancers = 2;
   cfg.num_suborams = 4;
-  cfg.value_size = 32;
+  cfg.value_size = 160;  // the headline object size; record moves dominate the scan
   cfg.epoch_threads = epoch_threads;
   MetricsRegistry registry;
   Snoopy snoopy(cfg, seed);
   snoopy.set_metrics_registry(&registry);
   std::vector<std::pair<uint64_t, std::vector<uint8_t>>> objects;
   for (uint64_t k = 0; k < 8192; ++k) {
-    objects.emplace_back(k, std::vector<uint8_t>(32, static_cast<uint8_t>(k)));
+    objects.emplace_back(k, std::vector<uint8_t>(160, static_cast<uint8_t>(k)));
   }
   snoopy.Initialize(objects);
   for (uint64_t e = 0; e < 4; ++e) {
@@ -131,6 +132,25 @@ int main() {
   std::printf("epoch parallelism (4 subORAMs, suboram_execute phase, best of 3): "
               "1 thread %.1f ms, 4 threads %.1f ms (speedup %.2fx)\n",
               seq_s * 1e3, par_s * 1e3, seq_s / par_s);
+
+  // Kernel-backend end-to-end effect: the identical suboram_execute workload with the
+  // oblivious kernel layer pinned to the portable scalar backend versus the widest
+  // one this CPU supports. Responses and traces are byte-identical either way; only
+  // the wall time moves.
+  const KernelBackend native_backend = ActiveKernelBackend();
+  double generic_s = 1e9;
+  double native_s = 1e9;
+  for (int rep = 0; rep < 3; ++rep) {
+    SetKernelBackend(KernelBackend::kGeneric);
+    generic_s = std::min(generic_s, SubOramExecuteSeconds(/*epoch_threads=*/1, /*seed=*/31 + rep));
+    SetKernelBackend(native_backend);
+    native_s = std::min(native_s, SubOramExecuteSeconds(/*epoch_threads=*/1, /*seed=*/31 + rep));
+  }
+  SetKernelBackend(native_backend);
+  std::printf("kernel backend (4 subORAMs, suboram_execute phase, best of 3): "
+              "generic %.1f ms, %s %.1f ms (speedup %.2fx)\n",
+              generic_s * 1e3, KernelBackendName(native_backend), native_s * 1e3,
+              generic_s / native_s);
   if (std::thread::hardware_concurrency() <= 1) {
     std::printf("note: this host exposes a single hardware core, so the 4-thread run can\n"
                 "only show coordination overhead; the speedup materializes on multi-core\n"
@@ -166,6 +186,15 @@ int main() {
       .Set("epoch_threads", 4)
       .Set("suboram_execute_s", par_s)
       .Set("speedup_vs_1_thread", seq_s / par_s);
+  json.AddPoint("kernel_backend")
+      .Set("backend", "generic")
+      .Set("num_suborams", 4)
+      .Set("suboram_execute_s", generic_s);
+  json.AddPoint("kernel_backend")
+      .Set("backend", KernelBackendName(native_backend))
+      .Set("num_suborams", 4)
+      .Set("suboram_execute_s", native_s)
+      .Set("speedup_vs_generic", generic_s / native_s);
   const std::string path = json.WriteFile();
   if (!path.empty()) {
     std::printf("machine-readable output: %s\n", path.c_str());

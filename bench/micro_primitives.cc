@@ -3,7 +3,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
 #include <cstring>
+#include <map>
+#include <string>
 #include <vector>
 
 #include "src/analysis/batch_bound.h"
@@ -14,9 +18,11 @@
 #include "src/obl/bitonic_sort.h"
 #include "src/obl/compaction.h"
 #include "src/obl/hash_table.h"
+#include "src/obl/kernels.h"
 #include "src/obl/primitives.h"
 #include "src/obl/secret.h"
 #include "src/obl/slab.h"
+#include "src/telemetry/bench_json.h"
 
 namespace snoopy {
 namespace {
@@ -202,7 +208,180 @@ void BM_BatchBound(benchmark::State& state) {
 }
 BENCHMARK(BM_BatchBound);
 
+// --- Dispatching SIMD kernel layer (src/obl/kernels.h) ---------------------------
+//
+// One benchmark per (backend, record size, alignment) so the per-backend kernels
+// can be compared directly; the same grid is re-measured with manual timing below
+// and emitted as the `primitive_kernels` series in BENCH_micro_primitives.json.
+
+void BM_KernelCondSwap(benchmark::State& state, KernelBackend backend, size_t nbytes,
+                       size_t misalign) {
+  const KernelBackend prev = ActiveKernelBackend();
+  SetKernelBackend(backend);
+  std::vector<uint8_t> abuf(nbytes + 64, 1);
+  std::vector<uint8_t> bbuf(nbytes + 64, 2);
+  uint8_t* a = abuf.data() + misalign;
+  uint8_t* b = bbuf.data() + misalign;
+  uint64_t mask = ~uint64_t{0};
+  for (auto _ : state) {
+    KernelCondSwapBytesMask(mask, a, b, nbytes);
+    mask = ~mask;
+    benchmark::DoNotOptimize(a);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(nbytes));
+  SetKernelBackend(prev);
+}
+
+void BM_KernelCondCopy(benchmark::State& state, KernelBackend backend, size_t nbytes,
+                       size_t misalign) {
+  const KernelBackend prev = ActiveKernelBackend();
+  SetKernelBackend(backend);
+  std::vector<uint8_t> dbuf(nbytes + 64, 1);
+  std::vector<uint8_t> sbuf(nbytes + 64, 2);
+  uint8_t* d = dbuf.data() + misalign;
+  uint8_t* s = sbuf.data() + misalign;
+  uint64_t mask = ~uint64_t{0};
+  for (auto _ : state) {
+    KernelCondCopyBytesMask(mask, d, s, nbytes);
+    mask = ~mask;
+    benchmark::DoNotOptimize(d);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(nbytes));
+  SetKernelBackend(prev);
+}
+
+void BM_KernelEqual(benchmark::State& state, KernelBackend backend, size_t nbytes,
+                    size_t misalign) {
+  const KernelBackend prev = ActiveKernelBackend();
+  SetKernelBackend(backend);
+  std::vector<uint8_t> abuf(nbytes + 64, 0x5c);
+  std::vector<uint8_t> bbuf(nbytes + 64, 0x5c);
+  const uint8_t* a = abuf.data() + misalign;
+  const uint8_t* b = bbuf.data() + misalign;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(KernelEqualBytes(a, b, nbytes));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(nbytes));
+  SetKernelBackend(prev);
+}
+
+void RegisterKernelBenchmarks() {
+  for (const KernelBackend backend : SupportedKernelBackends()) {
+    for (const size_t nbytes : {size_t{160}, size_t{208}}) {
+      for (const size_t misalign : {size_t{0}, size_t{3}}) {
+        const std::string suffix = std::string("/") + KernelBackendName(backend) + "/" +
+                                   std::to_string(nbytes) +
+                                   (misalign == 0 ? "/aligned" : "/misaligned");
+        benchmark::RegisterBenchmark(
+            ("BM_KernelCondSwap" + suffix).c_str(),
+            [backend, nbytes, misalign](benchmark::State& st) {
+              BM_KernelCondSwap(st, backend, nbytes, misalign);
+            });
+        benchmark::RegisterBenchmark(
+            ("BM_KernelCondCopy" + suffix).c_str(),
+            [backend, nbytes, misalign](benchmark::State& st) {
+              BM_KernelCondCopy(st, backend, nbytes, misalign);
+            });
+        benchmark::RegisterBenchmark(
+            ("BM_KernelEqual" + suffix).c_str(),
+            [backend, nbytes, misalign](benchmark::State& st) {
+              BM_KernelEqual(st, backend, nbytes, misalign);
+            });
+      }
+    }
+  }
+}
+
+// Manual-timing pass over the same grid, written as machine-readable JSON. Kept
+// separate from google-benchmark so the emitted file exists on every run
+// regardless of --benchmark_filter.
+template <typename Fn>
+double MeasureNsPerOp(Fn&& fn) {
+  for (int i = 0; i < 2000; ++i) {
+    fn();
+  }
+  constexpr int kIters = 300000;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < kIters; ++i) {
+    fn();
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::nano>(t1 - t0).count() / kIters;
+}
+
+void EmitKernelSeries() {
+  BenchJsonEmitter emitter("micro_primitives");
+  const KernelBackend prev = ActiveKernelBackend();
+  std::map<std::string, double> generic_ns;
+  for (const KernelBackend backend : SupportedKernelBackends()) {
+    SetKernelBackend(backend);
+    for (const size_t nbytes : {size_t{160}, size_t{208}}) {
+      for (const size_t misalign : {size_t{0}, size_t{3}}) {
+        std::vector<uint8_t> abuf(nbytes + 64, 1);
+        std::vector<uint8_t> bbuf(nbytes + 64, 2);
+        uint8_t* a = abuf.data() + misalign;
+        uint8_t* b = bbuf.data() + misalign;
+        struct OpPoint {
+          const char* op;
+          double ns;
+        };
+        uint64_t mask = ~uint64_t{0};
+        const OpPoint ops[3] = {
+            {"cond_swap", MeasureNsPerOp([&] {
+               KernelCondSwapBytesMask(mask, a, b, nbytes);
+               mask = ~mask;
+               benchmark::DoNotOptimize(a);
+             })},
+            {"cond_copy", MeasureNsPerOp([&] {
+               KernelCondCopyBytesMask(mask, a, b, nbytes);
+               mask = ~mask;
+               benchmark::DoNotOptimize(a);
+             })},
+            {"equal", MeasureNsPerOp([&] {
+               benchmark::DoNotOptimize(KernelEqualBytes(a, b, nbytes));
+             })},
+        };
+        for (const OpPoint& op : ops) {
+          const std::string key = std::string(op.op) + "/" + std::to_string(nbytes) + "/" +
+                                  std::to_string(misalign);
+          auto& point = emitter.AddPoint("primitive_kernels");
+          point.Set("backend", KernelBackendName(backend))
+              .Set("op", op.op)
+              .Set("record_bytes", static_cast<double>(nbytes))
+              .Set("misalign", static_cast<double>(misalign))
+              .Set("ns_per_op", op.ns)
+              .Set("gib_per_s", static_cast<double>(nbytes) / op.ns * 1e9 /
+                                    (1024.0 * 1024.0 * 1024.0));
+          if (backend == KernelBackend::kGeneric) {
+            generic_ns[key] = op.ns;
+          } else if (generic_ns.count(key) != 0 && op.ns > 0.0) {
+            point.Set("speedup_vs_generic", generic_ns[key] / op.ns);
+          }
+        }
+      }
+    }
+  }
+  SetKernelBackend(prev);
+  const std::string path = emitter.WriteFile(".");
+  if (!path.empty()) {
+    std::printf("wrote %s\n", path.c_str());
+  }
+}
+
 }  // namespace
 }  // namespace snoopy
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  snoopy::RegisterKernelBenchmarks();
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  snoopy::EmitKernelSeries();
+  return 0;
+}

@@ -7,6 +7,7 @@
 #include "src/enclave/trace.h"
 #include "src/obl/bitonic_sort.h"
 #include "src/obl/compaction.h"
+#include "src/obl/kernels.h"
 #include "src/obl/primitives.h"
 #include "src/obl/secret.h"
 
@@ -124,7 +125,7 @@ RequestBatch LoadBalancer::MatchResponses(PreparedEpoch&& epoch,
   // SNOOPY_OBLIVIOUS_BEGIN(lb_match)
   // ct-public: i total value_size
   // Figure 6 step 2: oblivious sort by object id, responses before requests.
-  BitonicSortSlab(
+  BitonicSortSlabBlocked(
       merged.slab(),
       [](const uint8_t* a, const uint8_t* b) {
         const auto* ha = reinterpret_cast<const RequestHeader*>(a);
@@ -154,12 +155,12 @@ RequestBatch LoadBalancer::MatchResponses(PreparedEpoch&& epoch,
     RequestHeader& h = merged.Header(i);
     uint8_t* value = merged.Value(i);
     const SecretBool is_resp = SecretBool::FromWord(h.resp);
-    CtCondCopyBytes(is_resp, prev_value.data(), value, value_size);
+    KernelCondCopyBytes(is_resp, prev_value.data(), value, value_size);
     prev_key = CtSelectU64(is_resp, h.key, prev_key);
     const SecretBool take = (!is_resp) & (SecretU64(h.key) == prev_key);
-    CtCondCopyBytes(take, value, prev_value.data(), value_size);
-    CtCondCopyBytes(take & !SecretBool::FromWord(h.granted), value, zeros.data(),
-                    value_size);
+    KernelCondCopyBytes(take, value, prev_value.data(), value_size);
+    KernelCondCopyBytes(take & !SecretBool::FromWord(h.granted), value, zeros.data(),
+                        value_size);
     keep[i] = (!is_resp).ToFlagByte();
   }
   // SNOOPY_OBLIVIOUS_END(lb_match)

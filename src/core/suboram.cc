@@ -8,6 +8,7 @@
 #include "src/enclave/trace.h"
 #include "src/obl/bitonic_sort.h"
 #include "src/obl/hash_table.h"
+#include "src/obl/kernels.h"
 #include "src/obl/primitives.h"
 #include "src/obl/secret.h"
 
@@ -112,14 +113,15 @@ RequestBatch SubOram::ProcessBatch(RequestBatch&& batch) {
           const SecretBool is_write = SecretU64(req->op) == SecretU64(kOpWrite);
           const SecretBool granted = SecretBool::FromWord(req->granted);
           // old <- object value (staged so the write below can both update the object
-          // and leave the pre-state for the response).
+          // and leave the pre-state for the response). The three conditional moves go
+          // through the SIMD kernel layer; each derives its mask once per slot.
           std::memcpy(old_value.data(), obj_value, value_size);
           // Write path: object <- request payload (if a granted write matches).
-          CtCondCopyBytes(match & is_write & granted, obj_value, req_value, value_size);
+          KernelCondCopyBytes(match & is_write & granted, obj_value, req_value, value_size);
           // Response path: request slot <- pre-state (for reads and writes alike).
-          CtCondCopyBytes(match, req_value, old_value.data(), value_size);
+          KernelCondCopyBytes(match, req_value, old_value.data(), value_size);
           // Access control (section D): a denied read returns null rather than data.
-          CtCondCopyBytes(match & !granted, req_value, zeros.data(), value_size);
+          KernelCondCopyBytes(match & !granted, req_value, zeros.data(), value_size);
         }
       };
       if (threads > 1) {

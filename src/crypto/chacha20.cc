@@ -1,7 +1,10 @@
 #include "src/crypto/chacha20.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstring>
+
+#include "src/obl/kernels.h"
 
 namespace snoopy {
 
@@ -31,6 +34,153 @@ inline void Store32Le(uint8_t* p, uint32_t v) {
   p[2] = static_cast<uint8_t>(v >> 16);
   p[3] = static_cast<uint8_t>(v >> 24);
 }
+
+#if SNOOPY_KERNELS_X86
+
+// Multi-block keystream in the lane-broadcast formulation: vector word w holds
+// ChaCha state word w for L consecutive blocks, one block per 32-bit lane. The
+// counter word gets per-lane offsets 0..L-1 (epi32 adds wrap mod 2^32 exactly
+// like the scalar ++counter). After the 20 rounds and the feed-forward add,
+// a 4x4 (per 128-bit lane) word transpose turns lane-major vectors back into
+// contiguous 64-byte blocks, which are XORed straight into the data buffer.
+//
+// ChaCha is data-oblivious by construction (pure ARX on uniform-trip loops),
+// so the vector forms below change only throughput, never the access pattern.
+
+#define SNOOPY_CHACHA_QR_SSE2(a, b, c, d)                             \
+  do {                                                                \
+    a = _mm_add_epi32(a, b);                                          \
+    d = _mm_xor_si128(d, a);                                          \
+    d = _mm_or_si128(_mm_slli_epi32(d, 16), _mm_srli_epi32(d, 16));   \
+    c = _mm_add_epi32(c, d);                                          \
+    b = _mm_xor_si128(b, c);                                          \
+    b = _mm_or_si128(_mm_slli_epi32(b, 12), _mm_srli_epi32(b, 20));   \
+    a = _mm_add_epi32(a, b);                                          \
+    d = _mm_xor_si128(d, a);                                          \
+    d = _mm_or_si128(_mm_slli_epi32(d, 8), _mm_srli_epi32(d, 24));    \
+    c = _mm_add_epi32(c, d);                                          \
+    b = _mm_xor_si128(b, c);                                          \
+    b = _mm_or_si128(_mm_slli_epi32(b, 7), _mm_srli_epi32(b, 25));    \
+  } while (0)
+
+// XORs four consecutive keystream blocks (counter .. counter+3) into data.
+void CryptBlocks4Sse2(const uint32_t* state, uint8_t* data) {
+  __m128i v[16];
+  __m128i init[16];
+  for (int w = 0; w < 16; ++w) {
+    v[w] = _mm_set1_epi32(static_cast<int>(state[w]));
+  }
+  v[12] = _mm_add_epi32(v[12], _mm_setr_epi32(0, 1, 2, 3));
+  for (int w = 0; w < 16; ++w) {
+    init[w] = v[w];
+  }
+  for (int round = 0; round < 10; ++round) {
+    SNOOPY_CHACHA_QR_SSE2(v[0], v[4], v[8], v[12]);
+    SNOOPY_CHACHA_QR_SSE2(v[1], v[5], v[9], v[13]);
+    SNOOPY_CHACHA_QR_SSE2(v[2], v[6], v[10], v[14]);
+    SNOOPY_CHACHA_QR_SSE2(v[3], v[7], v[11], v[15]);
+    SNOOPY_CHACHA_QR_SSE2(v[0], v[5], v[10], v[15]);
+    SNOOPY_CHACHA_QR_SSE2(v[1], v[6], v[11], v[12]);
+    SNOOPY_CHACHA_QR_SSE2(v[2], v[7], v[8], v[13]);
+    SNOOPY_CHACHA_QR_SSE2(v[3], v[4], v[9], v[14]);
+  }
+  for (int w = 0; w < 16; ++w) {
+    v[w] = _mm_add_epi32(v[w], init[w]);
+  }
+  for (int g = 0; g < 4; ++g) {
+    const __m128i t0 = _mm_unpacklo_epi32(v[4 * g], v[4 * g + 1]);
+    const __m128i t1 = _mm_unpackhi_epi32(v[4 * g], v[4 * g + 1]);
+    const __m128i t2 = _mm_unpacklo_epi32(v[4 * g + 2], v[4 * g + 3]);
+    const __m128i t3 = _mm_unpackhi_epi32(v[4 * g + 2], v[4 * g + 3]);
+    const __m128i rows[4] = {_mm_unpacklo_epi64(t0, t2), _mm_unpackhi_epi64(t0, t2),
+                             _mm_unpacklo_epi64(t1, t3), _mm_unpackhi_epi64(t1, t3)};
+    for (int blk = 0; blk < 4; ++blk) {
+      uint8_t* p = data + blk * ChaCha20::kBlockBytes + g * 16;
+      const __m128i dv = _mm_loadu_si128(reinterpret_cast<const __m128i*>(p));
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(p), _mm_xor_si128(dv, rows[blk]));
+    }
+  }
+}
+
+#undef SNOOPY_CHACHA_QR_SSE2
+
+#define SNOOPY_CHACHA_QR_AVX2(a, b, c, d)                                      \
+  do {                                                                         \
+    a = _mm256_add_epi32(a, b);                                                \
+    d = _mm256_shuffle_epi8(_mm256_xor_si256(d, a), rot16);                    \
+    c = _mm256_add_epi32(c, d);                                                \
+    b = _mm256_xor_si256(b, c);                                                \
+    b = _mm256_or_si256(_mm256_slli_epi32(b, 12), _mm256_srli_epi32(b, 20));   \
+    a = _mm256_add_epi32(a, b);                                                \
+    d = _mm256_shuffle_epi8(_mm256_xor_si256(d, a), rot8);                     \
+    c = _mm256_add_epi32(c, d);                                                \
+    b = _mm256_xor_si256(b, c);                                                \
+    b = _mm256_or_si256(_mm256_slli_epi32(b, 7), _mm256_srli_epi32(b, 25));    \
+  } while (0)
+
+// XORs eight consecutive keystream blocks (counter .. counter+7) into data.
+__attribute__((target("avx2"))) void CryptBlocks8Avx2(const uint32_t* state, uint8_t* data) {
+  // Byte-shuffle rotates for the 16- and 8-bit cases (one shuffle beats two
+  // shifts plus an or); the masks repeat per 128-bit lane as shuffle_epi8 does.
+  const __m256i rot16 = _mm256_setr_epi8(2, 3, 0, 1, 6, 7, 4, 5, 10, 11, 8, 9, 14, 15, 12, 13,
+                                         2, 3, 0, 1, 6, 7, 4, 5, 10, 11, 8, 9, 14, 15, 12, 13);
+  const __m256i rot8 = _mm256_setr_epi8(3, 0, 1, 2, 7, 4, 5, 6, 11, 8, 9, 10, 15, 12, 13, 14,
+                                        3, 0, 1, 2, 7, 4, 5, 6, 11, 8, 9, 10, 15, 12, 13, 14);
+  __m256i v[16];
+  __m256i init[16];
+  for (int w = 0; w < 16; ++w) {
+    v[w] = _mm256_set1_epi32(static_cast<int>(state[w]));
+  }
+  v[12] = _mm256_add_epi32(v[12], _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7));
+  for (int w = 0; w < 16; ++w) {
+    init[w] = v[w];
+  }
+  for (int round = 0; round < 10; ++round) {
+    SNOOPY_CHACHA_QR_AVX2(v[0], v[4], v[8], v[12]);
+    SNOOPY_CHACHA_QR_AVX2(v[1], v[5], v[9], v[13]);
+    SNOOPY_CHACHA_QR_AVX2(v[2], v[6], v[10], v[14]);
+    SNOOPY_CHACHA_QR_AVX2(v[3], v[7], v[11], v[15]);
+    SNOOPY_CHACHA_QR_AVX2(v[0], v[5], v[10], v[15]);
+    SNOOPY_CHACHA_QR_AVX2(v[1], v[6], v[11], v[12]);
+    SNOOPY_CHACHA_QR_AVX2(v[2], v[7], v[8], v[13]);
+    SNOOPY_CHACHA_QR_AVX2(v[3], v[4], v[9], v[14]);
+  }
+  for (int w = 0; w < 16; ++w) {
+    v[w] = _mm256_add_epi32(v[w], init[w]);
+  }
+  // Per-group transpose leaves u[g][j] = [block j words 4g..4g+3 | block j+4
+  // words 4g..4g+3]; permute2x128 stitches the halves into contiguous blocks.
+  __m256i u[4][4];
+  for (int g = 0; g < 4; ++g) {
+    const __m256i t0 = _mm256_unpacklo_epi32(v[4 * g], v[4 * g + 1]);
+    const __m256i t1 = _mm256_unpackhi_epi32(v[4 * g], v[4 * g + 1]);
+    const __m256i t2 = _mm256_unpacklo_epi32(v[4 * g + 2], v[4 * g + 3]);
+    const __m256i t3 = _mm256_unpackhi_epi32(v[4 * g + 2], v[4 * g + 3]);
+    u[g][0] = _mm256_unpacklo_epi64(t0, t2);
+    u[g][1] = _mm256_unpackhi_epi64(t0, t2);
+    u[g][2] = _mm256_unpacklo_epi64(t1, t3);
+    u[g][3] = _mm256_unpackhi_epi64(t1, t3);
+  }
+  for (int j = 0; j < 4; ++j) {
+    const __m256i rows[2][2] = {
+        {_mm256_permute2x128_si256(u[0][j], u[1][j], 0x20),
+         _mm256_permute2x128_si256(u[2][j], u[3][j], 0x20)},
+        {_mm256_permute2x128_si256(u[0][j], u[1][j], 0x31),
+         _mm256_permute2x128_si256(u[2][j], u[3][j], 0x31)}};
+    for (int hb = 0; hb < 2; ++hb) {
+      uint8_t* p = data + (j + 4 * hb) * ChaCha20::kBlockBytes;
+      const __m256i d0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+      const __m256i d1 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p + 32));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(p), _mm256_xor_si256(d0, rows[hb][0]));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(p + 32),
+                          _mm256_xor_si256(d1, rows[hb][1]));
+    }
+  }
+}
+
+#undef SNOOPY_CHACHA_QR_AVX2
+
+#endif  // SNOOPY_KERNELS_X86
 
 }  // namespace
 
@@ -72,6 +222,38 @@ void ChaCha20::KeystreamBlock(uint32_t counter, std::array<uint8_t, kBlockBytes>
 
 void ChaCha20::Crypt(uint8_t* data, size_t len) {
   size_t i = 0;
+  // Drain buffered keystream from a previous partial block first so the SIMD
+  // fast path always starts on a block boundary.
+  if (partial_used_ < kBlockBytes) {
+    const size_t take = std::min(len, kBlockBytes - partial_used_);
+    for (size_t j = 0; j < take; ++j) {
+      data[j] ^= partial_[partial_used_ + j];
+    }
+    partial_used_ += take;
+    i = take;
+  }
+#if SNOOPY_KERNELS_X86
+  // Whole-block batches via the vector keystream. The batch width is picked by
+  // the public kernel backend; counter arithmetic wraps mod 2^32 exactly like
+  // the scalar per-block increment.
+  {
+    const KernelBackend backend = ActiveKernelBackend();
+    if (backend == KernelBackend::kAVX2 || backend == KernelBackend::kAVX512) {
+      while (len - i >= 8 * kBlockBytes) {
+        CryptBlocks8Avx2(state_.data(), data + i);
+        state_[12] += 8;
+        i += 8 * kBlockBytes;
+      }
+    }
+    if (backend != KernelBackend::kGeneric) {
+      while (len - i >= 4 * kBlockBytes) {
+        CryptBlocks4Sse2(state_.data(), data + i);
+        state_[12] += 4;
+        i += 4 * kBlockBytes;
+      }
+    }
+  }
+#endif
   while (i < len) {
     if (partial_used_ == kBlockBytes) {
       KeystreamBlock(state_[12], partial_);

@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
-#include "src/obl/primitives.h"
+#include "src/obl/kernels.h"
 
 namespace snoopy {
 
@@ -39,7 +39,7 @@ AttestationQuote AttestationService::Quote(const Measurement& measurement,
 
 bool AttestationService::Verify(const AttestationQuote& quote) {
   const Mac256 expected = SignQuote(quote.measurement, quote.report_data);
-  return CtEqualBytes(expected.data(), quote.signature.data(), expected.size());
+  return KernelEqualBytes(expected.data(), quote.signature.data(), expected.size());
 }
 
 Aead::Key AttestationService::ChannelKey(const Measurement& a, const Measurement& b) {

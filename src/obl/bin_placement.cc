@@ -56,7 +56,7 @@ BinPlacementResult ObliviousBinPlacement(ByteSlab& slab, const BinSchema& schema
     const SecretU64 dummy = Widen(LoadSecretU8(rec, schema.dummy_offset)) & 1;
     return (bin << 1) | dummy;
   };
-  BitonicSortSlab(
+  BitonicSortSlabBlocked(
       slab,
       [&](const uint8_t* a, const uint8_t* b) {
         const SecretU64 a1 = key_of(a);

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "src/enclave/trace.h"
+#include "src/obl/kernels.h"
 #include "src/obl/primitives.h"
 #include "src/obl/secret.h"
 #include "src/obl/slab.h"
@@ -29,9 +30,10 @@
 namespace snoopy {
 
 // SNOOPY_OBLIVIOUS_BEGIN(bitonic_sort)
-// ct-public: n lo m asc threads i j k stride max_threads hw cap kParallelThreshold
+// ct-public: n lo m asc threads i j k stride max_threads hw cap block block_records
+// ct-public: parallel_threshold kTilesPerParallelSort
 // ct-calls: GreatestPowerOfTwoBelow BitonicMerge BitonicSortRec AdaptiveSortThreads
-// ct-calls: first second
+// ct-calls: first second SortBlockRecords
 
 namespace internal {
 
@@ -98,6 +100,78 @@ void BitonicSortRec(size_t lo, size_t n, bool asc, const CSwap& cswap, int threa
   BitonicMerge(lo, n, asc, cswap, threads);
 }
 
+// ---- Cache-blocked execution (tile executor) ----
+//
+// Depth-first bitonic recursion is inherently tile-local for segments that fit in
+// cache: once a sort/merge segment is <= B records, every subsequent compare-swap it
+// spawns stays inside those B records. The blocked variant makes that boundary an
+// explicit, public parameter: segments of at most `block` records are executed by a
+// lean tile path (no fork-join dispatch, no thread bookkeeping), and the block size is
+// the same L1 geometry the sim's cost model uses (kernels.h SortBlockRecords). The
+// tile executor replays the *exact* recursion order of BitonicSortRec/BitonicMerge
+// with threads = 1, so the cswap sequence -- and therefore the adversary-visible trace
+// -- is byte-identical for every block size (tests/kernels_test.cc pins this).
+
+template <typename CSwap>
+void BitonicTileMerge(size_t lo, size_t n, bool asc, const CSwap& cswap) {
+  if (n <= 1) {
+    return;
+  }
+  const size_t m = GreatestPowerOfTwoBelow(n);
+  for (size_t i = lo; i < lo + n - m; ++i) {
+    cswap(i, i + m, asc);
+  }
+  BitonicTileMerge(lo, m, asc, cswap);
+  BitonicTileMerge(lo + m, n - m, asc, cswap);
+}
+
+template <typename CSwap>
+void BitonicTileSort(size_t lo, size_t n, bool asc, const CSwap& cswap) {
+  if (n <= 1) {
+    return;
+  }
+  const size_t m = n / 2;
+  BitonicTileSort(lo, m, !asc, cswap);
+  BitonicTileSort(lo + m, n - m, asc, cswap);
+  BitonicTileMerge(lo, n, asc, cswap);
+}
+
+template <typename CSwap>
+void BitonicBlockedMerge(size_t lo, size_t n, bool asc, const CSwap& cswap, size_t block,
+                         int threads) {
+  if (n <= block) {
+    BitonicTileMerge(lo, n, asc, cswap);
+    return;
+  }
+  const size_t m = GreatestPowerOfTwoBelow(n);
+  for (size_t i = lo; i < lo + n - m; ++i) {
+    cswap(i, i + m, asc);
+  }
+  TraceForkJoinHalves([&] { BitonicBlockedMerge(lo, m, asc, cswap, block, threads / 2); },
+                      [&] {
+                        BitonicBlockedMerge(lo + m, n - m, asc, cswap, block,
+                                            threads - threads / 2);
+                      },
+                      threads);
+}
+
+template <typename CSwap>
+void BitonicBlockedSortRec(size_t lo, size_t n, bool asc, const CSwap& cswap, size_t block,
+                           int threads) {
+  if (n <= block) {
+    BitonicTileSort(lo, n, asc, cswap);
+    return;
+  }
+  const size_t m = n / 2;
+  TraceForkJoinHalves([&] { BitonicBlockedSortRec(lo, m, !asc, cswap, block, threads / 2); },
+                      [&] {
+                        BitonicBlockedSortRec(lo + m, n - m, asc, cswap, block,
+                                              threads - threads / 2);
+                      },
+                      threads);
+  BitonicBlockedMerge(lo, n, asc, cswap, block, threads);
+}
+
 }  // namespace internal
 
 // Runs the bitonic network over n elements. `cswap(i, j, asc)` must compare the
@@ -107,6 +181,18 @@ void BitonicSortRec(size_t lo, size_t n, bool asc, const CSwap& cswap, int threa
 template <typename CSwap>
 void RunBitonicNetwork(size_t n, const CSwap& cswap, int threads = 1) {
   internal::BitonicSortRec(0, n, /*asc=*/true, cswap, threads < 1 ? 1 : threads);
+}
+
+// Cache-blocked variant: identical compare-swap sequence (see the tile-executor note
+// above), with segments of at most `block_records` executed by the non-forking tile
+// path. `block_records` is public geometry; 0 means "no blocking" (tiles of 1, i.e.
+// plain recursion all the way down).
+template <typename CSwap>
+void RunBitonicNetworkBlocked(size_t n, size_t block_records, const CSwap& cswap,
+                              int threads = 1) {
+  const size_t block = block_records < 1 ? 1 : block_records;
+  internal::BitonicBlockedSortRec(0, n, /*asc=*/true, cswap, block,
+                                  threads < 1 ? 1 : threads);
 }
 
 // Sorts a span of trivially-copyable records in place. `less(a, b)` must be a
@@ -124,7 +210,8 @@ void BitonicSort(std::span<T> data, const Less& less, int threads = 1) {
 }
 
 // Sorts a ByteSlab of records in place; `less(a, b)` receives raw record pointers and
-// must be branchless, returning SecretBool.
+// must be branchless, returning SecretBool. Record moves go through the dispatching
+// SIMD kernels (obl/kernels.h); the mask is derived once per compare.
 template <typename Less>
 void BitonicSortSlab(ByteSlab& slab, const Less& less, int threads = 1) {
   const size_t stride = slab.record_bytes();
@@ -136,16 +223,41 @@ void BitonicSortSlab(ByteSlab& slab, const Less& less, int threads = 1) {
         uint8_t* a = base + i * stride;
         uint8_t* b = base + j * stride;
         const SecretBool out_of_order = asc ? less(b, a) : less(a, b);
-        CtCondSwapBytes(out_of_order, a, b, stride);
+        KernelCondSwapBytes(out_of_order, a, b, stride);
+      },
+      threads);
+}
+
+// Cache-blocked slab sort: same trace, same result, L1-tiled execution. The default
+// block comes from the record stride and the shared L1 tile budget (kernels.h);
+// callers may pass an explicit block_records to override (benches sweep it).
+template <typename Less>
+void BitonicSortSlabBlocked(ByteSlab& slab, const Less& less, int threads = 1,
+                            size_t block_records = 0) {
+  const size_t stride = slab.record_bytes();
+  const size_t block = block_records > 0 ? block_records : SortBlockRecords(stride);
+  uint8_t* base = slab.data();
+  RunBitonicNetworkBlocked(
+      slab.size(), block,
+      [&](size_t i, size_t j, bool asc) {
+        TraceRecord(TraceOp::kCondSwap, i, j);
+        uint8_t* a = base + i * stride;
+        uint8_t* b = base + j * stride;
+        const SecretBool out_of_order = asc ? less(b, a) : less(a, b);
+        KernelCondSwapBytes(out_of_order, a, b, stride);
       },
       threads);
 }
 
 // The adaptive policy from the paper (Figure 13a): below a size threshold the thread
-// coordination overhead dominates, so fall back to a single thread.
-inline int AdaptiveSortThreads(size_t n, int max_threads) {
-  constexpr size_t kParallelThreshold = 1u << 13;
-  if (n < kParallelThreshold || max_threads < 2) {
+// coordination overhead dominates, so fall back to a single thread. The threshold is
+// derived from the blocked tile geometry -- forking pays off once the sort spans many
+// L1 tiles -- rather than a bare constant; for the paper's 208-byte records this
+// yields 128 tiles * 64 records = 8192, the empirical knee in Figure 13a.
+inline int AdaptiveSortThreads(size_t n, int max_threads, size_t record_bytes = 208) {
+  constexpr size_t kTilesPerParallelSort = 128;
+  const size_t parallel_threshold = kTilesPerParallelSort * SortBlockRecords(record_bytes);
+  if (n < parallel_threshold || max_threads < 2) {
     return 1;
   }
   const unsigned hw = std::thread::hardware_concurrency();

@@ -5,13 +5,15 @@
 
 #include "src/enclave/trace.h"
 #include "src/obl/bitonic_sort.h"
+#include "src/obl/kernels.h"
 #include "src/obl/primitives.h"
 #include "src/obl/secret.h"
 
 namespace snoopy {
 
 // SNOOPY_OBLIVIOUS_BEGIN(compaction)
-// ct-public: n i j stride shift asc
+// ct-public: n i j stride shift asc block
+// ct-calls: SortBlockRecords
 
 size_t GoodrichCompact(ByteSlab& slab, std::span<uint8_t> flags) {
   const size_t n = slab.size();
@@ -48,7 +50,9 @@ size_t GoodrichCompact(ByteSlab& slab, std::span<uint8_t> flags) {
       // SecretBool &, never &&: short-circuiting would branch on secret data.
       const SecretBool move = SecretBool::FromWord(flags[j]) & (dist[j] & shift).NonZero();
       dist[j] = CtSelect(move, dist[j] - SecretU64(shift), dist[j]);
-      CtCondSwapBytes(move, base + i * stride, base + j * stride, stride);
+      // The record body moves through the SIMD kernel; the 1- and 8-byte scratch
+      // fields stay scalar (below vector width, dispatch would only add overhead).
+      KernelCondSwapBytes(move, base + i * stride, base + j * stride, stride);
       CtCondSwapBytes(move, &flags[i], &flags[j], 1);
       CtCondSwapBytes(move, &dist[i], &dist[j], sizeof(SecretU64));
     }
@@ -77,12 +81,13 @@ size_t SortCompact(ByteSlab& slab, std::span<uint8_t> flags) {
     rank[i] = CtSelectU64(keep, 0, uint64_t{1} << 63) | SecretU64(i);
   }
 
-  RunBitonicNetwork(n, [&](size_t i, size_t j, bool asc) {
+  const size_t block = SortBlockRecords(stride);
+  RunBitonicNetworkBlocked(n, block, [&](size_t i, size_t j, bool asc) {
     TraceRecord(TraceOp::kCondSwap, i, j);
     const SecretBool out_of_order = asc ? rank[j] < rank[i] : rank[i] < rank[j];
     CtCondSwapBytes(out_of_order, &rank[i], &rank[j], sizeof(SecretU64));
     CtCondSwapBytes(out_of_order, &flags[i], &flags[j], 1);
-    CtCondSwapBytes(out_of_order, base + i * stride, base + j * stride, stride);
+    KernelCondSwapBytes(out_of_order, base + i * stride, base + j * stride, stride);
   });
   return static_cast<size_t>(kept.Declassify("compaction.sort.kept"));
 }

@@ -135,7 +135,7 @@ bool TwoTierOht::Build(ByteSlab&& batch, Rng& rng, int sort_threads) {
   }
   TraceRecord(TraceOp::kAppend, n, pad1);
 
-  BitonicSortSlab(
+  BitonicSortSlabBlocked(
       slab,
       [this](const uint8_t* a, const uint8_t* b) {
         const SecretU64 a1 = (Widen(LoadSecretU32(a, schema_.bin_offset)) << 1) |

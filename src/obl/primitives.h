@@ -103,12 +103,17 @@ inline void CtCondCopyBytesMask(uint64_t mask, void* dst, const void* src, size_
   auto* d = static_cast<uint8_t*>(dst);
   const auto* s = static_cast<const uint8_t*>(src);
   size_t i = 0;
+  // Re-barrier the mask every word: this pins the loop to the audited scalar form.
+  // Without it the autovectorizer rewrites the TCB loop into compiler-chosen vector
+  // code that none of the constant-time tooling (ct_lint regions, check_nobranch)
+  // ever sees; wide execution belongs to the explicit kernels in src/obl/kernels.h.
   for (; i + 8 <= n; i += 8) {
+    const uint64_t m = ValueBarrier(mask);
     uint64_t dw;
     uint64_t sw;
     std::memcpy(&dw, d + i, 8);
     std::memcpy(&sw, s + i, 8);
-    dw = (sw & mask) | (dw & ~mask);
+    dw = (sw & m) | (dw & ~m);
     std::memcpy(d + i, &dw, 8);
   }
   const auto m8 = static_cast<uint8_t>(mask);
@@ -127,12 +132,15 @@ inline void CtCondSwapBytesMask(uint64_t mask, void* a, void* b, size_t n) {
   auto* pa = static_cast<uint8_t*>(a);
   auto* pb = static_cast<uint8_t*>(b);
   size_t i = 0;
+  // Per-word mask barrier for the same reason as CtCondCopyBytesMask above: keep the
+  // TCB loop in its audited scalar form, out of the autovectorizer's hands.
   for (; i + 8 <= n; i += 8) {
+    const uint64_t m = ValueBarrier(mask);
     uint64_t wa;
     uint64_t wb;
     std::memcpy(&wa, pa + i, 8);
     std::memcpy(&wb, pb + i, 8);
-    const uint64_t diff = (wa ^ wb) & mask;
+    const uint64_t diff = (wa ^ wb) & m;
     wa ^= diff;
     wb ^= diff;
     std::memcpy(pa + i, &wa, 8);

@@ -21,7 +21,20 @@ double CostModel::BitonicSortSeconds(uint64_t n, size_t record_bytes, int thread
   }
   const double lg = std::log2(static_cast<double>(n));
   const double bytes = static_cast<double>(n) * static_cast<double>(record_bytes);
-  return config_.sort_ns_per_byte * bytes * lg * lg * 1e-9 * ThreadScale(threads);
+  // Of the L(L+1)/2 compare-exchange passes (L = log2 n), the lowest log2(B) merge
+  // stages of every sort/merge phase touch only B-record tiles that fit in L1; the
+  // blocked executor runs those tile-resident and they cost sort_blocked_discount
+  // relative to a streaming pass. Tile-local pass count: LB(LB+1)/2 for the phases
+  // at or below the tile plus (L - LB) * LB for the tails of the larger phases.
+  const double lb =
+      std::min(lg, std::log2(static_cast<double>(SortBlockRecordsFor(record_bytes))));
+  const double total_passes = lg * (lg + 1.0) / 2.0;
+  const double tile_passes = lb * (lb + 1.0) / 2.0 + (lg - lb) * lb;
+  const double tile_fraction = total_passes > 0.0 ? tile_passes / total_passes : 0.0;
+  const double blocked_factor =
+      (1.0 - tile_fraction) + tile_fraction * config_.sort_blocked_discount;
+  return config_.sort_ns_per_byte * bytes * lg * lg * blocked_factor * 1e-9 *
+         ThreadScale(threads);
 }
 
 double CostModel::CompactSeconds(uint64_t n, size_t record_bytes, int threads) const {

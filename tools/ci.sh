@@ -24,6 +24,14 @@ cmake -S . -B build >/dev/null
 cmake --build build -j"${JOBS}"
 ctest --test-dir build --output-on-failure
 
+echo "== forced-generic kernel backend (dispatch-sensitive suites) =="
+# The SIMD kernel layer (src/obl/kernels.h) picks a backend at runtime; rerun the
+# suites whose hot paths route through it with dispatch pinned to the portable
+# scalar backend, so a kernel bug cannot hide behind whichever backend CI's CPU
+# happens to select.
+SNOOPY_FORCE_GENERIC_KERNELS=1 ctest --test-dir build --output-on-failure \
+  -R '(Primitives|Kernel|BitonicSort|Compaction|BinPlacement|HashTable|SubOram|Crypto)'
+
 echo "== lint target (clang-tidy when installed) =="
 cmake --build build --target lint
 

@@ -102,9 +102,11 @@ BUILTIN_PUBLIC = {
 
 # Calls that may appear inside an oblivious region. Prefixes cover the oblivious
 # primitive families; exact names cover vetted helpers and public-geometry accessors.
+# Both sets can be extended with the manifest's top-level "call_allow" /
+# "call_allow_prefixes" keys (e.g. the _mm* intrinsic family for src/obl/kernels.h).
 CALL_ALLOW_PREFIXES = (
     "Ct", "Secret", "Load", "Store", "Oblivious", "Bitonic", "Goodrich",
-    "Trace", "OCmp", "Poison", "Unpoison", "Sip", "Choose", "Run",
+    "Trace", "OCmp", "Poison", "Unpoison", "Sip", "Choose", "Run", "Kernel",
 )
 CALL_ALLOW = {
     # libc / language
@@ -487,9 +489,13 @@ def load_manifest(root: pathlib.Path, manifest_path: pathlib.Path):
 
 
 def lint_tree(root: pathlib.Path, manifest_path: pathlib.Path) -> list:
+    global CALL_ALLOW_PREFIXES
     findings = []
     manifest, classes = load_manifest(root, manifest_path)
     METRIC_CALLS.update(manifest.get("metric_calls", []))
+    CALL_ALLOW.update(manifest.get("call_allow", []))
+    CALL_ALLOW_PREFIXES = tuple(dict.fromkeys(
+        CALL_ALLOW_PREFIXES + tuple(manifest.get("call_allow_prefixes", []))))
 
     for rel, cls in sorted(classes.items()):
         p = root / rel

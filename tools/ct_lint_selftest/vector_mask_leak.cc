@@ -1,0 +1,56 @@
+// Planted vector-mask leak for tools/ct_lint.py --self-test (CT001/CT004/CT006).
+//
+// The SIMD kernel layer (src/obl/kernels.h) keeps secret masks inside vector
+// registers: broadcast, barrier, select/xor-swap, store. The one-instruction way to
+// ruin that is _mm256_movemask_epi8 -- it extracts the per-lane mask bits into a
+// scalar that inevitably ends up steering a branch or an index. This file plants
+// exactly that escape; the second region shows the lawful select idiom the kernels
+// actually use. Never compiled -- it only needs to tokenize like C++. The regions
+// carry their own ct-calls lines because the self-test corpus is linted without the
+// manifest's intrinsic allowlist.
+
+#include <cstdint>
+
+namespace selftest {
+
+// SNOOPY_OBLIVIOUS_BEGIN(vector_mask_leak)
+// ct-public: i n out
+// ct-calls: _mm256_set1_epi64x _mm256_loadu_si256 _mm256_storeu_si256 _mm256_and_si256 _mm256_andnot_si256 _mm256_or_si256
+
+void VectorMaskLeak(uint64_t mask, uint8_t* dst, const uint8_t* src, uint64_t n,
+                    uint64_t* out) {
+  const __m256i vm = KernelVecBarrier256(_mm256_set1_epi64x(mask));
+  for (uint64_t i = 0; i + 32 <= n; i += 32) {
+    const __m256i s = _mm256_loadu_si256(src + i);
+    // The escape: materializing the mask lanes as a scalar. movemask is on no
+    // allowlist, and the scalar it produces taints everything downstream.
+    const uint32_t lanes = _mm256_movemask_epi8(vm);  // EXPECT: CT006
+    if (lanes != 0) {  // EXPECT: CT001
+      _mm256_storeu_si256(dst + i, s);
+    }
+    out[lanes & 7] += 1;  // EXPECT: CT004
+  }
+}
+
+// SNOOPY_OBLIVIOUS_END(vector_mask_leak)
+
+// SNOOPY_OBLIVIOUS_BEGIN(vector_mask_clean)
+// ct-public: i n
+// ct-calls: _mm256_set1_epi64x _mm256_loadu_si256 _mm256_storeu_si256 _mm256_and_si256 _mm256_andnot_si256 _mm256_or_si256
+
+// The lawful form: the mask never leaves the vector domain. Every lane sees the
+// same loads, ALU ops, and stores no matter what the mask says.
+void VectorMaskClean(uint64_t mask, uint8_t* dst, const uint8_t* src, uint64_t n) {
+  const __m256i vm = KernelVecBarrier256(_mm256_set1_epi64x(mask));
+  for (uint64_t i = 0; i + 32 <= n; i += 32) {
+    const __m256i d = _mm256_loadu_si256(dst + i);
+    const __m256i s = _mm256_loadu_si256(src + i);
+    const __m256i merged = _mm256_or_si256(_mm256_and_si256(vm, s),
+                                           _mm256_andnot_si256(vm, d));
+    _mm256_storeu_si256(dst + i, merged);
+  }
+}
+
+// SNOOPY_OBLIVIOUS_END(vector_mask_clean)
+
+}  // namespace selftest
