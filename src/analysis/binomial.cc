@@ -4,6 +4,22 @@
 #include <cmath>
 
 namespace snoopy {
+namespace {
+
+// lgamma(3) writes the global `signgam`, so concurrent callers race on it (the
+// parallel epoch executor evaluates batch bounds from several subORAM workers
+// at once). Use the reentrant form; the argument is always > 0 here so the
+// sign output is irrelevant.
+double LogGamma(double x) {
+#if defined(__GLIBC__) || defined(__APPLE__)
+  int sign = 0;
+  return lgamma_r(x, &sign);
+#else
+  return std::lgamma(x);
+#endif
+}
+
+}  // namespace
 
 double LogBinomialPmf(uint64_t n, double p, uint64_t k) {
   if (k > n) {
@@ -17,7 +33,7 @@ double LogBinomialPmf(uint64_t n, double p, uint64_t k) {
   }
   const double dn = static_cast<double>(n);
   const double dk = static_cast<double>(k);
-  return std::lgamma(dn + 1.0) - std::lgamma(dk + 1.0) - std::lgamma(dn - dk + 1.0) +
+  return LogGamma(dn + 1.0) - LogGamma(dk + 1.0) - LogGamma(dn - dk + 1.0) +
          dk * std::log(p) + (dn - dk) * std::log1p(-p);
 }
 

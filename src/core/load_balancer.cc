@@ -162,6 +162,12 @@ RequestBatch LoadBalancer::MatchResponses(PreparedEpoch&& epoch,
     KernelCondCopyBytes(take & !SecretBool::FromWord(h.granted), value, zeros.data(),
                         value_size);
     keep[i] = (!is_resp).ToFlagByte();
+    // Mark whether this request actually met a response. In a healthy epoch every
+    // original does; when a partition is unavailable its placeholder batch carries
+    // reserved keys that match nothing, so those requests keep resp = 0 -- the flag
+    // the orchestrator's epoch-queue failover keys on. Unconditional branchless store
+    // (keep[] above already latched the pre-store response/request distinction).
+    h.resp = static_cast<uint8_t>(h.resp | take.ToFlagByte());
   }
   // SNOOPY_OBLIVIOUS_END(lb_match)
 

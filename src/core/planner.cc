@@ -71,4 +71,36 @@ PlannerResult PlanConfiguration(const PlannerInput& input, const PlannerCostFns&
   return best;
 }
 
+std::vector<ElasticPlanStep> PlanElasticSchedule(
+    const PlannerInput& input, const PlannerCostFns& fns,
+    const std::vector<LoadForecastPoint>& forecast) {
+  std::vector<ElasticPlanStep> steps;
+  for (const LoadForecastPoint& point : forecast) {
+    PlannerInput phase = input;
+    phase.min_throughput = point.ops_per_second;
+    const PlannerResult plan = PlanConfiguration(phase, fns);
+    if (!steps.empty()) {
+      const ElasticPlanStep& prev = steps.back();
+      if (prev.plan.feasible == plan.feasible &&
+          prev.plan.load_balancers == plan.load_balancers &&
+          prev.plan.suborams == plan.suborams) {
+        // Same machine counts: extend the previous step rather than emitting a
+        // no-op reshard. Record the step's peak load so it stays honest about what
+        // it must sustain.
+        if (point.ops_per_second > steps.back().offered_load) {
+          steps.back().offered_load = point.ops_per_second;
+          steps.back().plan = plan;
+        }
+        continue;
+      }
+    }
+    ElasticPlanStep step;
+    step.start_s = point.start_s;
+    step.offered_load = point.ops_per_second;
+    step.plan = plan;
+    steps.push_back(step);
+  }
+  return steps;
+}
+
 }  // namespace snoopy

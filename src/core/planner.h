@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <vector>
 
 namespace snoopy {
 
@@ -54,6 +55,30 @@ double MinFeasibleEpoch(const PlannerInput& input, const PlannerCostFns& fns,
 
 // Exhaustive search over (L, S) minimizing Equation (3) subject to (1) and (2).
 PlannerResult PlanConfiguration(const PlannerInput& input, const PlannerCostFns& fns);
+
+// Piecewise-constant load forecast point: offered load from `start_s` on.
+struct LoadForecastPoint {
+  double start_s = 0;
+  double ops_per_second = 0;
+};
+
+// One step of an elastic deployment plan: run `plan` from `start_s` until the next
+// step. Consecutive forecast phases whose planned (L, S) agree are merged, so each
+// step boundary is a real reshard (the step's `suborams` feeds Snoopy::Reshard and
+// the cluster simulator's reshard_schedule).
+struct ElasticPlanStep {
+  double start_s = 0;
+  double offered_load = 0;  // the highest forecast load the step must sustain
+  PlannerResult plan;
+};
+
+// Elastic capacity planning over a diurnal forecast: plan each phase independently
+// at its offered load, then merge consecutive phases with identical machine counts.
+// Infeasible phases are kept as steps with plan.feasible == false so callers can see
+// where the forecast exceeds the search bounds.
+std::vector<ElasticPlanStep> PlanElasticSchedule(
+    const PlannerInput& input, const PlannerCostFns& fns,
+    const std::vector<LoadForecastPoint>& forecast);
 
 }  // namespace snoopy
 

@@ -1,0 +1,43 @@
+// Oblivious key-space redistribution (epoch-boundary resharding).
+//
+// Changing the number of subORAMs moves every object: the partition function is a
+// secret keyed hash of the object key, so which objects move -- and where -- is
+// secret. Redistribution therefore runs the same oblivious machinery as the paper's
+// LoadBalancer.Initialize (Appendix B, Figure 23): tag each record with its (secret)
+// target partition, obliviously sort by the tag, and split at the *public* partition
+// boundaries (partition sizes are public: each subORAM receives its partition in the
+// clear inside its enclave, exactly as at initial load).
+//
+// This is the shared helper behind both Snoopy::InitializeOblivious (initial load)
+// and Snoopy::Reshard (live scale-up/scale-down); keeping the secret-handling loop in
+// one lint-enforced file keeps bin placement over secret keys inside an audited
+// oblivious region.
+
+#ifndef SNOOPY_SRC_CORE_RESHARD_H_
+#define SNOOPY_SRC_CORE_RESHARD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/crypto/siphash.h"
+#include "src/obl/slab.h"
+
+namespace snoopy {
+
+// Redistribution record layout: bin(4) | pad(4) | key(8) | value(value_size).
+inline constexpr size_t kReshardHeaderBytes = 16;
+inline constexpr size_t kReshardKeyOffset = 8;
+
+// Obliviously partitions `records` -- a slab of key(8) | value(value_size) records --
+// into `num_bins` partitions under the secret keyed partition hash. Returns one slab
+// per bin in the store layout (key(8) | value), ready for SubOramBackend::Initialize.
+// Cost O(n log^2 n) oblivious sort; the per-record tag assignment and the sort run
+// inside an audited oblivious region, the boundary split is public by the partition-
+// size argument above.
+std::vector<ByteSlab> PartitionSlabByBin(const ByteSlab& records, const SipKey& partition_key,
+                                         uint32_t num_bins, size_t value_size,
+                                         int sort_threads);
+
+}  // namespace snoopy
+
+#endif  // SNOOPY_SRC_CORE_RESHARD_H_

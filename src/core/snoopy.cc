@@ -1,12 +1,16 @@
 #include "src/core/snoopy.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cstring>
 #include <exception>
+#include <functional>
 #include <stdexcept>
 #include <string>
 #include <thread>
 
+#include "src/core/reshard.h"
+#include "src/crypto/sha256.h"
 #include "src/enclave/trace.h"
 #include "src/obl/bitonic_sort.h"
 #include "src/obl/primitives.h"
@@ -25,6 +29,100 @@ uint64_t Mix64(uint64_t x) {
 
 std::string SubOramEndpointName(uint32_t so, uint32_t lb) {
   return "suboram/" + std::to_string(so) + "/from/" + std::to_string(lb);
+}
+
+std::string StripeEndpointName(uint32_t so) {
+  return "suboram/" + std::to_string(so) + "/stripe";
+}
+
+// --- Stripe wire format -------------------------------------------------------------
+// Host-level plaintext messages between subORAM hosts; the payloads are already
+// AEAD-sealed counter-bound snapshots (or chunks of them), so confidentiality and
+// rollback protection come from the sealing layer. A SHA-256 digest over the
+// addressing fields and the payload catches in-flight corruption: a mismatch surfaces
+// as IntegrityError inside the retry loop, like any transient fault.
+constexpr uint8_t kStripeStore = 0;
+constexpr uint8_t kStripeManifest = 1;
+constexpr uint8_t kStripeFetch = 2;
+// op(1) owner(4) seal_counter(8) chunk_index(4) chunk_count(4) blob_len(8) offset(8)
+// len(8) digest(32).
+constexpr size_t kStripeHeaderBytes = 77;
+constexpr size_t kStripeManifestRespBytes = 33;
+
+struct StripeMsg {
+  uint8_t op = 0;
+  uint32_t owner = 0;
+  uint64_t seal_counter = 0;
+  uint32_t chunk_index = 0;
+  uint32_t chunk_count = 0;
+  uint64_t blob_len = 0;
+  uint64_t offset = 0;
+  uint64_t len = 0;
+  Sha256::Digest digest{};
+  std::vector<uint8_t> payload;
+};
+
+std::vector<uint8_t> EncodeStripeMsg(const StripeMsg& m) {
+  std::vector<uint8_t> out(kStripeHeaderBytes + m.payload.size());
+  uint8_t* p = out.data();
+  *p = m.op;
+  std::memcpy(p + 1, &m.owner, 4);
+  std::memcpy(p + 5, &m.seal_counter, 8);
+  std::memcpy(p + 13, &m.chunk_index, 4);
+  std::memcpy(p + 17, &m.chunk_count, 4);
+  std::memcpy(p + 21, &m.blob_len, 8);
+  std::memcpy(p + 29, &m.offset, 8);
+  std::memcpy(p + 37, &m.len, 8);
+  std::memcpy(p + 45, m.digest.data(), 32);
+  if (!m.payload.empty()) {
+    std::memcpy(p + kStripeHeaderBytes, m.payload.data(), m.payload.size());
+  }
+  return out;
+}
+
+StripeMsg DecodeStripeMsg(std::span<const uint8_t> bytes, const std::string& endpoint) {
+  if (bytes.size() < kStripeHeaderBytes) {
+    throw IntegrityError(endpoint);
+  }
+  StripeMsg m;
+  const uint8_t* p = bytes.data();
+  m.op = *p;
+  std::memcpy(&m.owner, p + 1, 4);
+  std::memcpy(&m.seal_counter, p + 5, 8);
+  std::memcpy(&m.chunk_index, p + 13, 4);
+  std::memcpy(&m.chunk_count, p + 17, 4);
+  std::memcpy(&m.blob_len, p + 21, 8);
+  std::memcpy(&m.offset, p + 29, 8);
+  std::memcpy(&m.len, p + 37, 8);
+  std::memcpy(m.digest.data(), p + 45, 32);
+  m.payload.assign(bytes.begin() + kStripeHeaderBytes, bytes.end());
+  return m;
+}
+
+Sha256::Digest StripeDigest(uint32_t owner, uint64_t seal_counter, uint32_t chunk_index,
+                            uint64_t offset, std::span<const uint8_t> payload) {
+  Sha256 h;
+  uint8_t fields[24];
+  std::memcpy(fields, &owner, 4);
+  std::memcpy(fields + 4, &seal_counter, 8);
+  std::memcpy(fields + 12, &chunk_index, 4);
+  std::memcpy(fields + 16, &offset, 8);
+  h.Update(fields, sizeof(fields));
+  h.Update(payload);
+  return h.Finalize();
+}
+
+std::vector<std::pair<uint64_t, std::vector<uint8_t>>> SlabToObjects(const ByteSlab& slab,
+                                                                     size_t value_size) {
+  std::vector<std::pair<uint64_t, std::vector<uint8_t>>> out;
+  out.reserve(slab.size());
+  for (size_t i = 0; i < slab.size(); ++i) {
+    uint64_t key;
+    std::memcpy(&key, slab.Record(i), 8);
+    out.emplace_back(key, std::vector<uint8_t>(slab.Record(i) + 8,
+                                               slab.Record(i) + 8 + value_size));
+  }
+  return out;
 }
 
 // Runs tasks 0..n-1 across up to `threads` workers (the calling thread included) and
@@ -102,13 +200,34 @@ class DefaultSubOramFactory final : public SubOramBackendFactory {
 }  // namespace
 
 Snoopy::Snoopy(const SnoopyConfig& config, uint64_t seed)
-    : Snoopy(config, seed, DefaultSubOramFactory(config)) {}
+    : owned_factory_(std::make_unique<DefaultSubOramFactory>(config)),
+      factory_(owned_factory_.get()),
+      config_(config),
+      rng_(seed) {
+  Construct();
+}
 
 Snoopy::Snoopy(const SnoopyConfig& config, uint64_t seed,
                const SubOramBackendFactory& factory)
-    : config_(config), rng_(seed) {
+    : factory_(&factory), config_(config), rng_(seed) {
+  Construct();
+}
+
+void Snoopy::Construct() {
   if (config_.num_load_balancers == 0 || config_.num_suborams == 0) {
     throw std::invalid_argument("Snoopy needs at least one load balancer and one subORAM");
+  }
+  if (config_.striping.replicas > 0) {
+    const uint32_t peers =
+        config_.striping.replicas + (config_.striping.xor_parity ? 1 : 0);
+    if (config_.num_suborams <= peers) {
+      throw std::invalid_argument(
+          "striping needs num_suborams > replicas (+1 in parity mode): the stripes "
+          "live on peer subORAMs");
+    }
+    if (config_.striping.repair_epochs == 0) {
+      throw std::invalid_argument("striping.repair_epochs must be positive");
+    }
   }
   partition_key_ = rng_.NextSipKey();
 
@@ -127,7 +246,7 @@ Snoopy::Snoopy(const SnoopyConfig& config, uint64_t seed,
   }
   for (uint32_t so = 0; so < config_.num_suborams; ++so) {
     so_enclaves_.push_back(std::make_unique<Enclave>("snoopy-suboram", so));
-    suborams_.push_back(factory.Create(so, rng_.Next64()));
+    suborams_.push_back(factory_->Create(so, rng_.Next64()));
   }
 
   // Attested channel establishment between every load balancer and subORAM pair
@@ -144,11 +263,10 @@ Snoopy::Snoopy(const SnoopyConfig& config, uint64_t seed,
       }
       const uint32_t link_id = lb * config_.num_suborams + so;
       links_[lb].push_back(std::make_unique<SecureLink>(key, link_id));
-      network_.Register(SubOramEndpointName(so, lb),
-                        [this, lb, so](std::span<const uint8_t> payload) {
-                          return SubOramEndpointHandler(lb, so, payload);
-                        });
     }
+  }
+  for (uint32_t so = 0; so < config_.num_suborams; ++so) {
+    RegisterSubOramEndpoints(so);
   }
 
   // Rollback-protected persistence (paper section 9): a sealing key for the subORAM
@@ -161,7 +279,22 @@ Snoopy::Snoopy(const SnoopyConfig& config, uint64_t seed,
   so_snapshots_.resize(config_.num_suborams);
   so_response_cache_.resize(config_.num_suborams);
   so_executed_lbs_.resize(config_.num_suborams);
+  so_health_.assign(config_.num_suborams, PartitionHealth::kHealthy);
+  so_repair_.resize(config_.num_suborams);
+  stripe_store_.resize(config_.num_suborams);
   network_.set_clock(&clock_);
+}
+
+void Snoopy::RegisterSubOramEndpoints(uint32_t so) {
+  for (uint32_t lb = 0; lb < config_.num_load_balancers; ++lb) {
+    network_.Register(SubOramEndpointName(so, lb),
+                      [this, lb, so](std::span<const uint8_t> payload) {
+                        return SubOramEndpointHandler(lb, so, payload);
+                      });
+  }
+  network_.Register(StripeEndpointName(so), [this, so](std::span<const uint8_t> payload) {
+    return StripeEndpointHandler(so, payload);
+  });
 }
 
 void Snoopy::set_fault_injector(FaultInjector* injector) {
@@ -207,9 +340,13 @@ void Snoopy::Initialize(
     }
   }
   // First rollback-protected snapshot: a subORAM that crashes before its first epoch
-  // completes recovers to its freshly loaded partition.
+  // completes recovers to its freshly loaded partition. Stripes distribute only after
+  // *every* partition sealed (same ordering rule as the epoch boundary).
   for (uint32_t so = 0; so < config_.num_suborams; ++so) {
     SealSubOramState(so);
+  }
+  for (uint32_t so = 0; so < config_.num_suborams; ++so) {
+    DistributeStripes(so);
   }
 }
 
@@ -221,45 +358,20 @@ void Snoopy::SealSubOramState(uint32_t so) {
 
 void Snoopy::InitializeOblivious(
     const std::vector<std::pair<uint64_t, std::vector<uint8_t>>>& objects) {
-  // Paper Figure 23: tag each object with its (secret) partition, obliviously sort by
-  // the tag, then split at the (public) partition boundaries. Temporary record layout:
-  // bin(4) | pad(4) | key(8) | value.
+  // Paper Figure 23 via the shared oblivious redistribution kernel (src/core/reshard.h),
+  // the same machinery elastic resharding runs at epoch boundaries.
   const size_t value_size = config_.value_size;
-  const size_t stride = 16 + value_size;
-  ByteSlab slab(0, stride);
+  ByteSlab slab(0, 8 + value_size);
   for (const auto& [key, value] : objects) {
     uint8_t* rec = slab.AppendZero();
-    const uint32_t bin = lbs_[0]->SubOramOf(key);
-    std::memcpy(rec, &bin, 4);
-    std::memcpy(rec + 8, &key, 8);
+    std::memcpy(rec, &key, 8);
     const size_t n = value.size() < value_size ? value.size() : value_size;
-    std::memcpy(rec + 16, value.data(), n);
+    std::memcpy(rec + 8, value.data(), n);
   }
-  BitonicSortSlab(
-      slab,
-      [](const uint8_t* a, const uint8_t* b) {
-        return LoadSecretU32(a, 0) < LoadSecretU32(b, 0);
-      },
-      config_.sort_threads);
-
-  // Partition sizes are public (the subORAMs receive their partitions in the clear
-  // inside the enclave), so a plain boundary scan is fine here.
-  size_t cursor = 0;
+  const std::vector<ByteSlab> parts = PartitionSlabByBin(
+      slab, partition_key_, config_.num_suborams, value_size, config_.sort_threads);
   for (uint32_t so = 0; so < config_.num_suborams; ++so) {
-    std::vector<std::pair<uint64_t, std::vector<uint8_t>>> part;
-    while (cursor < slab.size()) {
-      uint32_t bin;
-      std::memcpy(&bin, slab.Record(cursor), 4);
-      if (bin != so) {
-        break;
-      }
-      uint64_t key;
-      std::memcpy(&key, slab.Record(cursor) + 8, 8);
-      part.emplace_back(key, std::vector<uint8_t>(slab.Record(cursor) + 16,
-                                                  slab.Record(cursor) + 16 + value_size));
-      ++cursor;
-    }
-    suborams_[so]->Initialize(part);
+    suborams_[so]->Initialize(SlabToObjects(parts[so], value_size));
   }
 }
 
@@ -388,6 +500,16 @@ std::vector<uint8_t> Snoopy::RetriedSubOramCall(
 
 RequestBatch Snoopy::CallSubOram(uint32_t lb, uint32_t so,
                                  const std::vector<LoadBalancer::PreparedEpoch>& prepared) {
+  {
+    // Typed failover instead of spinning retries against a dead machine: the epoch
+    // loop catches this, synthesizes a placeholder batch and requeues the partition's
+    // requests into the next epoch.
+    std::lock_guard<std::mutex> g(health_mu_);
+    if (so_health_[so] != PartitionHealth::kHealthy) {
+      throw PartitionUnavailableError(SubOramEndpointName(so, lb), so,
+                                      so_repair_[so].epochs_remaining);
+    }
+  }
   return RequestBatch::Deserialize(RetriedSubOramCall(
       lb, so, prepared[lb].suboram_batches[so].Serialize(), &prepared));
 }
@@ -481,6 +603,482 @@ void Snoopy::RecoverLoadBalancer(uint32_t lb) {
   }
 }
 
+// --- Striped redundancy, permanent loss, and background repair ----------------------
+
+Snoopy::PartitionHealth Snoopy::HealthOf(uint32_t so) const {
+  std::lock_guard<std::mutex> g(health_mu_);
+  return so_health_[so];
+}
+
+Snoopy::PartitionHealth Snoopy::partition_health(uint32_t so) const { return HealthOf(so); }
+
+uint32_t Snoopy::repair_epochs_remaining(uint32_t so) const {
+  std::lock_guard<std::mutex> g(health_mu_);
+  return so_repair_[so].epochs_remaining;
+}
+
+const Snoopy::HostStripe* Snoopy::host_stripe(uint32_t peer, uint32_t owner) const {
+  const auto it = stripe_store_[peer].find(owner);
+  return it == stripe_store_[peer].end() ? nullptr : &it->second;
+}
+
+void Snoopy::host_replace_stripe(uint32_t peer, uint32_t owner, HostStripe stripe) {
+  stripe_store_[peer][owner] = std::move(stripe);
+}
+
+std::vector<uint32_t> Snoopy::StripePeers(uint32_t so) const {
+  const uint32_t count =
+      config_.striping.replicas + (config_.striping.xor_parity ? 1 : 0);
+  std::vector<uint32_t> peers;
+  peers.reserve(count);
+  for (uint32_t i = 1; peers.size() < count; ++i) {
+    peers.push_back((so + i) % config_.num_suborams);
+  }
+  return peers;
+}
+
+std::vector<uint8_t> Snoopy::RetriedStripeCall(uint32_t so, uint32_t peer,
+                                               const std::vector<uint8_t>& request) {
+  const std::string caller = "suboram/" + std::to_string(so);
+  const std::string endpoint = StripeEndpointName(peer);
+  const uint8_t op = request.empty() ? 0xff : request[0];
+  auto call = [&]() -> std::vector<uint8_t> {
+    std::vector<uint8_t> resp = network_.Call(caller, endpoint, request);
+    if (op == kStripeFetch) {
+      // Verify the fetched slice inside the retried call so a corrupted reply is
+      // retried like any other transient fault.
+      const StripeMsg req = DecodeStripeMsg(request, endpoint);
+      if (resp.size() != 32 + req.len) {
+        throw IntegrityError(endpoint);
+      }
+      const Sha256::Digest d =
+          StripeDigest(req.owner, req.seal_counter, req.chunk_index, req.offset,
+                       std::span<const uint8_t>(resp.data() + 32, req.len));
+      if (!std::equal(d.begin(), d.end(), resp.begin())) {
+        throw IntegrityError(endpoint);
+      }
+    }
+    return resp;
+  };
+  RetryExecutor executor(config_.retry,
+                         /*jitter_seed=*/Mix64(epoch_ ^ (uint64_t{so} << 32) ^ peer), &clock_);
+  executor.set_on_retry([this, &caller, &endpoint] {
+    network_.RecordRetry(caller, endpoint);
+    if (metrics_ != nullptr) {
+      metrics_->GetCounter("snoopy_retries_total", {{"endpoint", endpoint}}).Increment();
+    }
+  });
+  // Stripe traffic only flows at epoch boundaries (post-seal), so a peer crash
+  // observed here recovers from its already-sealed post-epoch snapshot with nothing
+  // to replay.
+  return executor.Execute(
+      call, [&](const EndpointCrashedError&) { RecoverSubOram(peer, nullptr, 0); });
+}
+
+// Host-level stripe traffic at peer `so`. Runs inline on the caller's thread; all
+// stripe traffic happens on the orchestrator thread at epoch boundaries, so the store
+// needs no locking.
+std::vector<uint8_t> Snoopy::StripeEndpointHandler(uint32_t so,
+                                                   std::span<const uint8_t> payload) {
+  const std::string endpoint = StripeEndpointName(so);
+  StripeMsg m = DecodeStripeMsg(payload, endpoint);
+  auto& store = stripe_store_[so];
+  switch (m.op) {
+    case kStripeStore: {
+      if (m.digest != StripeDigest(m.owner, m.seal_counter, m.chunk_index, 0, m.payload)) {
+        throw IntegrityError(endpoint);  // corrupted in flight; the owner retries
+      }
+      HostStripe s;
+      s.seal_counter = m.seal_counter;
+      s.chunk_index = m.chunk_index;
+      s.chunk_count = m.chunk_count;
+      s.blob_len = m.blob_len;
+      s.payload = std::move(m.payload);
+      store[m.owner] = std::move(s);  // latest seal wins; a re-store is idempotent
+      return {1};
+    }
+    case kStripeManifest: {
+      std::vector<uint8_t> out(kStripeManifestRespBytes, 0);
+      const auto it = store.find(m.owner);
+      if (it != store.end()) {
+        const HostStripe& s = it->second;
+        const uint64_t chunk_len = s.payload.size();
+        out[0] = 1;
+        std::memcpy(out.data() + 1, &s.seal_counter, 8);
+        std::memcpy(out.data() + 9, &s.chunk_index, 4);
+        std::memcpy(out.data() + 13, &s.chunk_count, 4);
+        std::memcpy(out.data() + 17, &s.blob_len, 8);
+        std::memcpy(out.data() + 25, &chunk_len, 8);
+      }
+      return out;
+    }
+    case kStripeFetch: {
+      const auto it = store.find(m.owner);
+      if (it == store.end() || it->second.seal_counter != m.seal_counter ||
+          it->second.chunk_index != m.chunk_index ||
+          m.offset + m.len > it->second.payload.size()) {
+        // Addressing mismatch (stale manifest or corrupted request): retried, and the
+        // repair coordinator replans from fresh manifests if it keeps failing.
+        throw IntegrityError(endpoint);
+      }
+      const std::span<const uint8_t> slice(it->second.payload.data() + m.offset,
+                                           static_cast<size_t>(m.len));
+      const Sha256::Digest d =
+          StripeDigest(m.owner, m.seal_counter, m.chunk_index, m.offset, slice);
+      std::vector<uint8_t> out(32 + slice.size());
+      std::memcpy(out.data(), d.data(), 32);
+      if (!slice.empty()) {
+        std::memcpy(out.data() + 32, slice.data(), slice.size());
+      }
+      return out;
+    }
+    default:
+      throw IntegrityError(endpoint);
+  }
+}
+
+void Snoopy::DistributeStripes(uint32_t so) {
+  const StripingConfig& sc = config_.striping;
+  if (sc.replicas == 0 || so_snapshots_[so].empty()) {
+    return;
+  }
+  const std::vector<uint8_t>& blob = so_snapshots_[so];
+  const uint64_t seal_counter = counters_.Read(so_counter_ids_[so]);
+  const std::vector<uint32_t> peers = StripePeers(so);
+  const uint32_t chunk_count = sc.xor_parity ? sc.replicas : 1;
+  const uint64_t chunk_len =
+      sc.xor_parity ? (blob.size() + chunk_count - 1) / chunk_count : blob.size();
+
+  // Parity mode: zero-padded equal-size data chunks plus their XOR on the extra peer.
+  std::vector<std::vector<uint8_t>> chunks;
+  if (sc.xor_parity) {
+    chunks.assign(peers.size(), std::vector<uint8_t>(chunk_len, 0));
+    for (uint32_t c = 0; c < chunk_count; ++c) {
+      const size_t off = static_cast<size_t>(c) * chunk_len;
+      const size_t n = blob.size() > off
+                           ? std::min<size_t>(chunk_len, blob.size() - off)
+                           : 0;
+      if (n > 0) {
+        std::memcpy(chunks[c].data(), blob.data() + off, n);
+      }
+      for (size_t j = 0; j < chunk_len; ++j) {
+        chunks[chunk_count][j] ^= chunks[c][j];
+      }
+    }
+  }
+
+  for (size_t i = 0; i < peers.size(); ++i) {
+    const uint32_t peer = peers[i];
+    if (HealthOf(peer) != PartitionHealth::kHealthy) {
+      // A repairing peer has no machine to store on; redundancy for this snapshot
+      // re-converges at the next boundary after its repair.
+      if (metrics_ != nullptr) {
+        metrics_->GetCounter("snoopy_stripe_skips_total").Increment();
+      }
+      continue;
+    }
+    StripeMsg m;
+    m.op = kStripeStore;
+    m.owner = so;
+    m.seal_counter = seal_counter;
+    m.chunk_index = sc.xor_parity ? static_cast<uint32_t>(i) : 0;
+    m.chunk_count = chunk_count;
+    m.blob_len = blob.size();
+    m.payload = sc.xor_parity ? chunks[i] : blob;
+    m.digest = StripeDigest(m.owner, m.seal_counter, m.chunk_index, 0, m.payload);
+    try {
+      RetriedStripeCall(so, peer, EncodeStripeMsg(m));
+    } catch (const NetworkError&) {
+      // Peer unreachable past the retry budget (or permanently lost mid-push): skip
+      // its copy of this snapshot; the next boundary re-stripes.
+      if (metrics_ != nullptr) {
+        metrics_->GetCounter("snoopy_stripe_failures_total").Increment();
+      }
+    }
+  }
+}
+
+void Snoopy::LoseSubOram(uint32_t so) { OnPartitionLost(so); }
+
+void Snoopy::OnPartitionLost(uint32_t so) {
+  const std::string component = "suboram/" + std::to_string(so);
+  {
+    std::lock_guard<std::mutex> g(health_mu_);
+    if (so_health_[so] == PartitionHealth::kRepairing) {
+      return;  // already detected
+    }
+    so_health_[so] = PartitionHealth::kRepairing;
+  }
+  if (fault_injector_ != nullptr) {
+    fault_injector_->MarkLost(component);
+  }
+  if (config_.striping.replicas == 0) {
+    throw std::runtime_error(component +
+                             " permanently lost with striping disabled: partition "
+                             "state is unrecoverable");
+  }
+  // The machine took its state with it: the spare node under the dead identity starts
+  // empty. The host-side per-epoch caches and the stripes this host held for *other*
+  // owners died too; those owners re-converge redundancy at their next seal.
+  suborams_[so]->Initialize({});
+  so_snapshots_[so].clear();
+  so_response_cache_[so].clear();
+  so_executed_lbs_[so].clear();
+  stripe_store_[so].clear();
+  {
+    std::lock_guard<std::mutex> g(health_mu_);
+    so_repair_[so] = RepairState{};
+    so_repair_[so].epochs_remaining = config_.striping.repair_epochs;
+  }
+  if (metrics_ != nullptr) {
+    metrics_->GetCounter("snoopy_partition_losses_total", {{"component", component}})
+        .Increment();
+  }
+}
+
+void Snoopy::PlanRepair(uint32_t so) {
+  RepairState& rs = so_repair_[so];
+  struct Manifest {
+    uint32_t peer = 0;
+    uint64_t seal_counter = 0;
+    uint32_t chunk_index = 0;
+    uint32_t chunk_count = 0;
+    uint64_t blob_len = 0;
+    uint64_t chunk_len = 0;
+  };
+  std::vector<Manifest> manifests;
+  for (const uint32_t peer : StripePeers(so)) {
+    if (HealthOf(peer) != PartitionHealth::kHealthy) {
+      continue;
+    }
+    StripeMsg q;
+    q.op = kStripeManifest;
+    q.owner = so;
+    std::vector<uint8_t> resp;
+    try {
+      resp = RetriedStripeCall(so, peer, EncodeStripeMsg(q));
+    } catch (const NetworkError&) {
+      continue;  // unreachable peer: plan around it
+    }
+    if (resp.size() != kStripeManifestRespBytes || resp[0] == 0) {
+      continue;
+    }
+    Manifest man;
+    man.peer = peer;
+    std::memcpy(&man.seal_counter, resp.data() + 1, 8);
+    std::memcpy(&man.chunk_index, resp.data() + 9, 4);
+    std::memcpy(&man.chunk_count, resp.data() + 13, 4);
+    std::memcpy(&man.blob_len, resp.data() + 17, 8);
+    std::memcpy(&man.chunk_len, resp.data() + 25, 8);
+    manifests.push_back(man);
+  }
+
+  // Choose the freshest seal for which a complete reconstruction set survives:
+  // replication needs any one full copy; parity needs chunk_count of the
+  // chunk_count + 1 chunks (the parity chunk substitutes for at most one missing data
+  // chunk). Inconsistent geometry within a seal generation means host tampering;
+  // such generations are skipped, and if nothing reconstructs the partition is gone.
+  std::vector<uint64_t> counters_seen;
+  for (const Manifest& m : manifests) {
+    counters_seen.push_back(m.seal_counter);
+  }
+  std::sort(counters_seen.begin(), counters_seen.end(), std::greater<uint64_t>());
+  counters_seen.erase(std::unique(counters_seen.begin(), counters_seen.end()),
+                      counters_seen.end());
+  for (const uint64_t counter : counters_seen) {
+    std::vector<Manifest> gen;
+    for (const Manifest& m : manifests) {
+      if (m.seal_counter == counter) {
+        gen.push_back(m);
+      }
+    }
+    const uint32_t chunk_count = gen.front().chunk_count;
+    const uint64_t blob_len = gen.front().blob_len;
+    const uint64_t chunk_len = gen.front().chunk_len;
+    bool consistent = chunk_count > 0 && chunk_len > 0;
+    for (const Manifest& m : gen) {
+      consistent = consistent && m.chunk_count == chunk_count && m.blob_len == blob_len &&
+                   m.chunk_len == chunk_len && m.chunk_index <= chunk_count;
+    }
+    if (!consistent) {
+      continue;
+    }
+    // Map data chunk index -> source (peer, stored chunk index). -1 entries are
+    // missing; at most one may be covered by the parity chunk.
+    std::vector<int> source_of(chunk_count, -1);
+    int parity_at = -1;
+    for (size_t i = 0; i < gen.size(); ++i) {
+      if (gen[i].chunk_index == chunk_count) {
+        parity_at = static_cast<int>(i);
+      } else if (source_of[gen[i].chunk_index] < 0) {
+        source_of[gen[i].chunk_index] = static_cast<int>(i);
+      }
+    }
+    int missing = -1;
+    bool viable = true;
+    for (uint32_t c = 0; c < chunk_count; ++c) {
+      if (source_of[c] >= 0) {
+        continue;
+      }
+      if (missing >= 0 || parity_at < 0) {
+        viable = false;  // two holes, or one hole and no parity
+        break;
+      }
+      missing = static_cast<int>(c);
+    }
+    if (!viable) {
+      continue;
+    }
+    rs.seal_counter = counter;
+    rs.chunk_count = chunk_count;
+    rs.blob_len = blob_len;
+    rs.chunk_len = chunk_len;
+    rs.parity_substituted = missing;
+    rs.needed.clear();
+    for (uint32_t c = 0; c < chunk_count; ++c) {
+      const Manifest& src = gen[static_cast<size_t>(
+          static_cast<int>(c) == missing ? parity_at : source_of[c])];
+      rs.needed.emplace_back(src.peer, src.chunk_index);
+    }
+    rs.buffers.assign(rs.needed.size(), std::vector<uint8_t>(rs.chunk_len, 0));
+    rs.cursor = 0;
+    rs.planned = true;
+    return;
+  }
+  throw std::runtime_error("suboram/" + std::to_string(so) +
+                           " unrecoverable: no complete stripe set survives");
+}
+
+void Snoopy::RepairStep(uint32_t so) {
+  RepairState& rs = so_repair_[so];
+  if (!rs.planned) {
+    PlanRepair(so);
+  }
+  // The per-epoch slice is a fixed public fraction of the (public) stripe geometry:
+  // the repair rate is load-independent by construction, so the repair schedule leaks
+  // nothing about the request pattern.
+  const uint64_t total = rs.chunk_len * rs.needed.size();
+  const uint64_t slice =
+      (total + config_.striping.repair_epochs - 1) / config_.striping.repair_epochs;
+  uint64_t fetched = 0;
+  while (fetched < slice && rs.cursor < total) {
+    const size_t idx = static_cast<size_t>(rs.cursor / rs.chunk_len);
+    const uint64_t off = rs.cursor % rs.chunk_len;
+    const uint64_t len = std::min<uint64_t>(slice - fetched, rs.chunk_len - off);
+    StripeMsg q;
+    q.op = kStripeFetch;
+    q.owner = so;
+    q.seal_counter = rs.seal_counter;
+    q.chunk_index = rs.needed[idx].second;
+    q.offset = off;
+    q.len = len;
+    std::vector<uint8_t> resp;
+    try {
+      resp = RetriedStripeCall(so, rs.needed[idx].first, EncodeStripeMsg(q));
+    } catch (const NetworkError&) {
+      // A source vanished mid-repair. Replan from the surviving peers and restart the
+      // window (a public event driven by the public failure process); PlanRepair
+      // throws when nothing reconstructs any more.
+      {
+        std::lock_guard<std::mutex> g(health_mu_);
+        rs = RepairState{};
+        rs.epochs_remaining = config_.striping.repair_epochs;
+      }
+      PlanRepair(so);
+      return;
+    }
+    std::memcpy(rs.buffers[idx].data() + off, resp.data() + 32, static_cast<size_t>(len));
+    rs.cursor += len;
+    fetched += len;
+  }
+  {
+    std::lock_guard<std::mutex> g(health_mu_);
+    if (rs.epochs_remaining > 0) {
+      --rs.epochs_remaining;
+    }
+  }
+  if (rs.epochs_remaining == 0) {
+    CompleteRepair(so);
+  }
+}
+
+void Snoopy::CompleteRepair(uint32_t so) {
+  RepairState& rs = so_repair_[so];
+  const std::string component = "suboram/" + std::to_string(so);
+  // Reassemble the sealed snapshot, XOR-reconstructing the parity-substituted data
+  // chunk if one source was missing (parity ^ all other data chunks = missing chunk).
+  if (rs.parity_substituted >= 0) {
+    std::vector<uint8_t>& out = rs.buffers[static_cast<size_t>(rs.parity_substituted)];
+    for (size_t i = 0; i < rs.buffers.size(); ++i) {
+      if (static_cast<int>(i) == rs.parity_substituted) {
+        continue;
+      }
+      for (size_t j = 0; j < out.size(); ++j) {
+        out[j] ^= rs.buffers[i][j];
+      }
+    }
+  }
+  std::vector<uint8_t> blob;
+  blob.reserve(static_cast<size_t>(rs.blob_len));
+  for (const std::vector<uint8_t>& chunk : rs.buffers) {
+    blob.insert(blob.end(), chunk.begin(), chunk.end());
+  }
+  blob.resize(static_cast<size_t>(rs.blob_len));  // strip chunk padding
+
+  // Restore on the spare node under the dead identity. The counter check extends
+  // rollback refusal to repair: a stale stripe set (host replaying a superseded seal
+  // generation) is never served.
+  const UnsealStatus status =
+      suborams_[so]->RestoreState(*sealed_store_, so_counter_ids_[so], blob);
+  if (status != UnsealStatus::kOk) {
+    throw RollbackDetectedError(component, status);
+  }
+  so_snapshots_[so] = std::move(blob);  // freshest host snapshot for crash recovery
+
+  // The spare enclave has no channel state: fresh sessions with every load balancer.
+  for (uint32_t lb = 0; lb < config_.num_load_balancers; ++lb) {
+    std::array<uint8_t, 32> key;
+    {
+      std::lock_guard<std::mutex> g(rng_mu_);
+      key = rng_.NextKey32();
+    }
+    links_[lb][so]->Rekey(key);
+    ++link_generation_[lb][so];
+  }
+  so_response_cache_[so].clear();
+  so_executed_lbs_[so].clear();
+  if (fault_injector_ != nullptr) {
+    fault_injector_->Reincarnate(component);
+  }
+  network_.RecordRecovery();
+  if (metrics_ != nullptr) {
+    metrics_->GetCounter("snoopy_repairs_completed_total", {{"component", component}})
+        .Increment();
+  }
+  {
+    std::lock_guard<std::mutex> g(health_mu_);
+    so_health_[so] = PartitionHealth::kHealthy;
+    so_repair_[so] = RepairState{};
+  }
+}
+
+RequestBatch Snoopy::PlaceholderBatch(uint64_t batch_size) const {
+  RequestBatch batch(config_.value_size);
+  for (uint64_t i = 0; i < batch_size; ++i) {
+    RequestHeader h;
+    // Reserved keys at the top of the dummy range: they match no original during
+    // response propagation, so the unavailable partition's requests keep resp = 0
+    // (the requeue flag) and these records compact away with the dummy responses.
+    h.key = kDummyKeyBase | (uint64_t{0x7fffffff} << 31) | i;
+    h.op = kOpRead;
+    h.dummy = 1;
+    h.resp = 1;
+    h.granted = 1;
+    batch.Append(h, {});
+  }
+  return batch;
+}
+
 void Snoopy::RegisterClient(uint64_t client_id, const AttestationQuote& client_quote) {
   if (clients_.count(client_id) != 0) {
     throw std::invalid_argument("client already registered");
@@ -538,10 +1136,13 @@ std::vector<ClientResponse> Snoopy::RunEpoch() {
     metrics_->GetCounter("snoopy_requests_total").Increment(pending_requests());
   }
 
-  // Epoch-boundary crash polling: the failure process fires between epochs (crashes
-  // mid-epoch are modelled by crash_before_reply faults on individual calls). A load
-  // balancer is rebuilt statelessly; a subORAM is restored from its sealed snapshot
-  // (no replay needed -- the snapshot is exactly the pre-epoch state).
+  // Epoch-boundary failure polling: the failure process fires between epochs (crashes
+  // mid-epoch are modelled by crash_before_reply faults on individual calls, permanent
+  // mid-epoch losses by node_loss faults). A crashed load balancer is rebuilt
+  // statelessly; a crashed subORAM is restored from its sealed snapshot (no replay
+  // needed -- the snapshot is exactly the pre-epoch state); a permanently lost subORAM
+  // enters the repair protocol below. The crash poll is skipped for a lost component:
+  // there is no machine left to reboot.
   if (fault_injector_ != nullptr) {
     for (uint32_t lb = 0; lb < config_.num_load_balancers; ++lb) {
       if (fault_injector_->PollEpochCrash("lb/" + std::to_string(lb))) {
@@ -549,8 +1150,29 @@ std::vector<ClientResponse> Snoopy::RunEpoch() {
       }
     }
     for (uint32_t so = 0; so < config_.num_suborams; ++so) {
-      if (fault_injector_->PollEpochCrash("suboram/" + std::to_string(so))) {
+      const std::string component = "suboram/" + std::to_string(so);
+      if (HealthOf(so) == PartitionHealth::kHealthy &&
+          fault_injector_->PollEpochCrash(component)) {
         RecoverSubOram(so, nullptr, 0);
+      }
+      if (HealthOf(so) == PartitionHealth::kHealthy &&
+          fault_injector_->PollNodeLoss(component)) {
+        OnPartitionLost(so);
+      }
+    }
+  }
+  // Repair coordinator: one fixed-size reconstruction slice per repairing partition
+  // per epoch; the final slice restores the partition, which then serves this epoch.
+  for (uint32_t so = 0; so < config_.num_suborams; ++so) {
+    if (HealthOf(so) == PartitionHealth::kRepairing) {
+      RepairStep(so);
+    }
+  }
+  if (metrics_ != nullptr) {
+    for (uint32_t so = 0; so < config_.num_suborams; ++so) {
+      if (HealthOf(so) != PartitionHealth::kHealthy) {
+        metrics_->GetCounter("snoopy_degraded_epochs_total").Increment();
+        break;
       }
     }
   }
@@ -591,10 +1213,32 @@ std::vector<ClientResponse> Snoopy::RunEpoch() {
   {
     SpanTimer execute_span(PhaseHistogram("suboram_execute"), now_fn);
     RunIndexedPhase(config_.num_suborams, config_.epoch_threads, [&](size_t so) {
-      for (uint32_t lb = 0; lb < config_.num_load_balancers; ++lb) {
-        responses[lb][so] = CallSubOram(lb, static_cast<uint32_t>(so), prepared);
+      try {
+        for (uint32_t lb = 0; lb < config_.num_load_balancers; ++lb) {
+          responses[lb][so] = CallSubOram(lb, static_cast<uint32_t>(so), prepared);
+        }
+      } catch (const NodeLostError&) {
+        // The machine vanished mid-epoch. Any responses it already produced this
+        // epoch are discarded below: the state behind them died with the machine, so
+        // delivering them would acknowledge writes the repaired partition will not
+        // have. The whole partition's requests defer to the epoch queue instead.
+        OnPartitionLost(static_cast<uint32_t>(so));
+      } catch (const PartitionUnavailableError&) {
+        // Already under repair when its turn came; placeholders below.
       }
     });
+    // Degraded mode: placeholder batches stand in for unavailable partitions, so
+    // response matching still sees one batch per (lb, subORAM). The placeholders
+    // compact away and the partition's own requests surface unanswered (resp = 0),
+    // which the delivery loop requeues into the next epoch.
+    for (uint32_t so = 0; so < config_.num_suborams; ++so) {
+      if (HealthOf(so) == PartitionHealth::kHealthy) {
+        continue;
+      }
+      for (uint32_t lb = 0; lb < config_.num_load_balancers; ++lb) {
+        responses[lb][so] = PlaceholderBatch(prepared[lb].batch_size);
+      }
+    }
   }
 
   // Phase 3: match responses to clients. The oblivious matching (Figure 6) is one
@@ -606,10 +1250,22 @@ std::vector<ClientResponse> Snoopy::RunEpoch() {
     matched_by_lb[lb] =
         lbs_[lb]->MatchResponses(std::move(prepared[lb]), std::move(responses[lb]));
   });
+  uint64_t deferred = 0;
   for (uint32_t lb = 0; lb < config_.num_load_balancers; ++lb) {
     RequestBatch& matched = matched_by_lb[lb];
     for (size_t i = 0; i < matched.size(); ++i) {
       const RequestHeader& h = matched.Header(i);
+      if (h.resp == 0) {
+        // Unanswered: the target partition was unavailable this epoch. Defer back to
+        // the epoch queue (bounded, once-per-epoch backoff) -- PrepareBatches
+        // recomputes every scratch field, and the linearization point moves to the
+        // epoch that finally answers, which is sound because no response was
+        // delivered for this request yet.
+        pending_[lb].Append(h,
+                            std::span<const uint8_t>(matched.Value(i), config_.value_size));
+        ++deferred;
+        continue;
+      }
       const auto session = clients_.find(h.client_id);
       if (session != clients_.end()) {
         // Sealed delivery for registered clients: [lb id | AEAD(response record)].
@@ -634,13 +1290,29 @@ std::vector<ClientResponse> Snoopy::RunEpoch() {
   }
 
   match_span.Stop();
+  if (deferred > 0 && metrics_ != nullptr) {
+    metrics_->GetCounter("snoopy_deferred_requests_total").Increment(deferred);
+  }
 
-  // Epoch boundary: seal each subORAM's post-epoch state (one trusted-counter bump
-  // per subORAM per epoch, paper section 9) and retire the per-epoch dedup state.
+  // Epoch boundary: seal every healthy subORAM's post-epoch state FIRST (one
+  // trusted-counter bump each, paper section 9), then retire the per-epoch dedup
+  // state, then distribute redundancy stripes. The ordering matters: a stripe push
+  // can trigger a peer's crash recovery, which must restore the *post*-epoch snapshot
+  // with an empty executed set -- sealing or clearing after distribution could lose
+  // the epoch's writes at that peer.
   for (uint32_t so = 0; so < config_.num_suborams; ++so) {
-    SealSubOramState(so);
+    if (HealthOf(so) == PartitionHealth::kHealthy) {
+      SealSubOramState(so);
+    }
+  }
+  for (uint32_t so = 0; so < config_.num_suborams; ++so) {
     so_response_cache_[so].clear();
     so_executed_lbs_[so].clear();
+  }
+  for (uint32_t so = 0; so < config_.num_suborams; ++so) {
+    if (HealthOf(so) == PartitionHealth::kHealthy) {
+      DistributeStripes(so);
+    }
   }
   ++epoch_;
   epoch_span.Stop();
@@ -648,6 +1320,151 @@ std::vector<ClientResponse> Snoopy::RunEpoch() {
     network_.ExportTo(*metrics_);
   }
   return all;
+}
+
+// Epoch-boundary elastic resharding. Build-then-swap: everything for the new width is
+// constructed off to the side (the exports are copies), so any failure up to the
+// commit point -- including an injected participant crash, surfaced as
+// ReshardAbortedError -- leaves the running deployment untouched. The commit itself
+// only swaps vectors and re-registers endpoints.
+void Snoopy::Reshard(uint32_t new_num_suborams) {
+  const uint32_t old_s = config_.num_suborams;
+  const uint32_t num_lbs = config_.num_load_balancers;
+  if (new_num_suborams == 0) {
+    throw std::invalid_argument("Reshard needs at least one subORAM");
+  }
+  if (config_.striping.replicas > 0) {
+    const uint32_t peers =
+        config_.striping.replicas + (config_.striping.xor_parity ? 1 : 0);
+    if (new_num_suborams <= peers) {
+      throw std::invalid_argument(
+          "Reshard target too small for the striping configuration");
+    }
+  }
+  for (uint32_t so = 0; so < old_s; ++so) {
+    if (HealthOf(so) != PartitionHealth::kHealthy) {
+      // A reshard moves every partition; a repairing one has nothing to export yet.
+      throw PartitionUnavailableError(StripeEndpointName(so), so,
+                                      repair_epochs_remaining(so));
+    }
+    if (!suborams_[so]->SupportsExport()) {
+      throw std::runtime_error(
+          "subORAM backend without partition export cannot reshard");
+    }
+  }
+  if (new_num_suborams == old_s) {
+    return;
+  }
+
+  // A participant found (or polled) crashed at the boundary aborts the attempt before
+  // any state moves; the caller recovers it as usual and retries at a later boundary.
+  const auto check_abort = [&] {
+    if (fault_injector_ == nullptr) {
+      return;
+    }
+    for (uint32_t so = 0; so < old_s; ++so) {
+      const std::string c = "suboram/" + std::to_string(so);
+      if (fault_injector_->IsCrashed(c) || fault_injector_->IsLost(c) ||
+          fault_injector_->PollEpochCrash(c)) {
+        throw ReshardAbortedError("reshard aborted: participant " + c +
+                                  " failed at the boundary");
+      }
+    }
+  };
+  check_abort();
+
+  // Gather every partition and obliviously redistribute the key space over the new
+  // width (the Figure 23 bin-placement sort in src/core/reshard.h). Per-partition
+  // sizes under the secret keyed hash are public, exactly as at initialization.
+  ByteSlab all(0, 8 + config_.value_size);
+  for (uint32_t so = 0; so < old_s; ++so) {
+    const ByteSlab part = suborams_[so]->ExportSlab();
+    if (part.record_bytes() != 8 + config_.value_size) {
+      throw std::runtime_error("exported partition has an unexpected record layout");
+    }
+    for (size_t i = 0; i < part.size(); ++i) {
+      std::memcpy(all.AppendZero(), part.Record(i), part.record_bytes());
+    }
+  }
+  const std::vector<ByteSlab> parts = PartitionSlabByBin(
+      all, partition_key_, new_num_suborams, config_.value_size, config_.sort_threads);
+  check_abort();
+
+  // Build the new deployment off to the side. Load balancer *enclaves* survive (their
+  // client sessions must keep working); the balancer state machines are rebuilt for
+  // the new width with their original base seeds, so EpochSeed determinism carries
+  // over the reshard.
+  std::vector<std::unique_ptr<Enclave>> new_so_enclaves;
+  std::vector<std::unique_ptr<SubOramBackend>> new_suborams;
+  for (uint32_t so = 0; so < new_num_suborams; ++so) {
+    new_so_enclaves.push_back(std::make_unique<Enclave>("snoopy-suboram", so));
+    new_suborams.push_back(factory_->Create(so, rng_.Next64()));
+    new_suborams.back()->Initialize(SlabToObjects(parts[so], config_.value_size));
+  }
+  std::vector<std::unique_ptr<LoadBalancer>> new_lbs;
+  for (uint32_t lb = 0; lb < num_lbs; ++lb) {
+    LoadBalancerConfig lbc = lbs_[lb]->config();
+    lbc.num_suborams = new_num_suborams;
+    new_lbs.push_back(std::make_unique<LoadBalancer>(lbc, partition_key_, lb_base_seeds_[lb]));
+  }
+  std::vector<std::vector<std::unique_ptr<SecureLink>>> new_links(num_lbs);
+  for (uint32_t lb = 0; lb < num_lbs; ++lb) {
+    for (uint32_t so = 0; so < new_num_suborams; ++so) {
+      const Aead::Key key = lb_enclaves_[lb]->EstablishChannel(new_so_enclaves[so]->quote());
+      const Aead::Key check = new_so_enclaves[so]->EstablishChannel(lb_enclaves_[lb]->quote());
+      if (key != check) {
+        throw std::runtime_error("channel key mismatch after attestation");
+      }
+      new_links[lb].push_back(
+          std::make_unique<SecureLink>(key, lb * new_num_suborams + so));
+    }
+  }
+  check_abort();
+
+  // Commit.
+  for (uint32_t so = 0; so < old_s; ++so) {
+    for (uint32_t lb = 0; lb < num_lbs; ++lb) {
+      network_.Unregister(SubOramEndpointName(so, lb));
+    }
+    network_.Unregister(StripeEndpointName(so));
+  }
+  so_enclaves_ = std::move(new_so_enclaves);
+  suborams_ = std::move(new_suborams);
+  lbs_ = std::move(new_lbs);
+  links_ = std::move(new_links);
+  config_.num_suborams = new_num_suborams;
+  link_generation_.assign(num_lbs, std::vector<uint64_t>(new_num_suborams, 0));
+  so_counter_ids_.clear();
+  for (uint32_t so = 0; so < new_num_suborams; ++so) {
+    so_counter_ids_.push_back(counters_.Create());
+  }
+  so_snapshots_.clear();
+  so_snapshots_.resize(new_num_suborams);
+  so_response_cache_.clear();
+  so_response_cache_.resize(new_num_suborams);
+  so_executed_lbs_.clear();
+  so_executed_lbs_.resize(new_num_suborams);
+  stripe_store_.clear();
+  stripe_store_.resize(new_num_suborams);
+  {
+    std::lock_guard<std::mutex> g(health_mu_);
+    so_health_.assign(new_num_suborams, PartitionHealth::kHealthy);
+    so_repair_.clear();
+    so_repair_.resize(new_num_suborams);
+  }
+  for (uint32_t so = 0; so < new_num_suborams; ++so) {
+    RegisterSubOramEndpoints(so);
+  }
+  // Fresh rollback-protected snapshots + redundancy for the new partitions.
+  for (uint32_t so = 0; so < new_num_suborams; ++so) {
+    SealSubOramState(so);
+  }
+  for (uint32_t so = 0; so < new_num_suborams; ++so) {
+    DistributeStripes(so);
+  }
+  if (metrics_ != nullptr) {
+    metrics_->GetCounter("snoopy_reshards_total").Increment();
+  }
 }
 
 }  // namespace snoopy

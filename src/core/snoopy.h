@@ -40,6 +40,29 @@
 
 namespace snoopy {
 
+// Redundant sealed-state striping (durable repair after permanent machine loss).
+// At every epoch seal each subORAM's counter-bound sealed snapshot is striped to peer
+// subORAMs over the message network; when a machine is permanently lost, the repair
+// coordinator reconstructs its partition on a spare node from the surviving stripes
+// over a fixed, public number of epochs (the repair rate is a function of snapshot
+// geometry only, never of the request pattern -- the Cloak-style fixed temporal
+// distribution argument).
+struct StripingConfig {
+  // Peer count holding redundant state per partition. 0 disables striping: a
+  // permanently lost partition is then unrecoverable and RunEpoch throws.
+  // Replication mode (xor_parity = false): each of the `replicas` successor peers
+  // holds a full copy of the sealed snapshot (storage overhead = replicas).
+  // Parity mode (xor_parity = true): the snapshot splits into `replicas` data chunks
+  // on `replicas` peers plus one XOR parity chunk on a further peer (storage
+  // overhead = 1/replicas; survives any single peer loss).
+  uint32_t replicas = 0;
+  bool xor_parity = false;
+  // Public repair schedule: a lost partition is reconstructed over exactly this many
+  // epochs, one fixed-size slice per epoch (slice size = total stripe bytes /
+  // repair_epochs, a public function of the snapshot size).
+  uint32_t repair_epochs = 4;
+};
+
 struct SnoopyConfig {
   uint32_t num_load_balancers = 1;
   uint32_t num_suborams = 1;
@@ -64,6 +87,17 @@ struct SnoopyConfig {
   // corrupted replies) are retried with backoff until the deadline; a crashed subORAM
   // is recovered (sealed-snapshot restore + epoch replay) between attempts.
   RetryPolicy retry;
+  // Redundant sealed-state striping + background repair (see StripingConfig above).
+  // Requires num_suborams > replicas (+1 in parity mode): peers hold the stripes.
+  StripingConfig striping;
+};
+
+// Thrown by Reshard when a participant fails at the reshard boundary. The old
+// configuration is left fully intact (build-then-swap), so the caller recovers the
+// crashed component as usual and may retry at a later epoch boundary.
+class ReshardAbortedError : public std::runtime_error {
+ public:
+  explicit ReshardAbortedError(const std::string& what) : std::runtime_error(what) {}
 };
 
 struct ClientResponse {
@@ -155,15 +189,61 @@ class Snoopy {
   // Drains the client's mailbox: [lb id (4 bytes) | sealed response] blobs.
   std::vector<std::vector<uint8_t>> TakeMailbox(uint64_t client_id);
 
+  // --- Permanent loss, striped redundancy, and background repair ------------------
+  // A partition is kHealthy, or kRepairing after its machine was permanently lost
+  // (NodeLost fault or LoseSubOram below). While repairing, its requests are deferred
+  // back to the epoch queue (resp = 0 failover) and the repair coordinator fetches a
+  // fixed-size stripe slice per epoch; after striping.repair_epochs epochs the
+  // partition is reconstructed on a spare node and serves again.
+  enum class PartitionHealth : uint8_t { kHealthy = 0, kRepairing = 1 };
+  PartitionHealth partition_health(uint32_t so) const;
+  uint32_t repair_epochs_remaining(uint32_t so) const;
+
+  // Permanently loses subORAM `so` right now (test/bench hook; the stochastic path is
+  // FaultProfile::node_loss*): backend contents, host snapshot, per-epoch caches and
+  // the stripes it held for peers are all wiped. Throws std::runtime_error when
+  // striping is disabled -- the partition would be unrecoverable. Call only at an
+  // epoch boundary.
+  void LoseSubOram(uint32_t so);
+
+  // Epoch-boundary elastic resharding: gathers every partition (ExportSlab),
+  // obliviously redistributes the key space over `new_num_suborams` bins through the
+  // bin-placement sort machinery (src/core/reshard.h), and rebuilds subORAMs, load
+  // balancers, links and rollback counters for the new width. Build-then-swap: any
+  // failure (including an injected participant crash, surfaced as
+  // ReshardAbortedError) leaves the old configuration fully intact. Requires every
+  // partition healthy and a backend with export support. Call only at an epoch
+  // boundary; pending requests and registered clients carry over.
+  void Reshard(uint32_t new_num_suborams);
+
+  // Host-side stripe storage (untrusted): the stripe peer `peer` holds for partition
+  // `owner`. Tests use the replace hook to play a malicious host serving stale
+  // stripes; repair must then refuse with RollbackDetectedError.
+  struct HostStripe {
+    uint64_t seal_counter = 0;  // counter value bound into the striped snapshot
+    uint32_t chunk_index = 0;   // parity mode: data chunk index, or chunk_count = parity
+    uint32_t chunk_count = 0;   // data chunks per snapshot (1 in replication mode)
+    uint64_t blob_len = 0;      // sealed snapshot length before chunking
+    std::vector<uint8_t> payload;
+  };
+  const HostStripe* host_stripe(uint32_t peer, uint32_t owner) const;
+  void host_replace_stripe(uint32_t peer, uint32_t owner, HostStripe stripe);
+
   // Test/inspection access.
   SubOramBackend& suboram(size_t i) { return *suborams_[i]; }
   uint32_t SubOramOf(uint64_t key) const { return lbs_[0]->SubOramOf(key); }
 
  private:
+  // Shared constructor body; factory_ must be set before calling.
+  void Construct();
   void InitializeOblivious(
       const std::vector<std::pair<uint64_t, std::vector<uint8_t>>>& objects);
   std::vector<uint8_t> SubOramEndpointHandler(uint32_t lb, uint32_t so,
                                               std::span<const uint8_t> payload);
+  // Host-level stripe traffic (store / manifest / fetch) at peer `so`.
+  std::vector<uint8_t> StripeEndpointHandler(uint32_t so, std::span<const uint8_t> payload);
+  // Registers both network endpoints of subORAM so (batch execution + stripes).
+  void RegisterSubOramEndpoints(uint32_t so);
 
   // Seeds load balancer lb's epoch preparation; equal (lb, epoch) means equal batches,
   // which is what lets a rebuilt load balancer re-prepare deterministically.
@@ -188,11 +268,45 @@ class Snoopy {
   void RecoverLoadBalancer(uint32_t lb);
   void SealSubOramState(uint32_t so);
 
+  // --- Striping + repair internals --------------------------------------------------
+  // The successor peers holding partition so's stripes: replicas of them in
+  // replication mode, replicas + 1 (the last holds the XOR parity chunk) in parity
+  // mode.
+  std::vector<uint32_t> StripePeers(uint32_t so) const;
+  // Pushes partition so's current sealed snapshot to its stripe peers. Peers that are
+  // themselves lost/repairing or unreachable are skipped (counted); redundancy
+  // re-converges at their next healthy seal. Must run only after *every* partition
+  // sealed this boundary, so a peer crash-recovery triggered by the push restores
+  // post-epoch state with nothing to replay.
+  void DistributeStripes(uint32_t so);
+  // One stripe exchange under the retry policy with peer crash recovery.
+  std::vector<uint8_t> RetriedStripeCall(uint32_t so, uint32_t peer,
+                                         const std::vector<uint8_t>& request);
+  PartitionHealth HealthOf(uint32_t so) const;
+  // Marks so permanently lost: wipes its machine state and schedules repair.
+  void OnPartitionLost(uint32_t so);
+  // Runs at the start of RunEpoch for every repairing partition: fetches this epoch's
+  // fixed-size slice (planning sources from peer manifests on the first step) and, on
+  // the final step, reassembles + restores the snapshot and reincarnates the node.
+  void RepairStep(uint32_t so);
+  void PlanRepair(uint32_t so);
+  void CompleteRepair(uint32_t so);
+  // A batch of `batch_size` placeholder response records (resp = 1, reserved keys
+  // matching no client request) standing in for an unavailable partition: response
+  // matching compacts them away and the partition's real requests come back with
+  // resp = 0, the requeue flag.
+  RequestBatch PlaceholderBatch(uint64_t batch_size) const;
+
   // Span time source: the deterministic VirtualClock under fault injection (chaos
   // runs stay replayable), steady_clock otherwise.
   double NowSeconds() const;
   // Null when telemetry is disabled; otherwise the named phase-duration histogram.
   Histogram* PhaseHistogram(const char* phase) const;
+
+  // Backend factory: owned for the default deployment, borrowed (must outlive this
+  // instance -- Reshard creates backends long after construction) for custom ones.
+  std::unique_ptr<SubOramBackendFactory> owned_factory_;
+  const SubOramBackendFactory* factory_ = nullptr;
 
   SnoopyConfig config_;
   Rng rng_;
@@ -235,6 +349,33 @@ class Snoopy {
   std::vector<std::map<uint32_t, std::vector<uint8_t>>> so_response_cache_;
   std::vector<std::set<uint32_t>> so_executed_lbs_;
   std::vector<std::vector<uint64_t>> link_generation_;  // [lb][so]
+
+  // --- Striping + repair state ------------------------------------------------------
+  // Guards health/repair state: phase-2 workers read health and may mark a loss
+  // mid-epoch; everything else runs on the orchestrator thread at epoch boundaries.
+  mutable std::mutex health_mu_;
+  std::vector<PartitionHealth> so_health_;
+  struct RepairState {
+    uint32_t epochs_remaining = 0;
+    bool planned = false;
+    // Fetch plan (from peer manifests): `needed[i]` = (peer, chunk_index) sources,
+    // all chunks `chunk_len` bytes, reassembling a `blob_len`-byte snapshot sealed at
+    // counter value `seal_counter`. `parity_substituted` is the data chunk index the
+    // parity chunk stands in for (-1 if none).
+    uint64_t seal_counter = 0;
+    uint32_t chunk_count = 0;
+    uint64_t blob_len = 0;
+    uint64_t chunk_len = 0;
+    int parity_substituted = -1;
+    std::vector<std::pair<uint32_t, uint32_t>> needed;
+    std::vector<std::vector<uint8_t>> buffers;  // fetched bytes, one per needed chunk
+    uint64_t cursor = 0;                        // bytes fetched so far across chunks
+  };
+  std::vector<RepairState> so_repair_;
+  // stripe_store_[peer][owner]: the host-side stripe peer `peer` holds for `owner`.
+  // Only touched from the orchestrator thread (seal/distribute/repair at epoch
+  // boundaries; the stripe endpoint handler runs inline on the caller's thread).
+  std::vector<std::map<uint32_t, HostStripe>> stripe_store_;
 
   struct ClientSession {
     std::vector<std::unique_ptr<SecureLink>> links;  // one per load balancer

@@ -77,6 +77,10 @@ class SubOram : public SubOramBackend {
   UnsealStatus RestoreState(SealedStore& store, uint64_t counter_id,
                             std::span<const uint8_t> blob) override;
 
+  // Partition export for resharding: a copy of the flat store (key(8) | value).
+  bool SupportsExport() const override { return true; }
+  ByteSlab ExportSlab() const override { return store_; }
+
  private:
   SubOramConfig config_;
   Rng rng_;

@@ -14,10 +14,12 @@
 #include <cstdint>
 #include <memory>
 #include <span>
+#include <stdexcept>
 #include <vector>
 
 #include "src/core/request.h"
 #include "src/enclave/rollback.h"
+#include "src/obl/slab.h"
 
 namespace snoopy {
 
@@ -53,6 +55,16 @@ class SubOramBackend {
     (void)counter_id;
     (void)blob;
     return UnsealStatus::kCorrupt;
+  }
+
+  // --- Partition export (elastic resharding) --------------------------------------
+  // Optional: backends that can hand their partition back as a flat
+  // key(8) | value(value_size) slab override these two. Resharding gathers every
+  // partition through this hook before obliviously redistributing the key space;
+  // backends without export support cannot be resharded.
+  virtual bool SupportsExport() const { return false; }
+  virtual ByteSlab ExportSlab() const {
+    throw std::logic_error("subORAM backend does not support partition export");
   }
 };
 

@@ -77,6 +77,10 @@ FaultAction FaultInjector::Decide(const std::string& endpoint) {
     action = FaultAction::kCrashBeforeReply;
   } else if (Flip(rng, p.delay)) {
     action = FaultAction::kDelay;
+  } else if (Flip(rng, p.node_loss)) {
+    // Drawn last so enabling node loss leaves the existing fault kinds' draw
+    // sequences untouched (Flip consumes no randomness at probability zero).
+    action = FaultAction::kNodeLoss;
   }
   if (action != FaultAction::kNone) {
     fired_log_.push_back(FiredDecision{endpoint, action, /*epoch_crash=*/false});
@@ -94,6 +98,21 @@ bool FaultInjector::PollEpochCrash(const std::string& component) {
   crashed_.insert(component);
   fired_log_.push_back(
       FiredDecision{component, FaultAction::kCrashBeforeReply, /*epoch_crash=*/true});
+  return true;
+}
+
+bool FaultInjector::PollNodeLoss(const std::string& component) {
+  std::lock_guard<std::mutex> g(mu_);
+  if (lost_.count(component) != 0) {
+    return false;  // already lost; no draw, so streams stay deterministic
+  }
+  const auto it = profiles_.find(component);
+  const FaultProfile& p = it == profiles_.end() ? default_profile_ : it->second;
+  if (!Flip(StreamFor(component), p.node_loss_at_epoch_start)) {
+    return false;
+  }
+  lost_.insert(component);
+  fired_log_.push_back(FiredDecision{component, FaultAction::kNodeLoss, /*epoch_crash=*/true});
   return true;
 }
 
@@ -122,6 +141,11 @@ uint64_t FaultInjector::fired_epoch_crashes() const {
 bool FaultInjector::IsCrashed(const std::string& endpoint) const {
   std::lock_guard<std::mutex> g(mu_);
   return crashed_.count(ComponentOf(endpoint)) != 0;
+}
+
+bool FaultInjector::IsLost(const std::string& endpoint) const {
+  std::lock_guard<std::mutex> g(mu_);
+  return lost_.count(ComponentOf(endpoint)) != 0;
 }
 
 void FaultInjector::CorruptBit(const std::string& endpoint, std::vector<uint8_t>& bytes) {

@@ -96,6 +96,39 @@ class DeadlineExceededError : public NetworkError {
                      endpoint, /*retryable=*/false) {}
 };
 
+// The component owning the endpoint is *permanently* gone: the machine failed for
+// good and took its local state with it. Unlike EndpointCrashedError this is not
+// retryable and no restart will help -- only the repair protocol (reconstructing the
+// partition from redundant stripes on a spare node) brings the component back.
+class NodeLostError : public NetworkError {
+ public:
+  explicit NodeLostError(const std::string& endpoint)
+      : NetworkError("node permanently lost: " + endpoint, endpoint, /*retryable=*/false) {}
+};
+
+// A request targets a partition that is permanently lost or still under repair. The
+// orchestrator fails the request over to the epoch queue (it re-enters a later epoch)
+// instead of letting a retry loop spin against a dead machine. Carries the partition
+// id and the public number of repair epochs remaining.
+class PartitionUnavailableError : public NetworkError {
+ public:
+  PartitionUnavailableError(const std::string& endpoint, uint32_t partition,
+                            uint32_t repair_epochs_remaining)
+      : NetworkError("partition " + std::to_string(partition) + " unavailable (" +
+                         std::to_string(repair_epochs_remaining) +
+                         " repair epochs remaining) at " + endpoint,
+                     endpoint, /*retryable=*/false),
+        partition_(partition),
+        repair_epochs_remaining_(repair_epochs_remaining) {}
+
+  uint32_t partition() const { return partition_; }
+  uint32_t repair_epochs_remaining() const { return repair_epochs_remaining_; }
+
+ private:
+  uint32_t partition_;
+  uint32_t repair_epochs_remaining_;
+};
+
 // ---------------------------------------------------------------------------------
 // Fault injection.
 // ---------------------------------------------------------------------------------
@@ -113,6 +146,13 @@ struct FaultProfile {
   // component is found crashed at the epoch boundary (models host reboots between
   // epochs rather than mid-message).
   double crash_at_epoch_start = 0;
+  // Permanent loss: the machine dies mid-call (the request may have been processed;
+  // the reply is lost) and never comes back -- its component stays lost until
+  // Reincarnate() (the repair protocol's completion), not Restart().
+  double node_loss = 0;
+  // Permanent-loss analogue of crash_at_epoch_start, polled once per component per
+  // epoch via PollNodeLoss (models a machine found dead between epochs).
+  double node_loss_at_epoch_start = 0;
 };
 
 enum class FaultAction : uint8_t {
@@ -123,6 +163,7 @@ enum class FaultAction : uint8_t {
   kCorruptReply,
   kCrashBeforeReply,
   kDelay,
+  kNodeLoss,
 };
 
 // Seeded chaos source consulted by Network::Call. Profiles attach to *components*
@@ -151,13 +192,34 @@ class FaultInjector {
   // the component's stream.
   bool PollEpochCrash(const std::string& component);
 
+  // Epoch-boundary permanent-loss poll. Marks the component lost when the draw fires
+  // (drawn from the component's stream, after the crash poll's draw). Returns false
+  // without drawing when the component is already lost.
+  bool PollNodeLoss(const std::string& component);
+
   bool IsCrashed(const std::string& endpoint) const;
   void MarkCrashed(const std::string& component) {
     std::lock_guard<std::mutex> g(mu_);
     crashed_.insert(component);
   }
+  // Restart clears a transient crash only: a permanently lost component stays lost --
+  // restoring a sealed snapshot needs a machine, and the machine is gone.
   void Restart(const std::string& component) {
     std::lock_guard<std::mutex> g(mu_);
+    crashed_.erase(component);
+  }
+
+  // --- Permanent loss --------------------------------------------------------------
+  bool IsLost(const std::string& endpoint) const;
+  void MarkLost(const std::string& component) {
+    std::lock_guard<std::mutex> g(mu_);
+    lost_.insert(component);
+  }
+  // Completes the repair protocol's replacement: the spare machine assumes the lost
+  // component's identity, clearing both the lost and (any stale) crashed marks.
+  void Reincarnate(const std::string& component) {
+    std::lock_guard<std::mutex> g(mu_);
+    lost_.erase(component);
     crashed_.erase(component);
   }
 
@@ -214,6 +276,7 @@ class FaultInjector {
   FaultProfile default_profile_;
   std::map<std::string, FaultProfile> profiles_;  // by component
   std::set<std::string> crashed_;                 // components currently down
+  std::set<std::string> lost_;                    // components permanently lost
   uint64_t decisions_ = 0;
   std::vector<FiredDecision> fired_log_;
 };

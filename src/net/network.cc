@@ -22,6 +22,10 @@ void Network::Register(const std::string& endpoint, Handler handler) {
   endpoints_[endpoint] = std::move(handler);
 }
 
+void Network::Unregister(const std::string& endpoint) {
+  endpoints_.erase(endpoint);
+}
+
 bool Network::HasEndpoint(const std::string& endpoint) const {
   return endpoints_.count(endpoint) != 0;
 }
@@ -38,6 +42,15 @@ std::vector<uint8_t> Network::Call(const std::string& from, const std::string& t
   {
     std::lock_guard<std::mutex> g(stats_mu_);
     pair = &stats_.per_pair[PairKey(from, to)];
+  }
+
+  // A permanently lost component never answers again; restart cannot help, so this
+  // is checked before the transient-crash state and surfaces as its own type.
+  if (fault_injector_ != nullptr && fault_injector_->IsLost(to)) {
+    std::lock_guard<std::mutex> g(stats_mu_);
+    ++stats_.timeouts;
+    ++pair->timeouts;
+    throw NodeLostError(to);
   }
 
   // A crashed component answers nothing; the caller's retry loop must recover it.
@@ -98,6 +111,15 @@ std::vector<uint8_t> Network::Call(const std::string& from, const std::string& t
     // The callee did the work, then died before replying: its component goes down and
     // the caller sees only silence.
     fault_injector_->MarkCrashed(FaultInjector::ComponentOf(to));
+    std::lock_guard<std::mutex> g(stats_mu_);
+    ++stats_.timeouts;
+    ++pair->timeouts;
+    throw TimeoutError(to);
+  }
+  if (fault == FaultAction::kNodeLoss) {
+    // Same silence as a crash-before-reply, but the machine is gone for good: the
+    // caller's retry sees a timeout now and NodeLostError on every later attempt.
+    fault_injector_->MarkLost(FaultInjector::ComponentOf(to));
     std::lock_guard<std::mutex> g(stats_mu_);
     ++stats_.timeouts;
     ++pair->timeouts;

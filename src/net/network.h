@@ -36,6 +36,10 @@ class Network {
   using Handler = std::function<std::vector<uint8_t>(std::span<const uint8_t>)>;
 
   void Register(const std::string& endpoint, Handler handler);
+  // Removes an endpoint (no-op if absent). Used when resharding retires subORAMs;
+  // like Register, only safe at wiring/quiescent points, never during concurrent
+  // Calls.
+  void Unregister(const std::string& endpoint);
   bool HasEndpoint(const std::string& endpoint) const;
 
   // Synchronous request/response. Throws EndpointNotFoundError for unknown endpoints;

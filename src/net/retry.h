@@ -52,6 +52,13 @@ struct RetryPolicy {
   // other workers advancing the VirtualClock concurrently must not shrink this call's
   // budget, or retry counts would depend on thread interleaving.
   double deadline_s = 5.0;
+  // Hard cap on the total number of retries (re-attempts after the first) one
+  // Execute() may perform, recovery rounds included. 0 means uncapped (the
+  // max_attempts/deadline budget alone applies). This is the bound that keeps
+  // requests aimed at a dead partition from spinning: the orchestrator converts the
+  // resulting DeadlineExceededError into a PartitionUnavailable failover to the
+  // epoch queue.
+  int max_total_retries = 0;
 
   // Backoff before attempt `attempt` (1-based; attempt 1 has none): jittered
   // min(base * multiplier^(attempt-2), max).

@@ -12,10 +12,8 @@ namespace snoopy {
 ClusterMetrics ClusterSimulator::Run(double ops_per_second, double duration,
                                      uint64_t seed) const {
   const uint32_t l = config_.load_balancers;
-  const uint32_t s = config_.suborams;
+  uint32_t s = config_.suborams;  // resharding changes the width mid-run
   const double t_epoch = config_.epoch_seconds;
-  const uint64_t per_suboram_objects =
-      config_.num_objects / s + (config_.num_objects % s != 0);
   Rng rng(seed);
 
   // Poisson arrivals, drawn as per-(epoch, load balancer) counts: the epoch pipeline
@@ -76,6 +74,29 @@ ClusterMetrics ClusterSimulator::Run(double ops_per_second, double duration,
       so_next_fail[j] = draw_exp(config_.suboram_mttf_s);
     }
   }
+  // Permanent-loss process: a lost subORAM serves nothing for `repair_epochs` epochs
+  // (the public repair schedule) while its share of requests is deferred, then the
+  // reincarnated node rejoins. Its draws share the failure stream but are gated on
+  // the rate, so enabling crashes alone reproduces pre-loss-model runs bit for bit.
+  const bool so_loses = config_.suboram_mtpl_s > 0 && config_.repair_epochs > 0;
+  std::vector<double> so_next_loss(s, 0.0);
+  if (so_loses) {
+    for (uint32_t j = 0; j < s; ++j) {
+      so_next_loss[j] = draw_exp(config_.suboram_mtpl_s);
+    }
+  }
+  std::vector<char> so_lost(s, 0);
+  std::vector<uint64_t> so_alive_epoch(s, 0);  // first epoch the repaired node serves
+  // Requests addressed to a lost partition, waiting for its repair to complete.
+  // Tracked as aggregate mass (count, summed arrival times, earliest arrival) so the
+  // per-epoch work stays O(L + S).
+  struct DeferredPool {
+    double count = 0;
+    double arrival_mass = 0;
+    double earliest = 1e300;
+  };
+  std::vector<DeferredPool> so_deferred(s);
+  size_t next_reshard = 0;
   // Applied at epoch boundaries (crashes are recovered at epoch granularity, matching
   // the functional deployment): a machine whose failure time has passed goes down for
   // an exponential repair, its pipeline stage stalls until the repair completes, and
@@ -87,6 +108,7 @@ ClusterMetrics ClusterSimulator::Run(double ops_per_second, double duration,
           const double repair = draw_exp(config_.lb_mttr_s);
           lb_free[i] = std::max(lb_free[i], lb_next_fail[i] + repair);
           ++metrics.failures;
+          ++metrics.transient_failures;
           metrics.downtime_s += repair;
           lb_next_fail[i] = lb_next_fail[i] + repair + draw_exp(config_.lb_mttf_s);
         }
@@ -94,10 +116,18 @@ ClusterMetrics ClusterSimulator::Run(double ops_per_second, double duration,
     }
     if (so_fails) {
       for (uint32_t j = 0; j < s; ++j) {
+        if (so_lost[j]) {
+          // No machine to crash while the partition is under repair; the replacement
+          // node's crash clock is pushed past its reincarnation without a draw.
+          so_next_fail[j] = std::max(
+              so_next_fail[j], static_cast<double>(so_alive_epoch[j]) * t_epoch);
+          continue;
+        }
         while (so_next_fail[j] <= boundary) {
           const double repair = draw_exp(config_.suboram_mttr_s);
           so_free[j] = std::max(so_free[j], so_next_fail[j] + repair);
           ++metrics.failures;
+          ++metrics.transient_failures;
           metrics.downtime_s += repair;
           so_next_fail[j] = so_next_fail[j] + repair + draw_exp(config_.suboram_mttf_s);
         }
@@ -108,17 +138,117 @@ ClusterMetrics ClusterSimulator::Run(double ops_per_second, double duration,
   double latency_sum = 0;
   double batch_sum = 0;
   uint64_t epochs = 0;
-  uint64_t completed = 0;
+  double completed = 0;
   double last_done = 0;
 
   const auto n_epochs = static_cast<uint64_t>(std::ceil(duration / t_epoch));
   std::vector<uint64_t> lb_requests(l, 0);
   for (uint64_t e = 0; e < n_epochs; ++e) {
     const double boundary = static_cast<double>(e + 1) * t_epoch;
+    const double epoch_start = boundary - t_epoch;
     const double epoch_mean_arrival = boundary - t_epoch / 2.0;
+
+    // Elastic resharding: apply due events at the epoch boundary once every
+    // partition is healthy (the functional Reshard's precondition); an event that
+    // comes due mid-repair waits for the repair to finish.
+    while (next_reshard < config_.reshard_schedule.size() &&
+           config_.reshard_schedule[next_reshard].at_s <= epoch_start) {
+      bool any_lost = false;
+      for (uint32_t j = 0; j < s; ++j) {
+        any_lost = any_lost || so_lost[j] != 0;
+      }
+      if (any_lost) {
+        break;
+      }
+      const uint32_t new_s = config_.reshard_schedule[next_reshard].suborams;
+      ++next_reshard;
+      if (new_s == 0 || new_s == s) {
+        continue;
+      }
+      // Build-then-swap migration: drain in-flight epochs, gather every object,
+      // obliviously redistribute across the new width, reload. The whole pipeline
+      // stalls for the migration.
+      double stall_until = epoch_start;
+      for (uint32_t i = 0; i < l; ++i) {
+        stall_until = std::max(stall_until, lb_free[i]);
+      }
+      for (uint32_t j = 0; j < s; ++j) {
+        stall_until = std::max(stall_until, so_free[j]);
+      }
+      stall_until += model_.NetworkBatchSeconds(config_.num_objects) +
+                     model_.LbPrepareSeconds(config_.num_objects, new_s,
+                                             model_.config().cores);
+      for (uint32_t i = 0; i < l; ++i) {
+        lb_free[i] = stall_until;
+      }
+      const uint32_t old_s = s;
+      s = new_s;
+      so_free.assign(s, stall_until);
+      so_lost.assign(s, 0);
+      so_alive_epoch.assign(s, 0);
+      so_deferred.assign(s, DeferredPool{});
+      so_next_fail.resize(s, 0.0);
+      so_next_loss.resize(s, 0.0);
+      if (so_fails) {
+        for (uint32_t j = old_s; j < s; ++j) {
+          so_next_fail[j] = stall_until + draw_exp(config_.suboram_mttf_s);
+        }
+      }
+      if (so_loses) {
+        for (uint32_t j = old_s; j < s; ++j) {
+          so_next_loss[j] = stall_until + draw_exp(config_.suboram_mtpl_s);
+        }
+      }
+      ++metrics.reshards;
+    }
+    const uint64_t per_suboram_objects =
+        config_.num_objects / s + (config_.num_objects % s != 0);
+
+    // Repairs scheduled to finish by now complete: the reincarnated partition serves
+    // this epoch, and its deferred pool rides this epoch's batches (settled below,
+    // once the epoch's completion time is known).
+    std::vector<uint32_t> completing;
+    for (uint32_t j = 0; j < s; ++j) {
+      if (so_lost[j] && e >= so_alive_epoch[j]) {
+        so_lost[j] = 0;
+        so_free[j] = std::max(so_free[j], epoch_start);
+        ++metrics.repairs_completed;
+        completing.push_back(j);
+      }
+    }
+
     apply_failures(boundary);
+    if (so_loses) {
+      for (uint32_t j = 0; j < s; ++j) {
+        if (!so_lost[j] && so_next_loss[j] <= boundary) {
+          so_lost[j] = 1;
+          so_alive_epoch[j] = e + config_.repair_epochs;
+          ++metrics.failures;
+          ++metrics.permanent_losses;
+          metrics.downtime_s += static_cast<double>(config_.repair_epochs) * t_epoch;
+          // The replacement node's loss clock starts after its reincarnation.
+          so_next_loss[j] = boundary +
+                            static_cast<double>(config_.repair_epochs) * t_epoch +
+                            draw_exp(config_.suboram_mtpl_s);
+        }
+      }
+    }
+    uint32_t lost_count = 0;
+    for (uint32_t j = 0; j < s; ++j) {
+      lost_count += so_lost[j] != 0;
+    }
+    if (lost_count > 0) {
+      ++metrics.degraded_epochs;
+    }
+
+    double load_mult = 1.0;
+    for (const LoadPhase& phase : config_.load_profile) {
+      if (phase.start_s <= epoch_start) {
+        load_mult = phase.multiplier;
+      }
+    }
     for (uint32_t i = 0; i < l; ++i) {
-      lb_requests[i] = draw_poisson(rate * t_epoch / static_cast<double>(l));
+      lb_requests[i] = draw_poisson(load_mult * rate * t_epoch / static_cast<double>(l));
     }
 
     // Stage 1: each load balancer prepares its batches (parallel machines).
@@ -139,10 +269,22 @@ ClusterMetrics ClusterSimulator::Run(double ops_per_second, double duration,
       ++epochs;
     }
 
-    // Stage 2: every subORAM executes one batch per load balancer, in LB order.
+    // Stage 2: every healthy subORAM executes one batch per load balancer, in LB
+    // order. While a partition is under repair, each surviving peer streams a fixed
+    // stripe slice per epoch (public, load-independent), modeled as added network
+    // service time.
+    const double repair_overhead_s =
+        lost_count == 0
+            ? 0.0
+            : static_cast<double>(lost_count) *
+                  model_.NetworkBatchSeconds(
+                      per_suboram_objects / config_.repair_epochs + 1);
     double epoch_so_done = boundary;
     for (uint32_t j = 0; j < s; ++j) {
-      double ready = so_free[j];
+      if (so_lost[j]) {
+        continue;
+      }
+      double ready = so_free[j] + repair_overhead_s;
       for (uint32_t i = 0; i < l; ++i) {
         if (batch[i] == 0) {
           continue;
@@ -155,12 +297,19 @@ ClusterMetrics ClusterSimulator::Run(double ops_per_second, double duration,
       epoch_so_done = std::max(epoch_so_done, ready);
     }
 
-    // Stage 3: responses return and each load balancer matches them.
+    // Stage 3: responses return and each load balancer matches them. Requests
+    // addressed to a lost partition (a lost_count/s share, by the uniform partition
+    // function) receive placeholder responses and defer to the repair epoch.
+    const double defer_frac =
+        lost_count == 0 ? 0.0
+                        : static_cast<double>(lost_count) / static_cast<double>(s);
+    double epoch_done = epoch_so_done;
     for (uint32_t i = 0; i < l; ++i) {
       const uint64_t r = lb_requests[i];
       if (r == 0) {
         continue;
       }
+      const double r_live = static_cast<double>(r) * (1.0 - defer_frac);
       const double resp_arrive = epoch_so_done + model_.NetworkBatchSeconds(batch[i] * s);
       const double done =
           resp_arrive + model_.LbMatchSeconds(r, s, model_.config().cores);
@@ -170,21 +319,62 @@ ClusterMetrics ClusterSimulator::Run(double ops_per_second, double duration,
       // latency distribution is uniform over [done - boundary, done - boundary +
       // t_epoch] (latest arrival waits least). ObserveUniform spreads that mass in
       // O(buckets), preserving the O(L + S)-per-epoch design.
-      latency_sum += static_cast<double>(r) * (done - epoch_mean_arrival);
-      if (config_.latency_histogram) {
+      latency_sum += r_live * (done - epoch_mean_arrival);
+      if (config_.latency_histogram && r_live > 0) {
         metrics.latency_histogram.ObserveUniform(done - boundary,
-                                                 done - boundary + t_epoch,
-                                                 static_cast<double>(r));
+                                                 done - boundary + t_epoch, r_live);
       }
-      metrics.max_latency_s = std::max(metrics.max_latency_s, done - (boundary - t_epoch));
-      completed += r;
+      metrics.max_latency_s = std::max(metrics.max_latency_s, done - epoch_start);
+      completed += r_live;
       last_done = std::max(last_done, done);
+      epoch_done = std::max(epoch_done, done);
+    }
+
+    // Park this epoch's deferred request mass with the partitions under repair.
+    if (lost_count > 0) {
+      double arrivals = 0;
+      for (uint32_t i = 0; i < l; ++i) {
+        arrivals += static_cast<double>(lb_requests[i]);
+      }
+      const double deferred = arrivals * defer_frac;
+      if (deferred > 0) {
+        metrics.deferred_ops += deferred / config_.accesses_per_op;
+        const double share = deferred / static_cast<double>(lost_count);
+        for (uint32_t j = 0; j < s; ++j) {
+          if (!so_lost[j]) {
+            continue;
+          }
+          so_deferred[j].count += share;
+          so_deferred[j].arrival_mass += share * epoch_mean_arrival;
+          so_deferred[j].earliest = std::min(so_deferred[j].earliest, epoch_start);
+        }
+      }
+    }
+
+    // Settle deferred pools of partitions whose repair completed this epoch: their
+    // requests ride this epoch's batches and finish with it.
+    for (uint32_t j : completing) {
+      DeferredPool& pool = so_deferred[j];
+      if (pool.count > 0) {
+        latency_sum += pool.count * epoch_done - pool.arrival_mass;
+        completed += pool.count;
+        const double mean_lat = epoch_done - pool.arrival_mass / pool.count;
+        if (config_.latency_histogram) {
+          metrics.latency_histogram.ObserveUniform(
+              std::max(0.0, mean_lat - t_epoch / 2), mean_lat + t_epoch / 2,
+              pool.count);
+        }
+        metrics.max_latency_s =
+            std::max(metrics.max_latency_s, epoch_done - pool.earliest);
+        last_done = std::max(last_done, epoch_done);
+      }
+      pool = DeferredPool{};
     }
   }
 
-  metrics.completed_ops = static_cast<double>(completed) / config_.accesses_per_op;
+  metrics.completed_ops = completed / config_.accesses_per_op;
   metrics.throughput = metrics.completed_ops / duration;
-  metrics.mean_latency_s = completed == 0 ? 0.0 : latency_sum / static_cast<double>(completed);
+  metrics.mean_latency_s = completed <= 0 ? 0.0 : latency_sum / completed;
   metrics.mean_batch_size = epochs == 0 ? 0.0 : batch_sum / static_cast<double>(epochs);
   if (config_.latency_histogram && metrics.latency_histogram.count() > 0) {
     metrics.latency_p50_s = metrics.latency_histogram.Quantile(0.50);

@@ -16,11 +16,27 @@
 #define SNOOPY_SRC_SIM_CLUSTER_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "src/sim/cost_model.h"
 #include "src/telemetry/metrics.h"
 
 namespace snoopy {
+
+// Epoch-boundary elastic reshard event: from `at_s` on, the deployment runs
+// `suborams` partitions. Applied at the first epoch boundary past `at_s` with no
+// partition under repair (the functional deployment's precondition); the migration
+// stalls the whole pipeline for the modeled gather + oblivious-redistribute time.
+struct ReshardEvent {
+  double at_s = 0;
+  uint32_t suborams = 0;
+};
+
+// Piecewise-constant load multiplier from `start_s` on (diurnal profiles).
+struct LoadPhase {
+  double start_s = 0;
+  double multiplier = 1.0;
+};
 
 struct ClusterConfig {
   uint32_t load_balancers = 1;
@@ -40,6 +56,18 @@ struct ClusterConfig {
   double lb_mttr_s = 0;
   double suboram_mttf_s = 0;
   double suboram_mttr_s = 0;
+  // Permanent machine loss + striped repair (DESIGN.md, "Failure model and repair").
+  // SubORAMs are permanently lost with exponential inter-loss times (mean = MTPL,
+  // 0 disables). A lost partition serves nothing for `repair_epochs` epochs -- the
+  // public, load-independent repair schedule -- while its 1/S share of each epoch's
+  // requests is deferred to the completion epoch; surviving peers pay a fixed
+  // per-epoch repair-traffic cost for streaming stripe slices.
+  double suboram_mtpl_s = 0;
+  uint32_t repair_epochs = 4;
+  // Elastic reshard events, ascending by at_s. Empty = fixed-width deployment.
+  std::vector<ReshardEvent> reshard_schedule;
+  // Diurnal load multipliers, ascending by start_s. Empty = constant offered load.
+  std::vector<LoadPhase> load_profile;
   // Collect the per-request latency distribution (histogram-backed percentiles in
   // ClusterMetrics). Costs O(histogram buckets) per (epoch, load balancer) -- the
   // per-epoch work stays O(L + S) -- but can be switched off for overhead studies.
@@ -62,8 +90,14 @@ struct ClusterMetrics {
   Histogram latency_histogram;  // full distribution, mergeable across runs
   double mean_batch_size = 0;    // per-subORAM batch size f(R, S) averaged over epochs
   bool saturated = false;        // backlog kept growing: offered load is unsustainable
-  uint64_t failures = 0;         // machine crashes during the simulated window
+  uint64_t failures = 0;         // machine failures, transient + permanent
   double downtime_s = 0;         // summed per-machine repair time
+  uint64_t transient_failures = 0;  // crash/recover failures (MTTR restores the machine)
+  uint64_t permanent_losses = 0;    // losses only the striped-repair protocol restores
+  uint64_t repairs_completed = 0;   // repairs that finished within the window
+  uint64_t reshards = 0;            // elastic reshard events applied
+  uint64_t degraded_epochs = 0;     // epochs with >= 1 partition under repair
+  double deferred_ops = 0;          // request mass deferred past its arrival epoch
 };
 
 class ClusterSimulator {

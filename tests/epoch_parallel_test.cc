@@ -191,6 +191,7 @@ TEST(EpochParallel, ChaosReconciliationHoldsUnderParallelism) {
       case FaultAction::kCorruptReply: ++corrupt_rep; break;
       case FaultAction::kCrashBeforeReply: ++crashes; break;
       case FaultAction::kDelay: ++delays; break;
+      case FaultAction::kNodeLoss: break;  // this workload never enables permanent loss
       case FaultAction::kNone: break;
     }
   }

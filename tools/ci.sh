@@ -79,4 +79,13 @@ cmake --build build-tsan -j"${JOBS}" --target \
 ctest --test-dir build-tsan --output-on-failure \
   -R '(BitonicSort|AdaptiveSortThreads|SubOram|EpochParallel)'
 
+echo "== TSan chaos stage: fault recovery, permanent loss, repair, reshard =="
+# Crash/loss recovery exercises the cross-thread paths deliberately (phase-2 workers
+# marking losses, concurrent subORAM recoveries, the health mutex); run the whole
+# fault-recovery and repair/reshard suites under TSan so a recovery-path race cannot
+# hide behind the happy path.
+cmake --build build-tsan -j"${JOBS}" --target fault_recovery_test repair_reshard_test
+ctest --test-dir build-tsan --output-on-failure \
+  -R '(FaultInjector|FaultRecovery|NetworkFaults|RetryCap|Striping|Repair|Reshard|NodeLoss)'
+
 echo "ci.sh: all checks passed"
