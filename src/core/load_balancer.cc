@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "src/analysis/batch_bound.h"
+#include "src/core/reshard.h"
 #include "src/enclave/trace.h"
 #include "src/obl/bitonic_sort.h"
 #include "src/obl/compaction.h"
@@ -18,7 +19,9 @@ LoadBalancer::LoadBalancer(const LoadBalancerConfig& config, const SipKey& parti
     : config_(config), partition_key_(partition_key), rng_(rng_seed) {}
 
 uint32_t LoadBalancer::SubOramOf(uint64_t key) const {
-  return static_cast<uint32_t>(SipHash24(partition_key_, key) % config_.num_suborams);
+  // PartitionBinOfHash, not `%`: div latency depends on the secret-derived hash
+  // (ct_dataflow rule B03), and resharding must agree with routing bin-for-bin.
+  return PartitionBinOfHash(SipHash24(partition_key_, key), config_.num_suborams);
 }
 
 LoadBalancer::PreparedEpoch LoadBalancer::PrepareBatches(RequestBatch&& client_requests) {

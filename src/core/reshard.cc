@@ -8,31 +8,26 @@
 
 namespace snoopy {
 
-std::vector<ByteSlab> PartitionSlabByBin(const ByteSlab& records, const SipKey& partition_key,
-                                         uint32_t num_bins, size_t value_size,
-                                         int sort_threads) {
-  if (num_bins == 0) {
-    throw std::invalid_argument("PartitionSlabByBin needs at least one bin");
-  }
-  if (records.record_bytes() != 8 + value_size) {
-    throw std::invalid_argument("PartitionSlabByBin: records must be key(8) | value");
-  }
+ByteSlab TagAndSortByBin(const ByteSlab& records, const SipKey& partition_key,
+                         uint32_t num_bins, size_t value_size, int sort_threads) {
   const size_t n = records.size();
   const size_t stride = kReshardHeaderBytes + value_size;
   ByteSlab tagged(0, stride);
 
   // SNOOPY_OBLIVIOUS_BEGIN(reshard_partition)
   // ct-public: i n stride num_bins value_size tagged records
+  // ct-calls: PartitionBinOfHash
   // Tag every record with its (secret) target partition and sort by the tag. The key
-  // is secret inside the enclave; SipHash24 is the branchless keyed partition hash
-  // and the bitonic comparator routes through the Secret taint types, so no branch or
+  // is secret inside the enclave; SipHash24 is the branchless keyed partition hash,
+  // PartitionBinOfHash reduces it to a bin without a variable-latency divide, and
+  // the bitonic comparator routes through the Secret taint types, so no branch or
   // index here depends on key material.
   for (size_t i = 0; i < n; ++i) {
     const uint8_t* src = records.Record(i);
     uint8_t* rec = tagged.AppendZero();
     uint64_t key;
     std::memcpy(&key, src, 8);
-    const uint32_t bin = static_cast<uint32_t>(SipHash24(partition_key, key) % num_bins);
+    const uint32_t bin = PartitionBinOfHash(SipHash24(partition_key, key), num_bins);
     std::memcpy(rec, &bin, 4);
     std::memcpy(rec + kReshardKeyOffset, src, 8 + value_size);
   }
@@ -43,6 +38,22 @@ std::vector<ByteSlab> PartitionSlabByBin(const ByteSlab& records, const SipKey& 
       },
       sort_threads);
   // SNOOPY_OBLIVIOUS_END(reshard_partition)
+
+  return tagged;
+}
+
+std::vector<ByteSlab> PartitionSlabByBin(const ByteSlab& records, const SipKey& partition_key,
+                                         uint32_t num_bins, size_t value_size,
+                                         int sort_threads) {
+  if (num_bins == 0) {
+    throw std::invalid_argument("PartitionSlabByBin needs at least one bin");
+  }
+  if (records.record_bytes() != 8 + value_size) {
+    throw std::invalid_argument("PartitionSlabByBin: records must be key(8) | value");
+  }
+
+  const ByteSlab tagged =
+      TagAndSortByBin(records, partition_key, num_bins, value_size, sort_threads);
 
   // Public boundary split: partition sizes are public (each subORAM receives its
   // partition in the clear inside its enclave), so a plain scan over the sorted tags

@@ -28,6 +28,28 @@ namespace snoopy {
 inline constexpr size_t kReshardHeaderBytes = 16;
 inline constexpr size_t kReshardKeyOffset = 8;
 
+// Maps a keyed partition hash onto [0, num_bins) without division: Lemire's
+// multiply-shift reduction ((hash * num_bins) >> 64). The hash is secret-derived, and
+// x86 div/idiv latency depends on operand magnitude, so `hash % num_bins` would make
+// partition assignment variable-time in the secret hash (binary taint rule B03 in
+// tools/ct_dataflow.py); the 64x64->128 multiply is constant-time. Every consumer of
+// the partition function (LoadBalancer::SubOramOf, resharding) must use this same
+// reduction so routing and placement agree.
+inline uint32_t PartitionBinOfHash(uint64_t hash, uint32_t num_bins) {
+  return static_cast<uint32_t>(
+      (static_cast<unsigned __int128>(hash) * num_bins) >> 64);
+}
+
+// The secret-handling core of PartitionSlabByBin: tags every key(8) | value record
+// with its (secret) target bin under the keyed partition hash and obliviously sorts
+// by the tag. Returns the tagged slab (layout bin(4) | pad(4) | key(8) | value) in
+// bin order. Standalone -- rather than folded into PartitionSlabByBin -- so the
+// binary-level taint verifier (tools/ct_dataflow.py) can audit exactly the compiled
+// form of the secret-dependent region, without the public boundary split that
+// legitimately branches on the (declassified-by-contract) sorted tags.
+ByteSlab TagAndSortByBin(const ByteSlab& records, const SipKey& partition_key,
+                         uint32_t num_bins, size_t value_size, int sort_threads);
+
 // Obliviously partitions `records` -- a slab of key(8) | value(value_size) records --
 // into `num_bins` partitions under the secret keyed partition hash. Returns one slab
 // per bin in the store layout (key(8) | value), ready for SubOramBackend::Initialize.

@@ -10,6 +10,11 @@ Loop back-edges count too -- the fixture uses small fixed sizes precisely so tha
 every loop fully unrolls; a surviving loop means the "fully unrolled, branch-free"
 claim no longer holds and the fixture (or primitive) needs attention.
 
+Instruction parsing (prefix bytes, multi-line encodings, missing raw-byte columns)
+is shared with the taint dataflow analyzer via tools/ct_disasm.py; this tool remains
+the fast hand-unrolled smoke test, while ct_dataflow.py audits the full-size symbols
+whose loops cannot unroll.
+
 Usage:
   check_nobranch.py --compiler g++ --repo-root . --opt -O2 [--objdump objdump]
 """
@@ -23,19 +28,12 @@ import subprocess
 import sys
 import tempfile
 
+import ct_disasm
+
 # Expected symbols are declared in the fixture itself via `// nb-symbol: <name>`
 # markers (`nb-symbol[x86]: <name>` for symbols only compiled on x86-64), so adding
 # a wrapper and registering it for scanning is one edit in one file.
 MARKER_RE = re.compile(r"//\s*nb-symbol(\[x86\])?:\s*(\w+)")
-
-# x86-64 conditional control transfer: all j* except jmp, plus the loop family.
-X86_COND = re.compile(r"^\s*(j(?!mp)[a-z]+|loopn?e?|jr?cxz)\b")
-# aarch64: conditional branches and compare/test-and-branch.
-A64_COND = re.compile(r"^\s*(b\.[a-z]+|cbn?z|tbn?z)\b")
-
-SYMBOL_RE = re.compile(r"^[0-9a-f]+\s+<(\w+)>:")
-# objdump -d instruction line: address, raw bytes, then the mnemonic column.
-INSN_RE = re.compile(r"^\s*[0-9a-f]+:\s*(?:[0-9a-f]{2}\s)+\s*(.*)$")
 
 
 def main() -> int:
@@ -65,50 +63,33 @@ def main() -> int:
         if r.returncode != 0:
             print(f"compile failed: {' '.join(compile_cmd)}\n{r.stderr}")
             return 1
-        r = subprocess.run([args.objdump, "-d", "--no-show-raw-insn", str(obj)],
-                           capture_output=True, text=True)
-        if r.returncode != 0:
-            print(f"objdump failed:\n{r.stderr}")
+        try:
+            dis = ct_disasm.run_objdump(args.objdump, str(obj))
+        except RuntimeError as e:
+            print(e)
             return 1
-        disasm = r.stdout
-
-    # Partition the disassembly by symbol.
-    per_symbol: dict[str, list[str]] = {}
-    current = None
-    for line in disasm.splitlines():
-        m = SYMBOL_RE.match(line)
-        if m:
-            current = m.group(1)
-            per_symbol[current] = []
-        elif current is not None and line.strip():
-            per_symbol[current].append(line)
-
-    is_x86 = re.search(r"file format\s+\S*x86-64", disasm) is not None
 
     failures = 0
     scanned = 0
     for sym, x86_only in expected:
-        if x86_only and not is_x86:
+        if x86_only and not dis.is_x86:
             print(f"skip {sym}: x86-only symbol, object is not x86-64")
             continue
         scanned += 1
-        if sym not in per_symbol:
+        if sym not in dis.symbols:
             print(f"FAIL {sym}: symbol not found in disassembly")
             failures += 1
             continue
-        hits = []
-        for line in per_symbol[sym]:
-            # With --no-show-raw-insn the mnemonic follows "addr:\t".
-            text = line.split(":", 1)[1] if ":" in line else line
-            if X86_COND.match(text.strip()) or A64_COND.match(text.strip()):
-                hits.append(line.strip())
+        insns = dis.symbols[sym].insns
+        hits = [i for i in insns
+                if ct_disasm.is_conditional_branch(i, x86=not dis.is_aarch64)]
         if hits:
             print(f"FAIL {sym} ({args.opt}): conditional branch(es) in compiled code:")
             for h in hits:
-                print(f"    {h}")
+                print(f"    {h.address:x}: {h.raw}")
             failures += 1
         else:
-            print(f"ok {sym} ({args.opt}): {len(per_symbol[sym])} insns, no conditional branches")
+            print(f"ok {sym} ({args.opt}): {len(insns)} insns, no conditional branches")
 
     if failures:
         print(f"check_nobranch: {failures} failure(s) at {args.opt}")

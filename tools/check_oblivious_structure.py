@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""check_oblivious_structure: tree-wide SNOOPY_OBLIVIOUS region audit.
+
+The constant-time discipline hangs off comment markers:
+
+    // SNOOPY_OBLIVIOUS_BEGIN(name)
+    ...
+    // SNOOPY_OBLIVIOUS_END(name)
+
+ct_lint.py only lints regions in files the manifest classifies as `enforced`,
+so a structural slip is silent: an orphaned BEGIN swallows the rest of the
+file, a typo'd END leaves the region open, and a region added to a file the
+manifest calls `public` (or forgets entirely) is never linted at all. This
+check makes those states loud, tree-wide:
+
+  S01  BEGIN without a matching END (or END without a BEGIN)
+  S02  END name does not match the innermost open BEGIN
+  S03  file opens oblivious regions but ct_manifest.json does not classify it
+       as `enforced` (unclassified, or classified public/tcb/exempt)
+  S04  file is classified `enforced` but contains no region (vacuous entry --
+       usually a marker deleted without updating the manifest)
+  S05  duplicate region name within one file (breaks region-keyed tooling)
+
+Exit 0 iff the tree is structurally clean.
+"""
+
+import argparse
+import json
+import pathlib
+import re
+import sys
+
+RE_BEGIN = re.compile(r"//\s*SNOOPY_OBLIVIOUS_BEGIN\((\w+)\)")
+RE_END = re.compile(r"//\s*SNOOPY_OBLIVIOUS_END\((\w+)\)")
+
+SCAN_DIRS = ("src", "tests", "bench", "examples", "tools")
+SUFFIXES = (".cc", ".h")
+
+
+def scan_file(path: pathlib.Path, rel: str, findings: list) -> list:
+    """-> list of region names opened (and properly closed) in this file."""
+    closed = []
+    stack = []  # (name, line)
+    seen = set()
+    for n, line in enumerate(path.read_text().splitlines(), 1):
+        for m in RE_BEGIN.finditer(line):
+            name = m.group(1)
+            if name in seen:
+                findings.append((rel, n, "S05",
+                                 f"duplicate region name '{name}' in this file"))
+            seen.add(name)
+            stack.append((name, n))
+        for m in RE_END.finditer(line):
+            name = m.group(1)
+            if not stack:
+                findings.append((rel, n, "S01",
+                                 f"SNOOPY_OBLIVIOUS_END({name}) without an open BEGIN"))
+                continue
+            open_name, open_line = stack.pop()
+            if open_name != name:
+                findings.append((rel, n, "S02",
+                                 f"END({name}) closes BEGIN({open_name}) from "
+                                 f"line {open_line}"))
+            closed.append(open_name)
+    for name, n in stack:
+        findings.append((rel, n, "S01",
+                         f"SNOOPY_OBLIVIOUS_BEGIN({name}) is never closed"))
+    return closed
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--repo-root", default=".", type=pathlib.Path)
+    ap.add_argument("--manifest", default=None, type=pathlib.Path)
+    ap.add_argument("--format", choices=("text", "json"), default="text")
+    args = ap.parse_args()
+    root = args.repo_root.resolve()
+    manifest_path = args.manifest or root / "tools" / "ct_manifest.json"
+    with open(manifest_path) as fh:
+        manifest = json.load(fh)
+    classes = {e["path"]: e["class"] for e in manifest.get("files", [])}
+
+    findings = []
+    regions_by_file = {}
+    for sub in SCAN_DIRS:
+        base = root / sub
+        if not base.exists():
+            continue
+        for p in sorted(base.rglob("*")):
+            if p.suffix not in SUFFIXES or "ct_lint_selftest" in p.parts \
+                    or "ct_dataflow_selftest" in p.parts:
+                continue
+            rel = p.relative_to(root).as_posix()
+            regions = scan_file(p, rel, findings)
+            if regions:
+                regions_by_file[rel] = regions
+
+    for rel, regions in sorted(regions_by_file.items()):
+        cls = classes.get(rel)
+        if cls != "enforced":
+            how = f"classified '{cls}'" if cls else "not in the manifest"
+            findings.append((rel, 1, "S03",
+                             f"opens region(s) {', '.join(regions)} but is {how} "
+                             f"-- ct_lint will not audit them"))
+    for rel, cls in sorted(classes.items()):
+        if cls == "enforced" and rel not in regions_by_file:
+            findings.append((rel, 1, "S04",
+                             "classified 'enforced' but contains no "
+                             "SNOOPY_OBLIVIOUS region"))
+
+    if args.format == "json":
+        print(json.dumps({
+            "tool": "check_oblivious_structure",
+            "findings": [{"path": p, "line": l, "rule": r, "detail": d}
+                         for p, l, r, d in findings],
+        }, indent=2))
+        return 1 if findings else 0
+    for p, l, r, d in findings:
+        print(f"{p}:{l}: {r}: {d}")
+    if findings:
+        print(f"check_oblivious_structure: {len(findings)} finding(s)")
+        return 1
+    n = sum(len(v) for v in regions_by_file.values())
+    print(f"check_oblivious_structure: clean -- {n} region(s) in "
+          f"{len(regions_by_file)} file(s), all paired, named, and enforced")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

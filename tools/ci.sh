@@ -19,6 +19,21 @@ JOBS="$(nproc 2>/dev/null || echo 4)"
 echo "== constant-time lint (self-test corpus + real tree) =="
 python3 tools/ct_lint.py --repo-root . --self-test
 
+echo "== oblivious region structure (BEGIN/END pairing + manifest coverage) =="
+python3 tools/check_oblivious_structure.py --repo-root .
+
+echo "== binary taint dataflow (planted corpus, then real kernels at -O2/-O3) =="
+# The source lint cannot see what the optimizer emits; ct_dataflow audits the
+# compiled objects. Self-test first (every planted B01-B04/M01 must fire), then
+# the real audit unit at both opt levels, for every SIMD backend and again with
+# dispatch pinned to the generic backend -- a finding or a manifest symbol
+# missing from the object (M01) fails the stage.
+python3 tools/ct_dataflow.py --repo-root . --self-test
+python3 tools/ct_dataflow.py --repo-root . --opt=-O2
+python3 tools/ct_dataflow.py --repo-root . --opt=-O3
+SNOOPY_FORCE_GENERIC_KERNELS=1 python3 tools/ct_dataflow.py --repo-root . --opt=-O2
+SNOOPY_FORCE_GENERIC_KERNELS=1 python3 tools/ct_dataflow.py --repo-root . --opt=-O3
+
 echo "== default build + full test suite =="
 cmake -S . -B build >/dev/null
 cmake --build build -j"${JOBS}"

@@ -1,0 +1,13 @@
+// Planted B01: a conditional branch whose flags derive from a secret value.
+// The guarded store keeps GCC from if-converting the branch into a cmov
+// (speculative stores are never emitted), so a real jcc survives -O2.
+
+#include <cstdint>
+
+// ctdf-symbol: tc_branch_on_secret secret=val:rdi expect=B01
+extern "C" __attribute__((noipa)) void tc_branch_on_secret(uint64_t s,
+                                                           uint64_t* out) {
+  if (s & 1) {
+    out[0] = 0x1234;
+  }
+}

@@ -1,0 +1,10 @@
+// Planted B02: a table lookup whose index derives from a secret value -- the
+// classic S-box/cache-line leak the kernels exist to avoid.
+
+#include <cstdint>
+
+// ctdf-symbol: tc_secret_index secret=val:rdi expect=B02
+extern "C" __attribute__((noipa)) uint8_t tc_secret_index(uint64_t s,
+                                                          const uint8_t* table) {
+  return table[s & 255];
+}

@@ -1,0 +1,10 @@
+// Planted B03: an integer divide whose operand derives from a secret value.
+// DIV latency is operand-dependent on every x86-64 this project targets.
+
+#include <cstdint>
+
+// ctdf-symbol: tc_secret_divide secret=val:rdi expect=B03
+extern "C" __attribute__((noipa)) uint64_t tc_secret_divide(uint64_t s,
+                                                            uint64_t n) {
+  return n / (s | 1);  // | 1 avoids UB while keeping the divisor tainted
+}

@@ -1,0 +1,17 @@
+// Planted B04: secret data escaping to a non-allowlisted external callee --
+// once by value in an argument register, once as a pointer to secret bytes.
+
+#include <cstdint>
+
+extern "C" void tc_sink_value(uint64_t);
+extern "C" void tc_sink_buffer(const uint8_t*);
+
+// ctdf-symbol: tc_secret_escape_val secret=val:rdi expect=B04
+extern "C" __attribute__((noipa)) void tc_secret_escape_val(uint64_t s) {
+  tc_sink_value(s ^ 0x5a5a5a5a);
+}
+
+// ctdf-symbol: tc_secret_escape_ptr secret=ptr:rdi expect=B04
+extern "C" __attribute__((noipa)) void tc_secret_escape_ptr(const uint8_t* p) {
+  tc_sink_buffer(p);
+}

@@ -1,0 +1,24 @@
+// Negative control: constant-time mask algebra over secrets must NOT be
+// flagged. Taint flows through the arithmetic (masks are taint algebra, not
+// taint kills), but no branch, address, latency, or call ever consumes it.
+
+#include <cstddef>
+#include <cstdint>
+
+// ctdf-symbol: tc_clean_select secret=val:rdi expect=clean
+extern "C" __attribute__((noipa)) uint64_t tc_clean_select(uint64_t bit,
+                                                           uint64_t a,
+                                                           uint64_t b) {
+  const uint64_t mask = uint64_t{0} - (bit & 1);
+  return (a & mask) | (b & ~mask);
+}
+
+// ctdf-symbol: tc_clean_copy secret=val:rdi,ptr:rsi,ptr:rdx expect=clean
+extern "C" __attribute__((noipa)) void tc_clean_copy(uint64_t mask, uint8_t* d,
+                                                     const uint8_t* s,
+                                                     size_t n) {
+  const uint8_t m = static_cast<uint8_t>(mask);
+  for (size_t i = 0; i < n; ++i) {
+    d[i] = static_cast<uint8_t>((s[i] & m) | (d[i] & static_cast<uint8_t>(~m)));
+  }
+}

@@ -1,0 +1,11 @@
+// Planted M01: the manifest/marker names a symbol the object does not define
+// (e.g. a kernel entry point renamed without updating the audit unit). The
+// verifier must fail loudly instead of silently auditing nothing.
+
+#include <cstdint>
+
+// ctdf-symbol: tc_symbol_that_does_not_exist secret=val:rdi expect=M01
+
+extern "C" __attribute__((noipa)) uint64_t tc_present(uint64_t x) {
+  return x + 1;
+}

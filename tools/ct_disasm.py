@@ -1,0 +1,224 @@
+"""ct_disasm: shared objdump disassembly parsing for the constant-time binary checks.
+
+Both binary-level verifiers -- the no-branch smoke test (check_nobranch.py) and the
+secret-taint dataflow analyzer (ct_dataflow.py) -- consume `objdump -d` output. This
+module owns the parsing so the two tools agree on what an instruction is:
+
+  * symbol headers (`0000000000000010 <name>:`), tracked per section so object files
+    whose sections all start at address 0 do not alias;
+  * instruction lines in both objdump layouts: with the raw-byte column
+    (`  10:\t48 89 e5 \tmov %rsp,%rbp`) and without (`--no-show-raw-insn`);
+  * multi-line encodings, where a long instruction wraps and the continuation line
+    carries only hex bytes and no mnemonic;
+  * legacy prefixes (`lock`, `rep`/`repz`/`repnz`, `data16`, `bnd`, `notrack`,
+    segment overrides) split off the mnemonic so `data16 ...` is not mistaken for a
+    mnemonic called `data16`;
+  * relocation lines (`objdump -dr`): in an unlinked object the displacement of a
+    `call` to an external symbol is a placeholder, and only the relocation names the
+    real target -- the reloc is attached to the instruction it patches.
+
+The conditional-branch classifiers live here too, so adding a mnemonic (say, a new
+`loop` spelling) fixes every tool at once.
+"""
+
+from __future__ import annotations
+
+import re
+import subprocess
+from dataclasses import dataclass, field
+
+# x86-64 conditional control transfer: all j* except jmp, plus the loop family and
+# the rcx-zero jumps.
+X86_COND_RE = re.compile(r"^(j(?!mp)[a-z]+|loopn?e?|jr?cxz)$")
+# aarch64: conditional branches and compare/test-and-branch.
+A64_COND_RE = re.compile(r"^(b\.[a-z]+|cbn?z|tbn?z)$")
+
+# Legacy/ignorable prefixes objdump prints as leading tokens of the mnemonic column.
+PREFIX_TOKENS = {
+    "lock", "rep", "repz", "repe", "repnz", "repne", "data16", "data32",
+    "addr32", "bnd", "notrack", "cs", "ds", "es", "fs", "gs", "ss", "rex.w",
+}
+
+SECTION_RE = re.compile(r"^Disassembly of section (\S+):")
+SYMBOL_RE = re.compile(r"^([0-9a-f]+) <(.+)>:\s*$")
+# Address prefix of an instruction (or relocation) line.
+ADDR_RE = re.compile(r"^\s+([0-9a-f]+):\s*(.*)$")
+RELOC_RE = re.compile(r"^\s*(R_\S+)\s+(\S+)")
+HEX_BYTES_RE = re.compile(r"^(?:[0-9a-f]{2}\s+)*[0-9a-f]{2}\s*$")
+FILE_FORMAT_RE = re.compile(r"file format\s+(\S+)")
+# Branch/call target operand: `401020 <sym+0x20>` or `1f <f>`.
+TARGET_RE = re.compile(r"^([0-9a-f]+)\s+<([^>]+)>")
+
+
+@dataclass
+class Insn:
+    address: int
+    mnemonic: str  # prefix-stripped ("data16 cs nopw ..." -> "nopw")
+    operands: list  # operand strings, split on top-level commas
+    prefixes: list  # stripped prefix tokens, in order
+    raw: str  # the original mnemonic column, for reporting
+    reloc: str | None = None  # relocation symbol patching this insn, if any
+    reloc_type: str | None = None  # e.g. R_X86_64_PLT32, R_X86_64_REX_GOTPCRELX
+    line: str = ""  # full original line
+
+    def target(self) -> tuple[int, str] | None:
+        """(address, symbol-expression) of a direct branch/call target operand."""
+        for op in self.operands:
+            m = TARGET_RE.match(op)
+            if m:
+                return int(m.group(1), 16), m.group(2)
+        return None
+
+
+@dataclass
+class SymbolDisasm:
+    name: str
+    section: str
+    address: int
+    insns: list = field(default_factory=list)
+
+
+@dataclass
+class Disassembly:
+    file_format: str = ""
+    symbols: dict = field(default_factory=dict)  # name -> SymbolDisasm
+    _by_section: dict = field(default_factory=dict)  # section -> [(addr, name)]
+
+    @property
+    def is_x86(self) -> bool:
+        return "x86-64" in self.file_format
+
+    @property
+    def is_aarch64(self) -> bool:
+        return "aarch64" in self.file_format
+
+    def symbol_at(self, section: str, address: int) -> str | None:
+        """Name of the symbol containing `address` in `section`."""
+        best = None
+        for addr, name in self._by_section.get(section, ()):
+            if addr <= address:
+                best = name
+            else:
+                break
+        return best
+
+
+def split_operands(text: str) -> list:
+    """Splits an operand string on top-level commas ((),<> nesting respected)."""
+    ops = []
+    depth = 0
+    cur = []
+    for ch in text:
+        if ch in "(<":
+            depth += 1
+        elif ch in ")>":
+            depth -= 1
+        if ch == "," and depth == 0:
+            ops.append("".join(cur).strip())
+            cur = []
+        else:
+            cur.append(ch)
+    tail = "".join(cur).strip()
+    if tail:
+        ops.append(tail)
+    return ops
+
+
+def _parse_mnemonic_column(text: str) -> tuple[str, list, list] | None:
+    """(mnemonic, operands, prefixes) from the post-bytes column; None if empty."""
+    text = text.strip()
+    if not text or text.startswith("(bad)") or text == "...":
+        return None
+    # Comments ("# 0x40 <x>") follow the operands; strip unless inside a target.
+    parts = text.split("\t")
+    text = parts[-1].strip() if len(parts) > 1 else text
+    prefixes = []
+    rest = text
+    while True:
+        bits = rest.split(None, 1)
+        if bits and bits[0] in PREFIX_TOKENS:
+            prefixes.append(bits[0])
+            rest = bits[1] if len(bits) > 1 else ""
+        else:
+            break
+    if not rest:
+        # A bare prefix line (e.g. a lone `data16`): treat the prefix as mnemonic so
+        # it is still visible to scanners rather than silently dropped.
+        return (prefixes[-1] if prefixes else "", [], prefixes[:-1])
+    bits = rest.split(None, 1)
+    mnemonic = bits[0]
+    operand_text = bits[1] if len(bits) > 1 else ""
+    # Drop trailing objdump comments: "lea 0x0(%rip),%rax        # 40 <f+0x40>".
+    cut = operand_text.find("#")
+    if cut >= 0 and "<" not in operand_text[:cut]:
+        operand_text = operand_text[:cut]
+    return mnemonic, split_operands(operand_text), prefixes
+
+
+def parse_objdump(text: str) -> Disassembly:
+    dis = Disassembly()
+    m = FILE_FORMAT_RE.search(text)
+    if m:
+        dis.file_format = m.group(1)
+    section = ""
+    current: SymbolDisasm | None = None
+    for line in text.splitlines():
+        sm = SECTION_RE.match(line)
+        if sm:
+            section = sm.group(1)
+            current = None
+            continue
+        ym = SYMBOL_RE.match(line)
+        if ym:
+            name = ym.group(2)
+            current = SymbolDisasm(name, section, int(ym.group(1), 16))
+            dis.symbols[name] = current
+            dis._by_section.setdefault(section, []).append((current.address, name))
+            continue
+        am = ADDR_RE.match(line)
+        if am is None or current is None:
+            continue
+        addr = int(am.group(1), 16)
+        rest = am.group(2)
+        rm = RELOC_RE.match(rest)
+        if rm:
+            # Relocation line: names the real target of the instruction it patches.
+            if current.insns and current.insns[-1].reloc is None:
+                sym = rm.group(2)
+                # Strip addend ("memcpy-0x4" -> "memcpy").
+                sym = re.split(r"[+-]0x[0-9a-f]+$", sym)[0]
+                current.insns[-1].reloc = sym
+                current.insns[-1].reloc_type = rm.group(1)
+            continue
+        # Byte column (if present) is tab-separated from the mnemonic column.
+        fields = rest.split("\t")
+        if HEX_BYTES_RE.match(fields[0].strip() + " ") or HEX_BYTES_RE.match(fields[0].strip()):
+            mcol = "\t".join(fields[1:])
+        else:
+            mcol = rest
+        parsed = _parse_mnemonic_column(mcol)
+        if parsed is None:
+            continue  # continuation line of a multi-byte encoding, or padding
+        mnemonic, operands, prefixes = parsed
+        current.insns.append(Insn(addr, mnemonic, operands, prefixes, mcol.strip(), line=line))
+    for entries in dis._by_section.values():
+        entries.sort()
+    return dis
+
+
+def run_objdump(objdump: str, obj_path: str, *, relocs: bool = True,
+                show_raw: bool = True) -> Disassembly:
+    cmd = [objdump, "-dr" if relocs else "-d"]
+    if not show_raw:
+        cmd.append("--no-show-raw-insn")
+    cmd.append(obj_path)
+    r = subprocess.run(cmd, capture_output=True, text=True)
+    if r.returncode != 0:
+        raise RuntimeError(f"objdump failed: {' '.join(cmd)}\n{r.stderr}")
+    return parse_objdump(r.stdout)
+
+
+def is_conditional_branch(insn: Insn, *, x86: bool = True) -> bool:
+    if x86:
+        return X86_COND_RE.match(insn.mnemonic) is not None
+    return A64_COND_RE.match(insn.mnemonic) is not None

@@ -621,6 +621,9 @@ def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--repo-root", default=".", type=pathlib.Path)
     ap.add_argument("--manifest", default=None, type=pathlib.Path)
+    ap.add_argument("--format", choices=("text", "json"), default="text",
+                    help="finding output format (json: one machine-readable "
+                         "object, mirrors ct_dataflow --format=json)")
     ap.add_argument("--self-test", action="store_true")
     args = ap.parse_args()
     root = args.repo_root.resolve()
@@ -635,6 +638,13 @@ def main() -> int:
         return 0
 
     findings = lint_tree(root, manifest)
+    if args.format == "json":
+        print(json.dumps({
+            "tool": "ct_lint",
+            "findings": [{"path": f.path, "line": f.line, "rule": f.code,
+                          "detail": f.message} for f in findings],
+        }, indent=2))
+        return 1 if findings else 0
     for f in findings:
         print(f)
     if findings:
