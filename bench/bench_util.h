@@ -1,12 +1,18 @@
-// Shared helpers for the figure/table harnesses: wall-clock timing and aligned
-// row printing so each binary reproduces its paper figure as a text table.
+// Shared helpers for the figure/table harnesses: wall-clock timing, aligned
+// row printing so each binary reproduces its paper figure as a text table, and
+// the optional --metrics-out=<path> flag that dumps the harness's full
+// MetricsRegistry snapshot (RenderJson) at exit for offline analysis.
 
 #ifndef SNOOPY_BENCH_BENCH_UTIL_H_
 #define SNOOPY_BENCH_BENCH_UTIL_H_
 
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <functional>
+#include <string>
+
+#include "src/telemetry/metrics.h"
 
 namespace snoopy {
 
@@ -21,6 +27,39 @@ inline void PrintHeader(const char* figure, const char* caption) {
   std::printf("==============================================================================\n");
   std::printf("%s -- %s\n", figure, caption);
   std::printf("==============================================================================\n");
+}
+
+// Scans argv for --metrics-out=<path>. Returns the path, or "" when absent. The
+// flag is shared by every harness that keeps a MetricsRegistry; unknown flags are
+// left alone so harness-specific options keep working.
+inline std::string MetricsOutPath(int argc, char** argv) {
+  constexpr const char kPrefix[] = "--metrics-out=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], kPrefix, sizeof(kPrefix) - 1) == 0) {
+      return std::string(argv[i] + sizeof(kPrefix) - 1);
+    }
+  }
+  return std::string();
+}
+
+// Writes the registry's full JSON snapshot to `path` (no-op on empty path).
+// Returns true when the file was written.
+inline bool WriteMetricsSnapshot(const MetricsRegistry& registry, const std::string& path) {
+  if (path.empty()) {
+    return false;
+  }
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench: cannot open %s for metrics snapshot\n", path.c_str());
+    return false;
+  }
+  const std::string body = registry.RenderJson();
+  const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  std::fclose(f);
+  if (ok) {
+    std::printf("metrics snapshot: %s\n", path.c_str());
+  }
+  return ok;
 }
 
 }  // namespace snoopy

@@ -11,6 +11,7 @@
 #include "src/obl/kernels.h"
 #include "src/obl/primitives.h"
 #include "src/obl/secret.h"
+#include "src/telemetry/tracing.h"
 
 namespace snoopy {
 
@@ -33,6 +34,13 @@ LoadBalancer::PreparedEpoch LoadBalancer::PrepareBatches(RequestBatch&& client_r
   const uint64_t r = client_requests.size();
   const uint32_t s = config_.num_suborams;
   const uint64_t b = BatchSize(r, s, config_.lambda);
+
+  // Step spans at public pipeline boundaries (request count r is network-visible,
+  // batch size b is the padded f(R, S) of Theorem 3). Opened/closed outside the
+  // oblivious regions.
+  TraceSpan assign_trace(&Tracer::Global(), "step", "lb_assign");
+  assign_trace.SetArg("requests", r);
+  assign_trace.SetArg("batch", b);
 
   // SNOOPY_OBLIVIOUS_BEGIN(lb_prepare)
   // ct-public: i r kSeqMask
@@ -60,6 +68,7 @@ LoadBalancer::PreparedEpoch LoadBalancer::PrepareBatches(RequestBatch&& client_r
     h.dedup = h.key;
   }
   // SNOOPY_OBLIVIOUS_END(lb_prepare)
+  assign_trace.End();
 
   PreparedEpoch epoch;
   epoch.batch_size = b;
@@ -80,6 +89,9 @@ LoadBalancer::PreparedEpoch LoadBalancer::PrepareBatches(RequestBatch&& client_r
   options.bin_capacity = static_cast<uint32_t>(b);
   options.dedup = true;
   options.sort_threads = config_.sort_threads;
+  TraceSpan place_trace(&Tracer::Global(), "step", "lb_bin_placement");
+  place_trace.SetArg("requests", r);
+  place_trace.SetArg("bins", s);
   const BinPlacementResult placed = ObliviousBinPlacement(
       client_requests.slab(), kRequestBinSchema, options, [&](uint8_t* rec) {
         auto* h = reinterpret_cast<RequestHeader*>(rec);
@@ -93,7 +105,10 @@ LoadBalancer::PreparedEpoch LoadBalancer::PrepareBatches(RequestBatch&& client_r
     throw std::runtime_error("load balancer batch bound overflow (negligible event)");
   }
 
+  place_trace.End();
+
   // Split the m*z result into per-subORAM batches.
+  TraceSpan split_trace(&Tracer::Global(), "step", "lb_split");
   const size_t record_bytes = client_requests.record_bytes();
   for (uint32_t so = 0; so < s; ++so) {
     ByteSlab slice(static_cast<size_t>(b), record_bytes);
@@ -112,6 +127,8 @@ RequestBatch LoadBalancer::MatchResponses(PreparedEpoch&& epoch,
   const size_t r = epoch.originals.size();
 
   // Figure 6 step 1: merge subORAM responses and original requests into one slab.
+  TraceSpan merge_trace(&Tracer::Global(), "step", "lb_match_merge");
+  merge_trace.SetArg("requests", r);
   RequestBatch merged(value_size);
   for (RequestBatch& resp_batch : responses) {
     for (size_t i = 0; i < resp_batch.size(); ++i) {
@@ -124,9 +141,17 @@ RequestBatch LoadBalancer::MatchResponses(PreparedEpoch&& epoch,
                   std::span<const uint8_t>(epoch.originals.Value(i), value_size));
   }
   TraceRecord(TraceOp::kAppend, merged.size(), 0);
+  merge_trace.End();
+
+  // The sort and propagate spans bracket code *inside* the oblivious region, so
+  // their call names are ct-public-annotated below (lint rule CT010): the spans
+  // record only the public merged size and wall-clock boundaries of whole-region
+  // steps, never anything derived from record contents.
+  TraceSpan sort_trace(&Tracer::Global(), "step", "lb_match_sort");
+  sort_trace.SetArg("records", merged.size());
 
   // SNOOPY_OBLIVIOUS_BEGIN(lb_match)
-  // ct-public: i total value_size
+  // ct-public: i total value_size TraceSpan SetArg
   // Figure 6 step 2: oblivious sort by object id, responses before requests.
   BitonicSortSlabBlocked(
       merged.slab(),
@@ -144,6 +169,8 @@ RequestBatch LoadBalancer::MatchResponses(PreparedEpoch&& epoch,
         return (ka < kb) | ((ka == kb) & (wa < wb));
       },
       config_.sort_threads);
+  sort_trace.End();
+  TraceSpan propagate_trace(&Tracer::Global(), "step", "lb_match_propagate");
 
   // Figure 6 step 3: propagate response payloads forward onto the request records. A
   // request whose own access-control verdict was "deny" receives null even when it was
@@ -173,9 +200,11 @@ RequestBatch LoadBalancer::MatchResponses(PreparedEpoch&& epoch,
     h.resp = static_cast<uint8_t>(h.resp | take.ToFlagByte());
   }
   // SNOOPY_OBLIVIOUS_END(lb_match)
+  propagate_trace.End();
 
   // Figure 6 step 4: compact the responses (and dummy responses) away; what remains is
   // exactly one answered record per original client request.
+  TraceSpan compact_trace(&Tracer::Global(), "step", "lb_match_compact");
   const size_t kept = GoodrichCompact(merged.slab(), std::span<uint8_t>(keep.data(), total));
   if (kept != r) {
     throw std::runtime_error("response matching invariant violated");

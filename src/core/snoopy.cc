@@ -125,53 +125,166 @@ std::vector<std::pair<uint64_t, std::vector<uint8_t>>> SlabToObjects(const ByteS
   return out;
 }
 
+// Observability context for one phase-pool run: phase name for labels/spans, the
+// tracer and registry to export into (either may be null), and the clock (null =
+// steady_clock; the fault-injection deployment passes the VirtualClock).
+struct PhasePoolContext {
+  const char* phase;
+  Tracer* tracer = nullptr;
+  MetricsRegistry* metrics = nullptr;
+  std::function<double()> now;
+};
+
 // Runs tasks 0..n-1 across up to `threads` workers (the calling thread included) and
 // merges every task's trace events back into the caller's sink in task-index order.
 // Each task index is a *public* id (load balancer or subORAM number), so the merge
 // order is simulatable and the merged trace is byte-identical at any thread count:
 // with threads <= 1 the tasks simply run inline in index order, which produces the
-// same event sequence the buffered merge reproduces. Task assignment to workers is
-// dynamic (work-stealing counter); that never affects the result because each task
-// touches only its own per-index state and per-endpoint fault streams.
+// same event sequence the buffered merge reproduces.
+//
+// Scheduling is work-stealing over striped queues: worker w owns the contiguous
+// stripe [w*chunk, (w+1)*chunk) behind its own atomic cursor; a worker that drains
+// its stripe claims indices from its victims' cursors in cyclic order. Scheduling
+// never affects the result because each task touches only its own per-index state
+// and per-endpoint fault streams; it does feed the always-on per-worker profile
+// (tasks, steals, busy/idle nanoseconds, queue depth -> RecordWorkerPhase), which
+// records only public schedule facts. When the tracer is enabled each task also
+// gets a span, buffered in a per-task SpanRingBuffer and merged in task-id order
+// after the join, so the span sequence is deterministic at any epoch_threads.
 //
 // A task that throws doesn't stop its siblings (mirroring independent machines in the
 // real deployment); after the join, the lowest-index exception is rethrown so the
 // surfaced error doesn't depend on scheduling.
 template <typename Task>
-void RunIndexedPhase(size_t n, int threads, const Task& task) {
-  const size_t max_workers = threads < 1 ? 1 : static_cast<size_t>(threads);
-  const size_t workers = n < max_workers ? n : max_workers;
-  if (workers <= 1) {
-    for (size_t i = 0; i < n; ++i) {
-      task(i);
-    }
+void RunIndexedPhase(size_t n, int threads, const PhasePoolContext& ctx,
+                     const Task& task) {
+  if (n == 0) {
     return;
   }
+  const size_t max_workers = threads < 1 ? 1 : static_cast<size_t>(threads);
+  const size_t workers = n < max_workers ? n : max_workers;
+  const auto now = [&ctx]() -> double {
+    return ctx.now ? ctx.now() : SpanTimer::SteadyNowSeconds();
+  };
+  const bool tracing = ctx.tracer != nullptr && ctx.tracer->enabled();
+  const double pool_start = now();
+  std::vector<WorkerPhaseStats> stats(workers);
+
+  if (workers <= 1) {
+    WorkerPhaseStats& st = stats[0];
+    st.start_s = pool_start;
+    st.max_queue_depth = n;
+    for (size_t i = 0; i < n; ++i) {
+      const double task_start = now();
+      {
+        TraceSpan span(tracing ? ctx.tracer : nullptr, "task", ctx.phase, i, 0);
+        task(i);
+      }
+      st.busy_ns += static_cast<uint64_t>((now() - task_start) * 1e9);
+      ++st.tasks;
+    }
+    st.finish_s = now();
+    RecordWorkerPhase(ctx.tracer, ctx.metrics, ctx.phase, 1, pool_start,
+                      st.finish_s, stats);
+    return;
+  }
+
   std::vector<std::vector<TraceEvent>> buffers(n);
   std::vector<std::exception_ptr> errors(n);
-  std::atomic<size_t> next{0};
-  auto work = [&] {
-    for (size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
+  std::vector<std::unique_ptr<SpanRingBuffer>> rings;
+  if (tracing) {
+    // Per-task rings stay small at detail 1 (a task plus its step spans); the
+    // full default capacity is only worth its zero-fill cost when tile-level
+    // detail multiplies the span count.
+    const size_t ring_capacity =
+        ctx.tracer->detail() >= 2 ? SpanRingBuffer::kDefaultCapacity : 64;
+    rings.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      rings.push_back(std::make_unique<SpanRingBuffer>(ring_capacity));
+    }
+  }
+  // Padded so cursor fetch_adds from stealers don't false-share with neighbours.
+  struct alignas(64) StripeCursor {
+    std::atomic<size_t> next{0};
+  };
+  const size_t chunk = (n + workers - 1) / workers;
+  auto stripe_begin = [&](size_t w) { return std::min(n, w * chunk); };
+  auto stripe_end = [&](size_t w) { return std::min(n, (w + 1) * chunk); };
+  std::vector<StripeCursor> cursors(workers);
+  for (size_t w = 0; w < workers; ++w) {
+    cursors[w].next.store(stripe_begin(w), std::memory_order_relaxed);
+  }
+
+  auto work = [&](size_t w) {
+    WorkerPhaseStats& st = stats[w];
+    st.start_s = now();
+    st.max_queue_depth = stripe_end(w) - stripe_begin(w);
+    auto run_one = [&](size_t i, bool stolen, size_t victim) {
       TraceThreadBuffer buffer{&buffers[i]};
-      try {
-        task(i);
-      } catch (...) {
-        errors[i] = std::current_exception();
+      const double task_start = now();
+      {
+        TracerThreadBuffer spans{tracing ? rings[i].get() : nullptr};
+        TraceSpan span(tracing ? ctx.tracer : nullptr, "task", ctx.phase, i, 1 + w);
+        span.SetArg("worker", w);
+        if (stolen) {
+          span.SetArg("stolen_from", victim);
+        }
+        try {
+          task(i);
+        } catch (...) {
+          errors[i] = std::current_exception();
+        }
+      }
+      st.busy_ns += static_cast<uint64_t>((now() - task_start) * 1e9);
+      ++st.tasks;
+      if (stolen) {
+        ++st.steals;
+      }
+    };
+    for (;;) {
+      const size_t i = cursors[w].next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= stripe_end(w)) {
+        break;
+      }
+      run_one(i, false, w);
+    }
+    for (size_t delta = 1; delta < workers; ++delta) {
+      const size_t victim = (w + delta) % workers;
+      for (;;) {
+        const size_t i = cursors[victim].next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= stripe_end(victim)) {
+          break;
+        }
+        run_one(i, true, victim);
       }
     }
+    st.finish_s = now();
   };
+
   std::vector<std::thread> pool;
   pool.reserve(workers - 1);
   for (size_t w = 1; w < workers; ++w) {
-    pool.emplace_back(work);
+    pool.emplace_back(work, w);
   }
-  work();
+  work(0);
   for (std::thread& t : pool) {
     t.join();
+  }
+  const double pool_end = now();
+  for (size_t w = 0; w < workers; ++w) {
+    const double idle_s = pool_end - stats[w].finish_s;
+    stats[w].idle_ns = idle_s > 0 ? static_cast<uint64_t>(idle_s * 1e9) : 0;
   }
   for (const std::vector<TraceEvent>& buffer : buffers) {
     TraceAppendCurrent(buffer);
   }
+  if (tracing) {
+    for (const std::unique_ptr<SpanRingBuffer>& ring : rings) {
+      ctx.tracer->Append(*ring);
+    }
+  }
+  RecordWorkerPhase(ctx.tracer, ctx.metrics, ctx.phase, workers, pool_start,
+                    pool_end, stats);
   for (std::exception_ptr& error : errors) {
     if (error) {
       std::rethrow_exception(error);
@@ -1131,6 +1244,15 @@ std::vector<ClientResponse> Snoopy::RunEpoch() {
   const auto now_fn = [this] { return NowSeconds(); };
   SpanTimer epoch_span(
       metrics_ != nullptr ? &metrics_->GetHistogram("snoopy_epoch_seconds") : nullptr, now_fn);
+  // Root tracer span for the whole epoch; closes on scope exit, after every phase
+  // span, so tools/trace_report.py can attribute the epoch's wall-clock to phases
+  // and orchestrator gaps. All arguments are public facts (request counts per
+  // balancer are visible to the network adversary; the per-subORAM batch size is
+  // the padded f(R, S) of Theorem 3).
+  TraceSpan epoch_trace(tracer_, "epoch", "epoch", epoch_);
+  epoch_trace.SetArg("pending", pending_requests());
+  epoch_trace.SetArg("load_balancers", config_.num_load_balancers);
+  epoch_trace.SetArg("suborams", config_.num_suborams);
   if (metrics_ != nullptr) {
     metrics_->GetCounter("snoopy_epochs_total").Increment();
     metrics_->GetCounter("snoopy_requests_total").Increment(pending_requests());
@@ -1163,9 +1285,17 @@ std::vector<ClientResponse> Snoopy::RunEpoch() {
   }
   // Repair coordinator: one fixed-size reconstruction slice per repairing partition
   // per epoch; the final slice restores the partition, which then serves this epoch.
-  for (uint32_t so = 0; so < config_.num_suborams; ++so) {
-    if (HealthOf(so) == PartitionHealth::kRepairing) {
-      RepairStep(so);
+  {
+    bool any_repairing = false;
+    for (uint32_t so = 0; so < config_.num_suborams; ++so) {
+      any_repairing = any_repairing || HealthOf(so) == PartitionHealth::kRepairing;
+    }
+    TraceSpan repair_trace(any_repairing ? tracer_ : nullptr, "phase", "repair", epoch_);
+    SpanTimer repair_span(any_repairing ? PhaseHistogram("repair") : nullptr, now_fn);
+    for (uint32_t so = 0; so < config_.num_suborams; ++so) {
+      if (HealthOf(so) == PartitionHealth::kRepairing) {
+        RepairStep(so);
+      }
     }
   }
   if (metrics_ != nullptr) {
@@ -1185,7 +1315,9 @@ std::vector<ClientResponse> Snoopy::RunEpoch() {
   std::vector<LoadBalancer::PreparedEpoch> prepared(config_.num_load_balancers);
   {
     SpanTimer prepare_span(PhaseHistogram("lb_prepare"), now_fn);
-    RunIndexedPhase(config_.num_load_balancers, config_.epoch_threads, [&](size_t lb) {
+    TraceSpan prepare_trace(tracer_, "phase", "lb_prepare", epoch_);
+    RunIndexedPhase(config_.num_load_balancers, config_.epoch_threads,
+                    {"lb_prepare", tracer_, metrics_, now_fn}, [&](size_t lb) {
       RequestBatch requests = std::move(pending_[lb]);
       pending_[lb] = RequestBatch(config_.value_size);
       prepared[lb] = lbs_[lb]->PrepareBatches(std::move(requests),
@@ -1212,7 +1344,9 @@ std::vector<ClientResponse> Snoopy::RunEpoch() {
   }
   {
     SpanTimer execute_span(PhaseHistogram("suboram_execute"), now_fn);
-    RunIndexedPhase(config_.num_suborams, config_.epoch_threads, [&](size_t so) {
+    TraceSpan execute_trace(tracer_, "phase", "suboram_execute", epoch_);
+    RunIndexedPhase(config_.num_suborams, config_.epoch_threads,
+                    {"suboram_execute", tracer_, metrics_, now_fn}, [&](size_t so) {
       try {
         for (uint32_t lb = 0; lb < config_.num_load_balancers; ++lb) {
           responses[lb][so] = CallSubOram(lb, static_cast<uint32_t>(so), prepared);
@@ -1246,10 +1380,17 @@ std::vector<ClientResponse> Snoopy::RunEpoch() {
   // into client mailboxes advances per-client channel counters in submission order.
   SpanTimer match_span(PhaseHistogram("response_match"), now_fn);
   std::vector<RequestBatch> matched_by_lb(config_.num_load_balancers);
-  RunIndexedPhase(config_.num_load_balancers, config_.epoch_threads, [&](size_t lb) {
-    matched_by_lb[lb] =
-        lbs_[lb]->MatchResponses(std::move(prepared[lb]), std::move(responses[lb]));
-  });
+  {
+    TraceSpan match_trace(tracer_, "phase", "response_match", epoch_);
+    RunIndexedPhase(config_.num_load_balancers, config_.epoch_threads,
+                    {"response_match", tracer_, metrics_, now_fn}, [&](size_t lb) {
+      matched_by_lb[lb] =
+          lbs_[lb]->MatchResponses(std::move(prepared[lb]), std::move(responses[lb]));
+    });
+  }
+  // Delivery is deliberately serial (per-client channel counters advance in
+  // submission order); its own span makes that serial fraction visible.
+  TraceSpan deliver_trace(tracer_, "phase", "deliver", epoch_);
   uint64_t deferred = 0;
   for (uint32_t lb = 0; lb < config_.num_load_balancers; ++lb) {
     RequestBatch& matched = matched_by_lb[lb];
@@ -1289,6 +1430,7 @@ std::vector<ClientResponse> Snoopy::RunEpoch() {
     }
   }
 
+  deliver_trace.End();
   match_span.Stop();
   if (deferred > 0 && metrics_ != nullptr) {
     metrics_->GetCounter("snoopy_deferred_requests_total").Increment(deferred);
@@ -1300,18 +1442,22 @@ std::vector<ClientResponse> Snoopy::RunEpoch() {
   // can trigger a peer's crash recovery, which must restore the *post*-epoch snapshot
   // with an empty executed set -- sealing or clearing after distribution could lose
   // the epoch's writes at that peer.
-  for (uint32_t so = 0; so < config_.num_suborams; ++so) {
-    if (HealthOf(so) == PartitionHealth::kHealthy) {
-      SealSubOramState(so);
+  {
+    TraceSpan seal_trace(tracer_, "phase", "seal", epoch_);
+    SpanTimer seal_span(PhaseHistogram("seal"), now_fn);
+    for (uint32_t so = 0; so < config_.num_suborams; ++so) {
+      if (HealthOf(so) == PartitionHealth::kHealthy) {
+        SealSubOramState(so);
+      }
     }
-  }
-  for (uint32_t so = 0; so < config_.num_suborams; ++so) {
-    so_response_cache_[so].clear();
-    so_executed_lbs_[so].clear();
-  }
-  for (uint32_t so = 0; so < config_.num_suborams; ++so) {
-    if (HealthOf(so) == PartitionHealth::kHealthy) {
-      DistributeStripes(so);
+    for (uint32_t so = 0; so < config_.num_suborams; ++so) {
+      so_response_cache_[so].clear();
+      so_executed_lbs_[so].clear();
+    }
+    for (uint32_t so = 0; so < config_.num_suborams; ++so) {
+      if (HealthOf(so) == PartitionHealth::kHealthy) {
+        DistributeStripes(so);
+      }
     }
   }
   ++epoch_;

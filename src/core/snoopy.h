@@ -37,6 +37,7 @@
 #include "src/net/network.h"
 #include "src/net/retry.h"
 #include "src/telemetry/metrics.h"
+#include "src/telemetry/tracing.h"
 
 namespace snoopy {
 
@@ -169,6 +170,13 @@ class Snoopy {
   // to disable recording entirely (the disabled path is a handful of null checks).
   void set_metrics_registry(MetricsRegistry* registry) { metrics_ = registry; }
   MetricsRegistry* metrics_registry() const { return metrics_; }
+
+  // Span tracer for the epoch pipeline (src/telemetry/tracing.h): epoch -> phase ->
+  // task spans plus per-worker pool summaries, all derived from the public epoch
+  // schedule. Defaults to the process-global tracer (a no-op unless enabled via
+  // SNOOPY_TRACE or Tracer::Enable); pass nullptr to opt this instance out.
+  void set_tracer(Tracer* tracer) { tracer_ = tracer; }
+  Tracer* tracer() const { return tracer_; }
 
   // Host-side sealed snapshot storage (untrusted in the threat model). The test
   // harness uses the replace hook to play a malicious host replaying stale state;
@@ -331,6 +339,7 @@ class Snoopy {
   FaultInjector* fault_injector_ = nullptr;
   VirtualClock clock_;
   MetricsRegistry* metrics_ = &MetricsRegistry::Global();
+  Tracer* tracer_ = &Tracer::Global();
   std::vector<uint64_t> lb_base_seeds_;  // per-LB seed underlying EpochSeed
 
   // Rollback-protected persistence: one trusted counter per subORAM, snapshots kept

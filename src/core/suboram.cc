@@ -11,6 +11,7 @@
 #include "src/obl/kernels.h"
 #include "src/obl/primitives.h"
 #include "src/obl/secret.h"
+#include "src/telemetry/tracing.h"
 
 namespace snoopy {
 
@@ -42,6 +43,14 @@ RequestBatch SubOram::ProcessBatch(RequestBatch&& batch) {
     throw std::invalid_argument("batch value size does not match subORAM value size");
   }
 
+  // Step spans: every boundary below is a public point in the batch pipeline (the
+  // batch size is the padded f(R, S); the object count and thread split are public
+  // deployment facts), so the spans reveal nothing the schedule does not. Spans
+  // open/close *outside* the oblivious regions; only their RAII lifetimes bracket
+  // region code.
+  TraceSpan distinct_trace(&Tracer::Global(), "step", "suboram_distinct", config_.id);
+  distinct_trace.SetArg("batch", b);
+
   // SNOOPY_OBLIVIOUS_BEGIN(suboram_distinct)
   // ct-public: b i config_ check_distinct
   // Definition 2 precondition: the batch must contain no duplicate keys. Checked with
@@ -65,12 +74,16 @@ RequestBatch SubOram::ProcessBatch(RequestBatch&& batch) {
     }
   }
   // SNOOPY_OBLIVIOUS_END(suboram_distinct)
+  distinct_trace.End();
 
   // Step 1 (Fig. 7): build the per-batch oblivious hash table with fresh keys.
+  TraceSpan build_trace(&Tracer::Global(), "step", "suboram_oht_build", config_.id);
+  build_trace.SetArg("batch", b);
   TwoTierOht table(kRequestOhtSchema, config_.lambda);
   if (!table.Build(std::move(batch.slab()), rng_, config_.sort_threads)) {
     throw std::runtime_error("oblivious hash table construction overflow (negligible event)");
   }
+  build_trace.End();
 
   // Step 2 (Fig. 7): one linear scan over every stored object. For each object, scan
   // its two candidate buckets in full; for every slot apply the oblivious
@@ -143,6 +156,9 @@ RequestBatch SubOram::ProcessBatch(RequestBatch&& batch) {
   };
   // SNOOPY_OBLIVIOUS_END(suboram_scan)
 
+  TraceSpan scan_trace(&Tracer::Global(), "step", "suboram_scan", config_.id);
+  scan_trace.SetArg("objects", n_objects);
+  scan_trace.SetArg("scan_threads", static_cast<uint64_t>(threads));
   if (threads <= 1) {
     scan_range(0, n_objects);
   } else {
@@ -176,8 +192,11 @@ RequestBatch SubOram::ProcessBatch(RequestBatch&& batch) {
     }
   }
 
+  scan_trace.End();
+
   // Step 3 (Fig. 7): compact the table's padding dummies away and return the B
   // responses (including responses to the load balancer's dummy requests).
+  TraceSpan extract_trace(&Tracer::Global(), "step", "suboram_extract", config_.id);
   ByteSlab responses = table.ExtractAll();
   RequestBatch out(std::move(responses), value_size);
   for (size_t i = 0; i < out.size(); ++i) {

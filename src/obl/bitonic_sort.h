@@ -21,19 +21,23 @@
 #include <utility>
 #include <vector>
 
+#include <memory>
+
 #include "src/enclave/trace.h"
 #include "src/obl/kernels.h"
 #include "src/obl/primitives.h"
 #include "src/obl/secret.h"
 #include "src/obl/slab.h"
+#include "src/telemetry/tracing.h"
 
 namespace snoopy {
 
 // SNOOPY_OBLIVIOUS_BEGIN(bitonic_sort)
 // ct-public: n lo m asc threads i j k stride max_threads hw cap block block_records
 // ct-public: parallel_threshold kTilesPerParallelSort
+// ct-public: TraceSpan SetArg TraceTilesEnabled first_spans
 // ct-calls: GreatestPowerOfTwoBelow BitonicMerge BitonicSortRec AdaptiveSortThreads
-// ct-calls: first second SortBlockRecords
+// ct-calls: first second SortBlockRecords make_unique
 
 namespace internal {
 
@@ -57,17 +61,33 @@ void TraceForkJoinHalves(const First& first, const Second& second, int threads) 
   if (threads > 1) {
     std::vector<TraceEvent> first_events;
     std::vector<TraceEvent> second_events;
+    // Tile *spans* (tracing.h) get the same treatment as cswap trace events: each
+    // half buffers into its own ring and the parent replays first-then-second, so
+    // the span sequence matches a single-threaded run. Rings exist only while the
+    // tile tracer is on; the normal path allocates nothing.
+    std::unique_ptr<SpanRingBuffer> first_spans;
+    std::unique_ptr<SpanRingBuffer> second_spans;
+    if (TraceTilesEnabled()) {
+      first_spans = std::make_unique<SpanRingBuffer>();
+      second_spans = std::make_unique<SpanRingBuffer>();
+    }
     std::thread half{[&] {
       TraceThreadBuffer buffer{&first_events};
+      TracerThreadBuffer span_buffer{first_spans.get()};
       first();
     }};
     {
       TraceThreadBuffer buffer{&second_events};
+      TracerThreadBuffer span_buffer{second_spans.get()};
       second();
     }
     half.join();
     TraceAppendCurrent(first_events);
     TraceAppendCurrent(second_events);
+    if (first_spans != nullptr) {
+      TraceSpanAppendCurrent(*first_spans);
+      TraceSpanAppendCurrent(*second_spans);
+    }
   } else {
     first();
     second();
@@ -140,6 +160,12 @@ template <typename CSwap>
 void BitonicBlockedMerge(size_t lo, size_t n, bool asc, const CSwap& cswap, size_t block,
                          int threads) {
   if (n <= block) {
+    // Tile-granularity span (tracer detail >= 2 only). `lo` and `n` are public
+    // network geometry — functions of the input size alone — so the span leaks
+    // nothing; the gate itself is public global configuration (ct-public above).
+    TraceSpan tile(TraceTilesEnabled() ? &Tracer::Global() : nullptr, "tile",
+                   "merge_tile", lo);
+    tile.SetArg("records", n);
     BitonicTileMerge(lo, n, asc, cswap);
     return;
   }
@@ -159,6 +185,9 @@ template <typename CSwap>
 void BitonicBlockedSortRec(size_t lo, size_t n, bool asc, const CSwap& cswap, size_t block,
                            int threads) {
   if (n <= block) {
+    TraceSpan tile(TraceTilesEnabled() ? &Tracer::Global() : nullptr, "tile",
+                   "sort_tile", lo);
+    tile.SetArg("records", n);
     BitonicTileSort(lo, n, asc, cswap);
     return;
   }

@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Validate the machine-readable bench output (BENCH_*.json) against the shared
+emitter contract (src/telemetry/bench_json.h) plus per-bench series requirements.
+
+Structural contract for every file:
+  * top level is an object with "bench" (non-empty string), "schema" (int == 1),
+    and "points" (list);
+  * every point is an object with a non-empty "series" string and at least one
+    measurement field; field values are numbers or strings only (the emitter can
+    produce nothing else -- anything different means hand-edited output).
+
+Known benches additionally must contain specific series (and, where noted,
+fields inside them) so downstream tooling -- trace_report comparisons, the CI
+tracing-overhead gate, the perf trajectory -- can rely on them:
+
+  headline_comparison        throughput, telemetry_overhead, tracing_overhead
+                             (overhead_fraction), epoch_parallelism,
+                             phase_breakdown (parallel_efficiency), kernel_backend
+  fig13a_sort_parallelism    sort_threads (parallel_efficiency), blocked_sort
+  fig13b_suboram_parallelism suboram_threads, epoch_pool (parallel_efficiency)
+
+Usage: tools/check_bench_schema.py [dir ...]   (default: current directory)
+Exit status: 0 when every file validates, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+# bench name -> {series: [required fields]}
+REQUIRED_SERIES = {
+    "headline_comparison": {
+        "throughput": [],
+        "telemetry_overhead": ["overhead_fraction"],
+        "tracing_overhead": ["overhead_fraction", "spans_recorded"],
+        "epoch_parallelism": [],
+        "phase_breakdown": ["parallel_efficiency", "phase", "epoch_threads"],
+        "kernel_backend": [],
+    },
+    "fig13a_sort_parallelism": {
+        "sort_threads": ["parallel_efficiency", "threads", "seconds"],
+        "blocked_sort": [],
+    },
+    "fig13b_suboram_parallelism": {
+        "suboram_threads": ["objects", "seconds"],
+        "epoch_pool": ["parallel_efficiency", "epoch_threads"],
+    },
+}
+
+
+def check_file(path: pathlib.Path) -> list:
+    errors = []
+
+    def err(msg):
+        errors.append(f"{path}: {msg}")
+
+    try:
+        doc = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as e:
+        err(f"unreadable or invalid JSON: {e}")
+        return errors
+
+    if not isinstance(doc, dict):
+        err("top level is not an object")
+        return errors
+    bench = doc.get("bench")
+    if not isinstance(bench, str) or not bench:
+        err("missing/empty 'bench' string")
+    if doc.get("schema") != 1:
+        err(f"'schema' must be 1, got {doc.get('schema')!r}")
+    points = doc.get("points")
+    if not isinstance(points, list):
+        err("'points' must be a list")
+        return errors
+    if not points:
+        err("'points' is empty")
+
+    seen_series = {}
+    for i, pt in enumerate(points):
+        if not isinstance(pt, dict):
+            err(f"points[{i}] is not an object")
+            continue
+        series = pt.get("series")
+        if not isinstance(series, str) or not series:
+            err(f"points[{i}] missing/empty 'series'")
+            continue
+        fields = {k: v for k, v in pt.items() if k != "series"}
+        if not fields:
+            err(f"points[{i}] (series {series!r}) has no measurement fields")
+        for k, v in fields.items():
+            if isinstance(v, bool) or not isinstance(v, (int, float, str)):
+                err(f"points[{i}].{k}: value {v!r} is not a number or string")
+            if isinstance(v, float) and (v != v or v in (float("inf"), float("-inf"))):
+                err(f"points[{i}].{k}: non-finite number")
+        seen_series.setdefault(series, []).append(pt)
+
+    for series, required_fields in REQUIRED_SERIES.get(bench, {}).items():
+        pts = seen_series.get(series)
+        if not pts:
+            err(f"bench {bench!r} is missing required series {series!r}")
+            continue
+        for field in required_fields:
+            if not any(field in pt for pt in pts):
+                err(f"series {series!r} lacks required field {field!r}")
+    return errors
+
+
+def main() -> int:
+    dirs = [pathlib.Path(d) for d in (sys.argv[1:] or ["."])]
+    files = sorted({p for d in dirs for p in d.glob("BENCH_*.json")})
+    if not files:
+        print(f"check_bench_schema: no BENCH_*.json under {', '.join(map(str, dirs))}")
+        return 1
+    errors = []
+    for f in files:
+        errors.extend(check_file(f))
+    for e in errors:
+        print(e)
+    checked = ", ".join(p.name for p in files)
+    if errors:
+        print(f"check_bench_schema: {len(errors)} error(s) in {len(files)} file(s)")
+        return 1
+    print(f"check_bench_schema: {len(files)} file(s) ok ({checked})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -75,6 +75,55 @@ if epochs["value"] != 1:
 print(f"metrics smoke ok: {len(doc['metrics'])} series, all required present")
 PYEOF
 
+echo "== tracing stage: Perfetto export, overhead gate, critical-path report =="
+# trace_report's analysis pipeline first proves itself on the golden fixture, then
+# a traced headline-bench run must (a) export Chrome-trace JSON that parses, (b)
+# stay under the 1% tracing-overhead budget measured by the bench itself, and (c)
+# yield a critical-path report with per-phase efficiency and a serial fraction.
+python3 tools/trace_report.py --self-check
+TRACE_DIR="build/tracing-ci"
+mkdir -p "${TRACE_DIR}"
+(cd "${TRACE_DIR}" && SNOOPY_TRACE=1 SNOOPY_TRACE_OUT=trace.json \
+  ../../build/bench/headline_comparison --metrics-out=metrics.json > headline.log)
+python3 - "${TRACE_DIR}" <<'PYEOF'
+import json, pathlib, sys
+d = pathlib.Path(sys.argv[1])
+trace = json.load(open(d / "trace.json"))  # must parse (Perfetto/chrome://tracing)
+events = [e for e in trace["traceEvents"] if e.get("ph") == "X"]
+if not events:
+    sys.exit("tracing stage: trace.json has no complete events")
+cats = {e.get("cat") for e in events}
+for want in ("epoch", "phase", "task", "pool"):
+    if want not in cats:
+        sys.exit(f"tracing stage: trace.json lacks '{want}' spans (got {sorted(cats)})")
+json.load(open(d / "metrics.json"))  # --metrics-out snapshot must parse too
+bench = json.load(open(d / "BENCH_headline_comparison.json"))
+overhead = [p for p in bench["points"] if p["series"] == "tracing_overhead"]
+if not overhead:
+    sys.exit("tracing stage: no tracing_overhead point in bench JSON")
+frac = overhead[0]["overhead_fraction"]
+if frac >= 0.01:
+    sys.exit(f"tracing stage: tracing overhead {frac:.4f} breaches the <1% gate")
+print(f"tracing stage ok: {len(events)} spans, overhead {frac*100:.2f}%")
+PYEOF
+python3 tools/trace_report.py "${TRACE_DIR}/trace.json" \
+  --json "${TRACE_DIR}/trace_report.json"
+python3 - "${TRACE_DIR}/trace_report.json" <<'PYEOF'
+import json, sys
+rep = json.load(open(sys.argv[1]))
+if rep["epochs"] < 1 or not rep["phases"]:
+    sys.exit("tracing stage: trace_report found no epochs/phases")
+if not (0.0 <= rep["serial_fraction"] <= 1.0):
+    sys.exit(f"tracing stage: serial_fraction {rep['serial_fraction']} out of range")
+if not any(p["parallel_efficiency"] is not None for p in rep["phases"].values()):
+    sys.exit("tracing stage: no phase has a parallel-efficiency estimate")
+print(f"trace_report ok: {rep['epochs']} epochs, "
+      f"serial fraction {rep['serial_fraction']:.3f}")
+PYEOF
+
+echo "== bench JSON schema (emitter contract + required series) =="
+python3 tools/check_bench_schema.py "${TRACE_DIR}" .
+
 if [[ "${FAST}" == "1" ]]; then
   echo "== --fast: skipping sanitizer builds =="
   exit 0
@@ -90,9 +139,9 @@ echo "== TSan build + threading-sensitive tests =="
 # parallel subORAM scan, and the parallel epoch executor.
 cmake -S . -B build-tsan -DSNOOPY_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j"${JOBS}" --target \
-  bitonic_sort_test suboram_test epoch_parallel_test
+  bitonic_sort_test suboram_test epoch_parallel_test tracing_test
 ctest --test-dir build-tsan --output-on-failure \
-  -R '(BitonicSort|AdaptiveSortThreads|SubOram|EpochParallel)'
+  -R '(BitonicSort|AdaptiveSortThreads|SubOram|EpochParallel|Tracing|ProfilingSampler|TracerThreadBuffer)'
 
 echo "== TSan chaos stage: fault recovery, permanent loss, repair, reshard =="
 # Crash/loss recovery exercises the cross-thread paths deliberately (phase-2 workers

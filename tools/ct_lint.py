@@ -45,6 +45,10 @@ Rules:
   CT009 metric-in-region    telemetry record call inside an oblivious region without
                             a `ct-public: <name>` annotation vouching that every
                             recorded value is public
+  CT010 trace-in-region     span-tracing API (src/telemetry/tracing.h) used inside an
+                            oblivious region without a `ct-public: <name>` annotation
+                            vouching that the span's label, id, and arguments derive
+                            only from public schedule state
 
 Exit status: 0 if no findings, 1 otherwise. `--self-test` runs the planted-violation
 corpus (tools/ct_lint_selftest/), an injection demo against bitonic_sort.h, and then
@@ -143,6 +147,16 @@ BANNED_CALLS = {
 METRIC_CALLS = {
     "Increment", "SetValue", "Observe", "ObserveUniform",
     "GetCounter", "GetGauge", "GetHistogram",
+}
+
+# Span-tracing record APIs (src/telemetry/tracing.h). Unlike METRIC_CALLS these are
+# matched on *any* appearance inside a region, not just call syntax, because the
+# primary form is a RAII declaration (`TraceSpan s(...)`) that call detection would
+# classify as a declaration and skip. A region opts in with `ct-public: <name>`,
+# asserting the span's category/name/id/arguments are functions of public state
+# only. Extensible via the manifest's top-level "trace_calls" key.
+TRACE_CALLS = {
+    "TraceSpan", "SetArg",
 }
 
 
@@ -397,6 +411,16 @@ def lint_region_tokens(path, tokens, region, findings):
             if is_subscript and prev not in KEYWORDS:
                 end = match_forward(tokens, i, "[", "]")
                 check_expr(tokens[i + 1:end - 1], "CT004", "subscript index", t.line)
+        # --- tracing (CT010) ------------------------------------------------
+        # Presence-based, not call-syntax-based: `TraceSpan s(tracer, ...)` is a
+        # declaration, which the call walker below deliberately skips, yet it is
+        # exactly the recording act the rule must audit.
+        if t.text in TRACE_CALLS and t.text not in region.publics:
+            findings.append(Finding(path, t.line, "CT010",
+                                    f"tracing API `{t.text}` inside oblivious "
+                                    f"region; annotate `ct-public: {t.text}` only "
+                                    f"if the span's label and arguments derive from "
+                                    f"public state"))
         # --- calls ----------------------------------------------------------
         if (re.match(r"[A-Za-z_]", t.text) and t.text not in KEYWORDS
                 and i + 1 < len(tokens) and tokens[i + 1].text == "("):
@@ -411,7 +435,9 @@ def lint_region_tokens(path, tokens, region, findings):
                 "return", "throw", "else", "do", "in")
             is_decl = is_decl or before in (">", "*", "&")
             if not is_decl:
-                if t.text in METRIC_CALLS:
+                if t.text in TRACE_CALLS:
+                    pass  # audited by the CT010 presence check above
+                elif t.text in METRIC_CALLS:
                     # A ct-public annotation for the call name is the audited opt-in:
                     # the author asserts every value this call records is public.
                     if t.text not in region.publics:
@@ -493,6 +519,7 @@ def lint_tree(root: pathlib.Path, manifest_path: pathlib.Path) -> list:
     findings = []
     manifest, classes = load_manifest(root, manifest_path)
     METRIC_CALLS.update(manifest.get("metric_calls", []))
+    TRACE_CALLS.update(manifest.get("trace_calls", []))
     CALL_ALLOW.update(manifest.get("call_allow", []))
     CALL_ALLOW_PREFIXES = tuple(dict.fromkeys(
         CALL_ALLOW_PREFIXES + tuple(manifest.get("call_allow_prefixes", []))))

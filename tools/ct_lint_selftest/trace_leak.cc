@@ -1,0 +1,56 @@
+// Planted secret-into-trace violations for tools/ct_lint.py --self-test (CT010).
+//
+// Span-tracing calls inside an oblivious region are timing/label side channels
+// unless the region's `ct-public:` line names the tracing API, vouching that the
+// span's category, name, task id, and arguments derive only from public schedule
+// state (batch sizes, tile indices, thread counts). This file plants both the
+// violation and the audited opt-in; it is never compiled -- it only needs to
+// tokenize like C++.
+
+#include <cstdint>
+
+namespace selftest {
+
+// SNOOPY_OBLIVIOUS_BEGIN(trace_leak)
+// ct-public: i n tracer
+
+void TraceLeak(Tracer* tracer, uint8_t* base, uint64_t n) {
+  SecretU64 matches_secret = 0;
+  for (uint64_t i = 0; i < n; ++i) {
+    const SecretU64 key = LoadSecretU64(base, i * 8);
+    matches_secret += CtSelectU64(key == 0, 1, 0);
+  }
+  // Unannotated span inside the region: even with public-looking arguments, the
+  // span's start/stop timestamps bracket secret-dependent work the author never
+  // audited, so the bare presence of the API is the finding.
+  TraceSpan span(tracer, "tile", "scan_tile", n);  // EXPECT: CT010
+  // Recording a secret-derived value as a span argument (the deleted Secret<T>
+  // overload also catches this at compile time; the linter catches it first).
+  span.SetArg("matches", matches_secret);  // EXPECT: CT010
+  // The classic label leak: a span name chosen by a secret. The ternary condition
+  // is itself a secret select (CT002) and the span API is unannotated (CT010).
+  TraceSpan leaky(tracer, "tile", matches_raw ? "hit" : "miss");  // EXPECT: CT002 CT010
+}
+
+// SNOOPY_OBLIVIOUS_END(trace_leak)
+
+// SNOOPY_OBLIVIOUS_BEGIN(trace_public_ok)
+// ct-public: i n batch_size tracer TraceSpan SetArg
+// ct-calls: End
+
+// The audited opt-in: `ct-public: TraceSpan SetArg` asserts every span in this
+// region is labelled and parameterized by public schedule state only (here the
+// padded batch size f(R, S), public by Theorem 3). No findings.
+void TracePublicOk(Tracer* tracer, uint8_t* base, uint64_t n, uint64_t batch_size) {
+  TraceSpan span(tracer, "step", "scan", batch_size);
+  span.SetArg("records", n);
+  for (uint64_t i = 0; i < n; ++i) {
+    const SecretU64 key = LoadSecretU64(base, i * 8);
+    StoreSecretU64(base, i * 8, key);
+  }
+  span.End();
+}
+
+// SNOOPY_OBLIVIOUS_END(trace_public_ok)
+
+}  // namespace selftest
