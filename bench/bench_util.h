@@ -9,6 +9,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <ctime>
 #include <functional>
 #include <string>
 
@@ -21,6 +22,28 @@ inline double TimeSeconds(const std::function<void()>& fn) {
   fn();
   const auto end = std::chrono::steady_clock::now();
   return std::chrono::duration<double>(end - start).count();
+}
+
+// Times `fn` in process-CPU seconds (all threads, CLOCK_PROCESS_CPUTIME_ID).
+// Unlike wall clock this is immune to the process being descheduled, so it is
+// the right ruler for small relative comparisons (e.g. the <1% telemetry
+// overhead gates) on shared or single-core CI hosts, where scheduler drift
+// between two wall-timed arms easily exceeds the effect being measured. Falls
+// back to wall clock where the POSIX clock is unavailable.
+inline double CpuTimeSeconds(const std::function<void()>& fn) {
+#if defined(CLOCK_PROCESS_CPUTIME_ID)
+  timespec start{};
+  if (clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &start) == 0) {
+    fn();
+    timespec end{};
+    if (clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &end) == 0) {
+      return static_cast<double>(end.tv_sec - start.tv_sec) +
+             static_cast<double>(end.tv_nsec - start.tv_nsec) * 1e-9;
+    }
+    return 0.0;
+  }
+#endif
+  return TimeSeconds(fn);
 }
 
 inline void PrintHeader(const char* figure, const char* caption) {

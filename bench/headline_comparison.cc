@@ -28,41 +28,77 @@ namespace {
 // enabled tracer). Telemetry is a handful of counter bumps and clock reads per epoch
 // against oblivious sorts over thousands of records, so the delta must sit below
 // run-to-run noise; the tracing delta is gated at <1% in CI.
-double EpochWorkloadSeconds(MetricsRegistry* registry, Tracer* tracer, uint64_t seed) {
+//
+// Resolving a <1% effect on a shared single-core host takes a deliberate protocol;
+// two naive ones demonstrably fail here: wall-clock best-of-N minima drift several
+// percent between arms (the container gets descheduled), and even whole-run CPU
+// time swings a few percent with CPU frequency over the bench's multi-second life.
+// So the two arms are interleaved at *epoch* granularity: two identical
+// deployments, one with telemetry and one without, alternate single epochs
+// (~3-4 ms each, order swapping every epoch), each epoch timed in process-CPU
+// seconds and summed per arm. Both sums then sample the same frequency/cache/
+// scheduler conditions to well under the gate, and a final median over reps
+// discards a rep that caught an interrupt storm.
+constexpr uint64_t kOverheadEpochs = 192;
+constexpr int kOverheadReps = 5;
+
+struct OverheadArms {
+  double off_s = 0;  // summed process-CPU seconds, telemetry disabled
+  double on_s = 0;   // summed process-CPU seconds, telemetry enabled
+};
+
+OverheadArms EpochPairSeconds(MetricsRegistry* registry, Tracer* tracer, uint64_t seed) {
   SnoopyConfig cfg;
   cfg.num_load_balancers = 2;
   cfg.num_suborams = 2;
   cfg.value_size = 32;
-  Snoopy snoopy(cfg, seed);
+  Snoopy off(cfg, seed);
+  Snoopy on(cfg, seed);
   std::vector<std::pair<uint64_t, std::vector<uint8_t>>> objects;
   for (uint64_t k = 0; k < 2048; ++k) {
     objects.emplace_back(k, std::vector<uint8_t>(32, static_cast<uint8_t>(k)));
   }
-  snoopy.Initialize(objects);
-  snoopy.set_metrics_registry(registry);
-  // Explicit, not the process-global default: the off/on comparison must not pick up
-  // an environment-enabled global tracer in its baseline.
-  snoopy.set_tracer(tracer);
-  return TimeSeconds([&] {
-    for (uint64_t e = 0; e < 8; ++e) {
-      for (uint64_t i = 0; i < 64; ++i) {
-        snoopy.SubmitRead(/*client_id=*/i, /*client_seq=*/e, /*key=*/(e * 64 + i) % 2048);
-      }
-      snoopy.RunEpoch();
+  off.Initialize(objects);
+  on.Initialize(objects);
+  // Explicit null on the baseline, not the process-global default: the comparison
+  // must not pick up an environment-enabled global tracer in its off arm.
+  off.set_metrics_registry(nullptr);
+  off.set_tracer(nullptr);
+  on.set_metrics_registry(registry);
+  on.set_tracer(tracer);
+  OverheadArms arms;
+  const auto one_epoch = [](Snoopy& s, uint64_t e) {
+    for (uint64_t i = 0; i < 64; ++i) {
+      s.SubmitRead(/*client_id=*/i, /*client_seq=*/e, /*key=*/(e * 64 + i) % 2048);
     }
-  });
+    s.RunEpoch();
+  };
+  for (uint64_t e = 0; e < kOverheadEpochs; ++e) {
+    if (e % 2 == 0) {
+      arms.off_s += CpuTimeSeconds([&] { one_epoch(off, e); });
+      arms.on_s += CpuTimeSeconds([&] { one_epoch(on, e); });
+    } else {
+      arms.on_s += CpuTimeSeconds([&] { one_epoch(on, e); });
+      arms.off_s += CpuTimeSeconds([&] { one_epoch(off, e); });
+    }
+  }
+  return arms;
 }
 
 // One phase of the epoch pipeline as seen by the always-on pool profile: wall time
 // from the phase histogram, worker busy/idle seconds and task/steal counts from the
 // pool gauges RecordWorkerPhase maintains. Efficiency is busy / (busy + idle): the
 // fraction of worker-seconds inside the phase spent running tasks rather than parked
-// at the join barrier.
+// at the join barrier. cpu_busy_s is the per-thread CLOCK_THREAD_CPUTIME_ID sum for
+// the same spans: unlike wall-busy it is immune to timesharing, so the 4t/1t ratio
+// of cpu_busy_s is the honest work-inflation figure (the old wall-busy ratio read
+// 3.2x on a one-core host purely from scheduler interleaving).
 struct PhaseProfile {
   const char* phase;
   double wall_s = 0;
   double busy_s = 0;
   double idle_s = 0;
+  double cpu_busy_s = 0;
   uint64_t tasks = 0;
   uint64_t steals = 0;
   double efficiency = 0;
@@ -85,7 +121,10 @@ std::vector<PhaseProfile> PhaseBreakdown(MetricsRegistry& registry, int epoch_th
     objects.emplace_back(k, std::vector<uint8_t>(160, static_cast<uint8_t>(k)));
   }
   snoopy.Initialize(objects);
-  for (uint64_t e = 0; e < 4; ++e) {
+  // 8 epochs so pool-thread spin-up and first-touch page faults in epoch 0 are
+  // amortized out of the per-phase CPU totals (they are one-time costs, not work
+  // inflation).
+  for (uint64_t e = 0; e < 8; ++e) {
     for (uint64_t i = 0; i < 256; ++i) {
       snoopy.SubmitRead(/*client_id=*/i, /*client_seq=*/e, /*key=*/(e * 256 + i) % 8192);
     }
@@ -99,6 +138,7 @@ std::vector<PhaseProfile> PhaseBreakdown(MetricsRegistry& registry, int epoch_th
     p.wall_s = registry.GetHistogram("snoopy_epoch_phase_seconds", labels).sum();
     p.busy_s = registry.GetGauge("snoopy_pool_busy_seconds_total", labels).value();
     p.idle_s = registry.GetGauge("snoopy_pool_idle_seconds_total", labels).value();
+    p.cpu_busy_s = registry.GetGauge("snoopy_pool_cpu_busy_seconds_total", labels).value();
     p.tasks = registry.GetCounter("snoopy_pool_tasks_total", labels).value();
     p.steals = registry.GetCounter("snoopy_pool_steals_total", labels).value();
     const double denom = p.busy_s + p.idle_s;
@@ -170,36 +210,44 @@ int main(int argc, char** argv) {
   std::printf("        Redis/Snoopy(1s)     = %.1fx   (paper: 39.1x)\n",
               redis / s1000.metrics.throughput);
 
-  // Telemetry overhead: identical functional workloads with recording off and on.
-  // Interleaved off/on repetitions so the delta is compared against observed noise.
+  // Telemetry overhead: epoch-interleaved off/on arms (see EpochPairSeconds),
+  // median fraction over the reps.
   MetricsRegistry registry;
   double off_s = 1e9;
   double on_s = 1e9;
-  for (int rep = 0; rep < 3; ++rep) {
-    off_s = std::min(off_s, EpochWorkloadSeconds(nullptr, nullptr, /*seed=*/11 + rep));
-    on_s = std::min(on_s, EpochWorkloadSeconds(&registry, nullptr, /*seed=*/11 + rep));
+  std::vector<double> telemetry_fracs;
+  for (int rep = 0; rep < kOverheadReps; ++rep) {
+    const OverheadArms arms = EpochPairSeconds(&registry, nullptr, /*seed=*/11 + rep);
+    off_s = std::min(off_s, arms.off_s);
+    on_s = std::min(on_s, arms.on_s);
+    telemetry_fracs.push_back(arms.on_s / arms.off_s - 1.0);
   }
-  std::printf("\ntelemetry overhead (8 epochs x 128 reqs, best of 3): off %.1f ms, on %.1f ms"
-              " (%+.1f%%)\n",
-              off_s * 1e3, on_s * 1e3, 100.0 * (on_s - off_s) / off_s);
+  std::sort(telemetry_fracs.begin(), telemetry_fracs.end());
+  const double telemetry_frac = telemetry_fracs[telemetry_fracs.size() / 2];
+  std::printf("\ntelemetry overhead (%llu epochs x 64 reqs, epoch-interleaved cpu time, "
+              "median of %d): off %.1f ms, on %.1f ms (%+.1f%%)\n",
+              static_cast<unsigned long long>(kOverheadEpochs), kOverheadReps,
+              off_s * 1e3, on_s * 1e3, 100.0 * telemetry_frac);
 
-  // Span-tracing overhead: same workload, tracing fully off vs. a private enabled
-  // tracer at detail 1 (the always-on production setting). Interleaved best-of-5
-  // minima so the CI gate (<1%) compares like against like on a noisy host.
+  // Span-tracing overhead: same epoch-interleaved protocol, tracing fully off vs. a
+  // private enabled tracer at detail 1 (the always-on production setting).
   Tracer trace_tracer;
   trace_tracer.Enable(/*detail=*/1);
   double trace_off_s = 1e9;
   double trace_on_s = 1e9;
-  for (int rep = 0; rep < 5; ++rep) {
-    trace_off_s =
-        std::min(trace_off_s, EpochWorkloadSeconds(nullptr, nullptr, /*seed=*/41 + rep));
-    trace_on_s = std::min(trace_on_s,
-                          EpochWorkloadSeconds(nullptr, &trace_tracer, /*seed=*/41 + rep));
+  std::vector<double> trace_fracs;
+  for (int rep = 0; rep < kOverheadReps; ++rep) {
+    const OverheadArms arms = EpochPairSeconds(nullptr, &trace_tracer, /*seed=*/41 + rep);
+    trace_off_s = std::min(trace_off_s, arms.off_s);
+    trace_on_s = std::min(trace_on_s, arms.on_s);
+    trace_fracs.push_back(arms.on_s / arms.off_s - 1.0);
   }
-  std::printf("tracing overhead (8 epochs x 128 reqs, best of 5): off %.1f ms, on %.1f ms"
-              " (%+.1f%%, %llu spans)\n",
-              trace_off_s * 1e3, trace_on_s * 1e3,
-              100.0 * (trace_on_s - trace_off_s) / trace_off_s,
+  std::sort(trace_fracs.begin(), trace_fracs.end());
+  const double trace_frac = trace_fracs[trace_fracs.size() / 2];
+  std::printf("tracing overhead (%llu epochs x 64 reqs, epoch-interleaved cpu time, "
+              "median of %d): off %.1f ms, on %.1f ms (%+.1f%%, %llu spans)\n",
+              static_cast<unsigned long long>(kOverheadEpochs), kOverheadReps,
+              trace_off_s * 1e3, trace_on_s * 1e3, 100.0 * trace_frac,
               static_cast<unsigned long long>(trace_tracer.spans_recorded()));
 
   // Epoch-parallelism scaling: suboram_execute phase time at 4 subORAMs with the
@@ -221,16 +269,26 @@ int main(int argc, char** argv) {
   MetricsRegistry breakdown_4t;
   const auto phases_1t = PhaseBreakdown(breakdown_1t, /*epoch_threads=*/1, /*seed=*/53);
   const auto phases_4t = PhaseBreakdown(breakdown_4t, /*epoch_threads=*/4, /*seed=*/53);
-  std::printf("\nphase breakdown (4 epochs x 256 reqs, 2 LB + 4 SO):\n");
-  std::printf("%8s %-16s %10s %10s %10s %7s %7s %6s\n", "threads", "phase", "wall ms",
-              "busy ms", "idle ms", "tasks", "steals", "eff");
+  // speedup_vs_1_thread compares phase wall time across the two runs; work_inflation
+  // compares per-thread CPU time (the timesharing-proof measure of work actually
+  // done). A healthy parallel phase keeps inflation near 1.0 at any thread count;
+  // wall speedup additionally needs real cores under it.
+  std::printf("\nphase breakdown (8 epochs x 256 reqs, 2 LB + 4 SO):\n");
+  std::printf("%8s %-16s %10s %10s %10s %10s %7s %7s %6s %8s %9s\n", "threads", "phase",
+              "wall ms", "busy ms", "cpu ms", "idle ms", "tasks", "steals", "eff",
+              "speedup", "inflation");
   for (const auto* phases : {&phases_1t, &phases_4t}) {
     const int threads = phases == &phases_1t ? 1 : 4;
-    for (const PhaseProfile& p : *phases) {
-      std::printf("%8d %-16s %10.1f %10.1f %10.1f %7llu %7llu %6.2f\n", threads, p.phase,
-                  p.wall_s * 1e3, p.busy_s * 1e3, p.idle_s * 1e3,
-                  static_cast<unsigned long long>(p.tasks),
-                  static_cast<unsigned long long>(p.steals), p.efficiency);
+    for (size_t i = 0; i < phases->size(); ++i) {
+      const PhaseProfile& p = (*phases)[i];
+      const PhaseProfile& base = phases_1t[i];
+      const double speedup = p.wall_s > 0 ? base.wall_s / p.wall_s : 0.0;
+      const double inflation = base.cpu_busy_s > 0 ? p.cpu_busy_s / base.cpu_busy_s : 0.0;
+      std::printf("%8d %-16s %10.1f %10.1f %10.1f %10.1f %7llu %7llu %6.2f %7.2fx %8.2fx\n",
+                  threads, p.phase, p.wall_s * 1e3, p.busy_s * 1e3, p.cpu_busy_s * 1e3,
+                  p.idle_s * 1e3, static_cast<unsigned long long>(p.tasks),
+                  static_cast<unsigned long long>(p.steals), p.efficiency, speedup,
+                  inflation);
     }
   }
 
@@ -277,33 +335,44 @@ int main(int argc, char** argv) {
   json.AddPoint("telemetry_overhead")
       .Set("metrics_off_s", off_s)
       .Set("metrics_on_s", on_s)
-      .Set("overhead_fraction", (on_s - off_s) / off_s);
+      .Set("overhead_fraction", telemetry_frac);
   json.AddPoint("tracing_overhead")
       .Set("tracing_off_s", trace_off_s)
       .Set("tracing_on_s", trace_on_s)
-      .Set("overhead_fraction", (trace_on_s - trace_off_s) / trace_off_s)
+      .Set("overhead_fraction", trace_frac)
       .Set("spans_recorded", static_cast<double>(trace_tracer.spans_recorded()));
+  const double hardware_threads =
+      static_cast<double>(std::max(1u, std::thread::hardware_concurrency()));
   for (const auto* phases : {&phases_1t, &phases_4t}) {
     const int threads = phases == &phases_1t ? 1 : 4;
-    for (const PhaseProfile& p : *phases) {
+    for (size_t i = 0; i < phases->size(); ++i) {
+      const PhaseProfile& p = (*phases)[i];
+      const PhaseProfile& base = phases_1t[i];
       json.AddPoint("phase_breakdown")
           .Set("epoch_threads", static_cast<double>(threads))
+          .Set("hardware_threads", hardware_threads)
           .Set("phase", std::string(p.phase))
           .Set("wall_s", p.wall_s)
           .Set("busy_s", p.busy_s)
+          .Set("cpu_busy_s", p.cpu_busy_s)
           .Set("idle_s", p.idle_s)
           .Set("tasks", static_cast<double>(p.tasks))
           .Set("steals", static_cast<double>(p.steals))
-          .Set("parallel_efficiency", p.efficiency);
+          .Set("parallel_efficiency", p.efficiency)
+          .Set("speedup_vs_1_thread", p.wall_s > 0 ? base.wall_s / p.wall_s : 0.0)
+          .Set("work_inflation",
+               base.cpu_busy_s > 0 ? p.cpu_busy_s / base.cpu_busy_s : 0.0);
     }
   }
   json.AddPoint("epoch_parallelism")
       .Set("num_suborams", 4)
       .Set("epoch_threads", 1)
+      .Set("hardware_threads", hardware_threads)
       .Set("suboram_execute_s", seq_s);
   json.AddPoint("epoch_parallelism")
       .Set("num_suborams", 4)
       .Set("epoch_threads", 4)
+      .Set("hardware_threads", hardware_threads)
       .Set("suboram_execute_s", par_s)
       .Set("speedup_vs_1_thread", seq_s / par_s);
   json.AddPoint("kernel_backend")

@@ -9,6 +9,7 @@
 #include "src/obl/bitonic_sort.h"
 #include "src/obl/compaction.h"
 #include "src/obl/kernels.h"
+#include "src/obl/parallel.h"
 #include "src/obl/primitives.h"
 #include "src/obl/secret.h"
 #include "src/telemetry/tracing.h"
@@ -88,7 +89,11 @@ LoadBalancer::PreparedEpoch LoadBalancer::PrepareBatches(RequestBatch&& client_r
   options.num_bins = s;
   options.bin_capacity = static_cast<uint32_t>(b);
   options.dedup = true;
-  options.sort_threads = config_.sort_threads;
+  // Inside an epoch this runs as a pool task: the sort width is clamped to the
+  // task's thread budget so nested sort parallelism submits to the shared pool
+  // instead of oversubscribing (the work-inflation bug). Standalone callers pass
+  // through unclamped.
+  options.sort_threads = PoolClampedThreads(config_.sort_threads);
   TraceSpan place_trace(&Tracer::Global(), "step", "lb_bin_placement");
   place_trace.SetArg("requests", r);
   place_trace.SetArg("bins", s);
@@ -150,6 +155,10 @@ RequestBatch LoadBalancer::MatchResponses(PreparedEpoch&& epoch,
   TraceSpan sort_trace(&Tracer::Global(), "step", "lb_match_sort");
   sort_trace.SetArg("records", merged.size());
 
+  // Clamped to the pool task's thread budget (public scheduling metadata) before
+  // entering the oblivious region, same as PrepareBatches above.
+  const int sort_threads = PoolClampedThreads(config_.sort_threads);
+
   // SNOOPY_OBLIVIOUS_BEGIN(lb_match)
   // ct-public: i total value_size TraceSpan SetArg
   // Figure 6 step 2: oblivious sort by object id, responses before requests.
@@ -168,7 +177,7 @@ RequestBatch LoadBalancer::MatchResponses(PreparedEpoch&& epoch,
         const SecretU64 kb(hb->key);
         return (ka < kb) | ((ka == kb) & (wa < wb));
       },
-      config_.sort_threads);
+      sort_threads);
   sort_trace.End();
   TraceSpan propagate_trace(&Tracer::Global(), "step", "lb_match_propagate");
 

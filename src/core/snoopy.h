@@ -310,6 +310,28 @@ class Snoopy {
   double NowSeconds() const;
   // Null when telemetry is disabled; otherwise the named phase-duration histogram.
   Histogram* PhaseHistogram(const char* phase) const;
+  // Null when telemetry is disabled; otherwise the cached pool-metric handles for
+  // one of the three pipeline phases. Resolved lazily against the current registry
+  // (registry references are stable for its lifetime) and re-resolved whenever
+  // set_metrics_registry swaps registries, so the per-epoch hot path never repeats
+  // the name-keyed lookups.
+  const PoolPhaseMetrics* PoolMetricsFor(const char* phase) const;
+  // Cached handles for the epoch-level metrics RunEpoch touches every epoch (epoch
+  // timer, epoch/request counters, phase-duration histograms, per-LB batch-size
+  // histograms). Same registry-keyed lazy scheme as PoolMetricsFor; null when
+  // telemetry is disabled. Resolution happens on the orchestrator thread at the
+  // top of RunEpoch (the epoch span), so pool workers that read batch-size
+  // handles mid-phase only ever see an already-filled cache.
+  struct EpochMetricsCache {
+    Histogram* epoch_seconds = nullptr;
+    Counter* epochs_total = nullptr;
+    Counter* requests_total = nullptr;
+    Counter* degraded_epochs_total = nullptr;
+    Counter* deferred_requests_total = nullptr;
+    std::vector<Histogram*> phase_seconds;  // parallel to kCachedPhaseNames
+    std::vector<Histogram*> batch_size;     // per load balancer at resolve time
+  };
+  const EpochMetricsCache* EpochMetrics() const;
 
   // Backend factory: owned for the default deployment, borrowed (must outlive this
   // instance -- Reshard creates backends long after construction) for custom ones.
@@ -340,6 +362,13 @@ class Snoopy {
   VirtualClock clock_;
   MetricsRegistry* metrics_ = &MetricsRegistry::Global();
   Tracer* tracer_ = &Tracer::Global();
+  // Lazy cache behind PoolMetricsFor: slot order lb_prepare, suboram_execute,
+  // response_match; `pool_metrics_registry_` tags which registry the handles were
+  // resolved against (null = unresolved).
+  mutable PoolPhaseMetrics pool_phase_metrics_[3];
+  mutable MetricsRegistry* pool_metrics_registry_ = nullptr;
+  mutable EpochMetricsCache epoch_metrics_;
+  mutable MetricsRegistry* epoch_metrics_registry_ = nullptr;
   std::vector<uint64_t> lb_base_seeds_;  // per-LB seed underlying EpochSeed
 
   // Rollback-protected persistence: one trusted counter per subORAM, snapshots kept

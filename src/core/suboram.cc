@@ -9,6 +9,7 @@
 #include "src/obl/bitonic_sort.h"
 #include "src/obl/hash_table.h"
 #include "src/obl/kernels.h"
+#include "src/obl/parallel.h"
 #include "src/obl/primitives.h"
 #include "src/obl/secret.h"
 #include "src/telemetry/tracing.h"
@@ -80,7 +81,9 @@ RequestBatch SubOram::ProcessBatch(RequestBatch&& batch) {
   TraceSpan build_trace(&Tracer::Global(), "step", "suboram_oht_build", config_.id);
   build_trace.SetArg("batch", b);
   TwoTierOht table(kRequestOhtSchema, config_.lambda);
-  if (!table.Build(std::move(batch.slab()), rng_, config_.sort_threads)) {
+  // Sort width clamped to the pool task's thread budget (no-op outside the pool):
+  // nested sort parallelism must borrow the shared pool, never spawn over it.
+  if (!table.Build(std::move(batch.slab()), rng_, PoolClampedThreads(config_.sort_threads))) {
     throw std::runtime_error("oblivious hash table construction overflow (negligible event)");
   }
   build_trace.End();

@@ -15,7 +15,9 @@
 #ifndef SNOOPY_SRC_OBL_BITONIC_SORT_H_
 #define SNOOPY_SRC_OBL_BITONIC_SORT_H_
 
+#include <cassert>
 #include <cstddef>
+#include <functional>
 #include <span>
 #include <thread>
 #include <utility>
@@ -25,6 +27,7 @@
 
 #include "src/enclave/trace.h"
 #include "src/obl/kernels.h"
+#include "src/obl/parallel.h"
 #include "src/obl/primitives.h"
 #include "src/obl/secret.h"
 #include "src/obl/slab.h"
@@ -36,8 +39,12 @@ namespace snoopy {
 // ct-public: n lo m asc threads i j k stride max_threads hw cap block block_records
 // ct-public: parallel_threshold kTilesPerParallelSort
 // ct-public: TraceSpan SetArg TraceTilesEnabled first_spans
+// ct-public: pool first_budget second_budget budget allowed first_fn second_fn
+// ct-public: WorkPool OnWorkerThread CurrentThreadBudget
 // ct-calls: GreatestPowerOfTwoBelow BitonicMerge BitonicSortRec AdaptiveSortThreads
-// ct-calls: first second SortBlockRecords make_unique
+// ct-calls: first second SortBlockRecords SortBlockRecordsShared SortTileSharers make_unique
+// ct-calls: WorkPool Instance Reserve ForkJoin OnWorkerThread CurrentThreadBudget
+// ct-calls: assert
 
 namespace internal {
 
@@ -56,8 +63,21 @@ inline size_t GreatestPowerOfTwoBelow(size_t n) {
 // them after the join in the *sequential* recursion order (first half, then second).
 // The split point is public (a function of n alone), so the merged trace is
 // byte-identical to a single-threaded run — the trace-identity tests pin this.
+//
+// Execution goes through the process-wide WorkPool (obl/parallel.h): the first half
+// is offered as a *stealable* task that an idle pool worker picks up (or the caller
+// reclaims after finishing the second half) — never a freshly spawned thread. Each
+// half carries its share of the caller's thread budget, so deeper recursion levels
+// stay inside the grant. Forking from inside a pool task whose budget is exhausted
+// is the nested-spawn oversubscription bug this layer replaced: hard error in debug
+// builds, sequential execution (always correct) in release builds.
 template <typename First, typename Second>
 void TraceForkJoinHalves(const First& first, const Second& second, int threads) {
+  if (threads > 1 && WorkPool::OnWorkerThread() && CurrentThreadBudget() <= 1) {
+    assert(!"parallel sort inside a pool task without thread budget; size the "
+            "request with AdaptiveSortThreads (src/obl/parallel.h)");
+    threads = 1;
+  }
   if (threads > 1) {
     std::vector<TraceEvent> first_events;
     std::vector<TraceEvent> second_events;
@@ -71,17 +91,23 @@ void TraceForkJoinHalves(const First& first, const Second& second, int threads) 
       first_spans = std::make_unique<SpanRingBuffer>();
       second_spans = std::make_unique<SpanRingBuffer>();
     }
-    std::thread half{[&] {
+    const int first_budget = threads / 2;
+    const int second_budget = threads - threads / 2;
+    WorkPool& pool = WorkPool::Instance();
+    pool.Reserve(static_cast<size_t>(threads) - 1);
+    const std::function<void()> first_fn = [&] {
+      ScopedThreadBudget budget{first_budget < 1 ? 1 : first_budget};
       TraceThreadBuffer buffer{&first_events};
       TracerThreadBuffer span_buffer{first_spans.get()};
       first();
-    }};
-    {
+    };
+    const std::function<void()> second_fn = [&] {
+      ScopedThreadBudget budget{second_budget};
       TraceThreadBuffer buffer{&second_events};
       TracerThreadBuffer span_buffer{second_spans.get()};
       second();
-    }
-    half.join();
+    };
+    pool.ForkJoin(first_fn, second_fn);
     TraceAppendCurrent(first_events);
     TraceAppendCurrent(second_events);
     if (first_spans != nullptr) {
@@ -258,13 +284,20 @@ void BitonicSortSlab(ByteSlab& slab, const Less& less, int threads = 1) {
 }
 
 // Cache-blocked slab sort: same trace, same result, L1-tiled execution. The default
-// block comes from the record stride and the shared L1 tile budget (kernels.h);
-// callers may pass an explicit block_records to override (benches sweep it).
+// block comes from the record stride and the shared L1 tile budget (kernels.h),
+// divided among the sort threads that timeshare a core when `threads` exceeds the
+// core count (SortTileSharers) -- blind L1-sized tiles under oversubscription thrash
+// on every context switch. Block geometry is a pure function of public values
+// (stride, threads, core count), so for a fixed configuration it is identical across
+// runs and epoch thread counts. Callers may pass an explicit block_records to
+// override (benches sweep it).
 template <typename Less>
 void BitonicSortSlabBlocked(ByteSlab& slab, const Less& less, int threads = 1,
                             size_t block_records = 0) {
   const size_t stride = slab.record_bytes();
-  const size_t block = block_records > 0 ? block_records : SortBlockRecords(stride);
+  const size_t block = block_records > 0
+                           ? block_records
+                           : SortBlockRecordsShared(stride, SortTileSharers(threads));
   uint8_t* base = slab.data();
   RunBitonicNetworkBlocked(
       slab.size(), block,
@@ -288,6 +321,17 @@ inline int AdaptiveSortThreads(size_t n, int max_threads, size_t record_bytes = 
   const size_t parallel_threshold = kTilesPerParallelSort * SortBlockRecords(record_bytes);
   if (n < parallel_threshold || max_threads < 2) {
     return 1;
+  }
+  // Inside a pool task the phase's thread grant — not the machine — is the
+  // ceiling. Unconditionally assuming ownership of max_threads here was the
+  // nested-spawn oversubscription bug (each subORAM task spawning its own sort
+  // threads on top of the epoch pool); now the pool context is consulted and a
+  // task with no spare budget sorts sequentially. Standalone callers (no pool
+  // context) keep the hardware cap.
+  if (WorkPool::OnWorkerThread()) {
+    const int budget = CurrentThreadBudget();
+    const int allowed = budget < 1 ? 1 : budget;
+    return max_threads < allowed ? max_threads : allowed;
   }
   const unsigned hw = std::thread::hardware_concurrency();
   const int cap = hw == 0 ? 1 : static_cast<int>(hw);

@@ -106,39 +106,66 @@ void TracerAtExitExport() {
   Tracer::Global().WriteChromeTrace(out);
 }
 
+PoolPhaseMetrics PoolPhaseMetrics::Resolve(MetricsRegistry* metrics,
+                                           const char* phase) {
+  PoolPhaseMetrics m;
+  if (metrics == nullptr) {
+    return m;
+  }
+  const MetricLabels labels{{"phase", phase}};
+  m.phases_total = &metrics->GetCounter("snoopy_pool_phases_total", labels);
+  m.tasks_total = &metrics->GetCounter("snoopy_pool_tasks_total", labels);
+  m.steals_total = &metrics->GetCounter("snoopy_pool_steals_total", labels);
+  m.busy_seconds_total = &metrics->GetGauge("snoopy_pool_busy_seconds_total", labels);
+  m.cpu_busy_seconds_total =
+      &metrics->GetGauge("snoopy_pool_cpu_busy_seconds_total", labels);
+  m.idle_seconds_total = &metrics->GetGauge("snoopy_pool_idle_seconds_total", labels);
+  m.workers = &metrics->GetGauge("snoopy_pool_workers", labels);
+  m.worker_busy_seconds =
+      &metrics->GetHistogram("snoopy_pool_worker_busy_seconds", labels);
+  m.worker_idle_seconds =
+      &metrics->GetHistogram("snoopy_pool_worker_idle_seconds", labels);
+  m.queue_depth = &metrics->GetHistogram("snoopy_pool_queue_depth", labels);
+  return m;
+}
+
 void RecordWorkerPhase(Tracer* tracer, MetricsRegistry* metrics, const char* phase,
                        size_t workers, double phase_start_s, double phase_end_s,
+                       const std::vector<WorkerPhaseStats>& stats) {
+  const PoolPhaseMetrics resolved = PoolPhaseMetrics::Resolve(metrics, phase);
+  RecordWorkerPhase(tracer, metrics != nullptr ? &resolved : nullptr, phase,
+                    workers, phase_start_s, phase_end_s, stats);
+}
+
+void RecordWorkerPhase(Tracer* tracer, const PoolPhaseMetrics* metrics,
+                       const char* phase, size_t workers, double phase_start_s,
+                       double phase_end_s,
                        const std::vector<WorkerPhaseStats>& stats) {
   uint64_t tasks = 0;
   uint64_t steals = 0;
   double busy_s = 0;
+  double cpu_busy_s = 0;
   double idle_s = 0;
   for (const WorkerPhaseStats& w : stats) {
     tasks += w.tasks;
     steals += w.steals;
     busy_s += static_cast<double>(w.busy_ns) * 1e-9;
+    cpu_busy_s += static_cast<double>(w.cpu_busy_ns) * 1e-9;
     idle_s += static_cast<double>(w.idle_ns) * 1e-9;
   }
 
-  if (metrics != nullptr) {
-    const MetricLabels labels{{"phase", phase}};
-    metrics->GetCounter("snoopy_pool_phases_total", labels).Increment();
-    metrics->GetCounter("snoopy_pool_tasks_total", labels).Increment(tasks);
-    metrics->GetCounter("snoopy_pool_steals_total", labels).Increment(steals);
-    metrics->GetGauge("snoopy_pool_busy_seconds_total", labels).Add(busy_s);
-    metrics->GetGauge("snoopy_pool_idle_seconds_total", labels).Add(idle_s);
-    metrics->GetGauge("snoopy_pool_workers", labels)
-        .SetValue(static_cast<double>(workers));
-    Histogram& worker_busy =
-        metrics->GetHistogram("snoopy_pool_worker_busy_seconds", labels);
-    Histogram& worker_idle =
-        metrics->GetHistogram("snoopy_pool_worker_idle_seconds", labels);
-    Histogram& queue_depth =
-        metrics->GetHistogram("snoopy_pool_queue_depth", labels);
+  if (metrics != nullptr && metrics->phases_total != nullptr) {
+    metrics->phases_total->Increment();
+    metrics->tasks_total->Increment(tasks);
+    metrics->steals_total->Increment(steals);
+    metrics->busy_seconds_total->Add(busy_s);
+    metrics->cpu_busy_seconds_total->Add(cpu_busy_s);
+    metrics->idle_seconds_total->Add(idle_s);
+    metrics->workers->SetValue(static_cast<double>(workers));
     for (const WorkerPhaseStats& w : stats) {
-      worker_busy.Observe(static_cast<double>(w.busy_ns) * 1e-9);
-      worker_idle.Observe(static_cast<double>(w.idle_ns) * 1e-9);
-      queue_depth.Observe(static_cast<double>(w.max_queue_depth));
+      metrics->worker_busy_seconds->Observe(static_cast<double>(w.busy_ns) * 1e-9);
+      metrics->worker_idle_seconds->Observe(static_cast<double>(w.idle_ns) * 1e-9);
+      metrics->queue_depth->Observe(static_cast<double>(w.max_queue_depth));
     }
   }
 
@@ -161,6 +188,8 @@ void RecordWorkerPhase(Tracer* tracer, MetricsRegistry* metrics, const char* pha
       e.arg_values[2] = stats[w].busy_ns;
       e.arg_names[3] = "idle_ns";
       e.arg_values[3] = stats[w].idle_ns;
+      e.arg_names[4] = "cpu_busy_ns";
+      e.arg_values[4] = stats[w].cpu_busy_ns;
       tracer->Record(e);
     }
     // A synthetic barrier span covering the whole pool run, so the exporter shows

@@ -66,7 +66,7 @@ inline constexpr uint64_t kTraceNoTaskId = ~uint64_t{0};
 // the exporter assumes static lifetime). Up to four named public integer
 // arguments; a null arg name means the slot is unused.
 struct SpanEvent {
-  static constexpr int kMaxArgs = 4;
+  static constexpr int kMaxArgs = 5;
 
   const char* cat = "";
   const char* name = "";
@@ -74,8 +74,8 @@ struct SpanEvent {
   uint64_t track = 0;  // exporter thread lane: 0 = orchestrator, 1 + w = worker w
   double start_s = 0;
   double end_s = 0;
-  const char* arg_names[kMaxArgs] = {nullptr, nullptr, nullptr, nullptr};
-  uint64_t arg_values[kMaxArgs] = {0, 0, 0, 0};
+  const char* arg_names[kMaxArgs] = {};
+  uint64_t arg_values[kMaxArgs] = {};
 };
 
 // Fixed-capacity single-writer span buffer. The owner thread pushes; anyone may
@@ -380,11 +380,39 @@ inline bool TraceTilesEnabled() {
 struct WorkerPhaseStats {
   uint64_t tasks = 0;
   uint64_t steals = 0;
-  uint64_t busy_ns = 0;     // sum of task run times on this worker
-  uint64_t idle_ns = 0;     // barrier stall: pool end minus this worker's finish
+  uint64_t busy_ns = 0;      // sum of task *wall* run times on this worker
+  // Sum of task *CPU* times (CLOCK_THREAD_CPUTIME_ID). On an oversubscribed host
+  // wall-busy inflates with the timesharing factor while CPU-busy stays equal to
+  // the real work -- the divergence is the work-inflation signal; 0 when the
+  // platform lacks a per-thread CPU clock (consumers fall back to wall-busy).
+  uint64_t cpu_busy_ns = 0;
+  uint64_t idle_ns = 0;      // barrier stall: pool end minus this worker's finish
   uint64_t max_queue_depth = 0;
   double start_s = 0;
   double finish_s = 0;
+};
+
+// Pre-resolved handles for the pool metrics RecordWorkerPhase writes per phase.
+// Name-keyed registry lookups build a labels map and walk the registry index on
+// every call; at three phases per epoch that cost shows up in the <1% telemetry
+// overhead gate. Callers that run many epochs resolve once (per registry, per
+// phase) and pass the handle instead. Registry references stay stable for the
+// registry's lifetime (see DESIGN.md), so caching these pointers is safe.
+struct PoolPhaseMetrics {
+  Counter* phases_total = nullptr;
+  Counter* tasks_total = nullptr;
+  Counter* steals_total = nullptr;
+  Gauge* busy_seconds_total = nullptr;
+  Gauge* cpu_busy_seconds_total = nullptr;
+  Gauge* idle_seconds_total = nullptr;
+  Gauge* workers = nullptr;
+  Histogram* worker_busy_seconds = nullptr;
+  Histogram* worker_idle_seconds = nullptr;
+  Histogram* queue_depth = nullptr;
+
+  // Resolves every handle against `metrics` for the given phase label. Returns an
+  // all-null struct when `metrics` is null.
+  static PoolPhaseMetrics Resolve(MetricsRegistry* metrics, const char* phase);
 };
 
 // Exports one phase-pool run: always-on counters/histograms into `metrics` (null
@@ -393,6 +421,13 @@ struct WorkerPhaseStats {
 // durations are wall-clock facts and naturally vary). Defined in tracing.cc.
 void RecordWorkerPhase(Tracer* tracer, MetricsRegistry* metrics, const char* phase,
                        size_t workers, double phase_start_s, double phase_end_s,
+                       const std::vector<WorkerPhaseStats>& stats);
+
+// Hot-path variant taking pre-resolved metric handles (null `metrics` skips the
+// metrics writes entirely). The name-keyed overload above delegates here.
+void RecordWorkerPhase(Tracer* tracer, const PoolPhaseMetrics* metrics,
+                       const char* phase, size_t workers, double phase_start_s,
+                       double phase_end_s,
                        const std::vector<WorkerPhaseStats>& stats);
 
 // Background sampler: a thread that periodically snapshots tracer and registry

@@ -280,8 +280,11 @@ TEST(RecordWorkerPhase, ExportsCountersGaugesAndOrderedSpans) {
   EXPECT_EQ(barrier->end_s, 10.5);
 
   // Null tracer / null registry must be accepted (always-on counters are optional
-  // per deployment).
-  RecordWorkerPhase(nullptr, nullptr, "suboram_execute", 2, 10.0, 10.5, stats);
+  // per deployment), on both the name-keyed and the pre-resolved overload.
+  RecordWorkerPhase(nullptr, static_cast<MetricsRegistry*>(nullptr),
+                    "suboram_execute", 2, 10.0, 10.5, stats);
+  RecordWorkerPhase(nullptr, static_cast<const PoolPhaseMetrics*>(nullptr),
+                    "suboram_execute", 2, 10.0, 10.5, stats);
 }
 
 // ---------------------------------------------------------------------------------

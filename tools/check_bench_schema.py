@@ -14,10 +14,22 @@ fields inside them) so downstream tooling -- trace_report comparisons, the CI
 tracing-overhead gate, the perf trajectory -- can rely on them:
 
   headline_comparison        throughput, telemetry_overhead, tracing_overhead
-                             (overhead_fraction), epoch_parallelism,
-                             phase_breakdown (parallel_efficiency), kernel_backend
+                             (overhead_fraction), epoch_parallelism
+                             (hardware_threads), phase_breakdown
+                             (parallel_efficiency, cpu_busy_s,
+                             speedup_vs_1_thread, work_inflation), kernel_backend
   fig13a_sort_parallelism    sort_threads (parallel_efficiency), blocked_sort
   fig13b_suboram_parallelism suboram_threads, epoch_pool (parallel_efficiency)
+
+Beyond shape, a few committed values are load-bearing claims and are gated here
+so a regression cannot land silently by committing the regenerated numbers:
+
+  * telemetry/tracing overhead_fraction <= 0.01 -- DESIGN.md claims the always-on
+    telemetry stays under 1%; a committed point above that means either the claim
+    broke or the measurement run was too short to resolve it (both are bugs);
+  * phase_breakdown work_inflation <= 1.25 -- CPU time (not wall-busy) per phase
+    must not grow materially with epoch_threads; the 3.2x regression this gate
+    postdates showed up here first.
 
 Usage: tools/check_bench_schema.py [dir ...]   (default: current directory)
 Exit status: 0 when every file validates, 1 otherwise.
@@ -35,8 +47,16 @@ REQUIRED_SERIES = {
         "throughput": [],
         "telemetry_overhead": ["overhead_fraction"],
         "tracing_overhead": ["overhead_fraction", "spans_recorded"],
-        "epoch_parallelism": [],
-        "phase_breakdown": ["parallel_efficiency", "phase", "epoch_threads"],
+        "epoch_parallelism": ["hardware_threads"],
+        "phase_breakdown": [
+            "parallel_efficiency",
+            "phase",
+            "epoch_threads",
+            "hardware_threads",
+            "cpu_busy_s",
+            "speedup_vs_1_thread",
+            "work_inflation",
+        ],
         "kernel_backend": [],
     },
     "fig13a_sort_parallelism": {
@@ -46,6 +66,17 @@ REQUIRED_SERIES = {
     "fig13b_suboram_parallelism": {
         "suboram_threads": ["objects", "seconds"],
         "epoch_pool": ["parallel_efficiency", "epoch_threads"],
+    },
+}
+
+# bench name -> {series: {field: max allowed value}}. Applied to every point in
+# the series that carries the field; a committed point above the ceiling fails
+# the check (see the module docstring for why these specific values).
+MAX_FIELD_VALUES = {
+    "headline_comparison": {
+        "telemetry_overhead": {"overhead_fraction": 0.01},
+        "tracing_overhead": {"overhead_fraction": 0.01},
+        "phase_breakdown": {"work_inflation": 1.25},
     },
 }
 
@@ -104,6 +135,19 @@ def check_file(path: pathlib.Path) -> list:
         for field in required_fields:
             if not any(field in pt for pt in pts):
                 err(f"series {series!r} lacks required field {field!r}")
+
+    for series, gates in MAX_FIELD_VALUES.get(bench, {}).items():
+        for pt in seen_series.get(series, []):
+            for field, ceiling in gates.items():
+                value = pt.get(field)
+                if isinstance(value, (int, float)) and not isinstance(value, bool):
+                    if value > ceiling:
+                        err(
+                            f"series {series!r} field {field!r} = {value} exceeds "
+                            f"committed ceiling {ceiling} (phase "
+                            f"{pt.get('phase', '?')!r}, epoch_threads "
+                            f"{pt.get('epoch_threads', '?')})"
+                        )
     return errors
 
 

@@ -124,6 +124,38 @@ PYEOF
 echo "== bench JSON schema (emitter contract + required series) =="
 python3 tools/check_bench_schema.py "${TRACE_DIR}" .
 
+echo "== perf smoke: epoch-parallelism floor (enforced on multi-core hosts) =="
+# Reuses the headline-bench JSON the tracing stage just produced. The 1.5x floor
+# is deliberately conservative (the tentpole target is ~3x at 4 threads on 4
+# cores) so shared, noisy CI hardware does not flake the gate; on hosts with
+# fewer than 4 hardware threads the 4-thread run can only measure coordination
+# overhead, so the floor is reported but not enforced there.
+python3 - "${TRACE_DIR}/BENCH_headline_comparison.json" <<'PYEOF'
+import json, sys
+bench = json.load(open(sys.argv[1]))
+pts = [p for p in bench["points"] if p["series"] == "epoch_parallelism"]
+for p in pts:
+    print(f"perf smoke: epoch_parallelism epoch_threads={p.get('epoch_threads')} "
+          f"suboram_execute_s={p.get('suboram_execute_s'):.4f}")
+par = next((p for p in pts if p.get("epoch_threads") == 4), None)
+if par is None:
+    sys.exit("perf smoke: no 4-thread epoch_parallelism point in bench JSON")
+speedup = par.get("speedup_vs_1_thread")
+if not isinstance(speedup, (int, float)):
+    sys.exit("perf smoke: 4-thread point lacks speedup_vs_1_thread")
+hw = int(par.get("hardware_threads", 1))
+print(f"perf smoke: 4-thread suboram_execute speedup {speedup:.2f}x "
+      f"on {hw} hardware thread(s)")
+if hw >= 4:
+    if speedup < 1.5:
+        sys.exit(f"perf smoke: speedup {speedup:.2f}x is below the 1.5x floor "
+                 f"on a {hw}-thread host")
+    print("perf smoke ok: floor enforced and met")
+else:
+    print("perf smoke: <4 hardware threads; floor reported, not enforced "
+          "(traces and responses are thread-count-invariant regardless)")
+PYEOF
+
 if [[ "${FAST}" == "1" ]]; then
   echo "== --fast: skipping sanitizer builds =="
   exit 0
@@ -139,9 +171,9 @@ echo "== TSan build + threading-sensitive tests =="
 # parallel subORAM scan, and the parallel epoch executor.
 cmake -S . -B build-tsan -DSNOOPY_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j"${JOBS}" --target \
-  bitonic_sort_test suboram_test epoch_parallel_test tracing_test
+  bitonic_sort_test suboram_test epoch_parallel_test tracing_test scaling_regression_test
 ctest --test-dir build-tsan --output-on-failure \
-  -R '(BitonicSort|AdaptiveSortThreads|SubOram|EpochParallel|Tracing|ProfilingSampler|TracerThreadBuffer)'
+  -R '(BitonicSort|AdaptiveSortThreads|SubOram|EpochParallel|Tracing|ProfilingSampler|TracerThreadBuffer|WorkPool|ScalingRegression)'
 
 echo "== TSan chaos stage: fault recovery, permanent loss, repair, reshard =="
 # Crash/loss recovery exercises the cross-thread paths deliberately (phase-2 workers

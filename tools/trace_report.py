@@ -8,8 +8,8 @@ Tracer::WriteChromeTrace): complete events (ph == "X") with categories
   phase  pipeline phases inside an epoch (lb_prepare, suboram_execute,
          response_match, deliver, seal, repair)
   task   one span per RunIndexedPhase task (per-LB / per-subORAM work item)
-  pool   per-worker summaries (name == phase, args tasks/steals/busy_ns/idle_ns)
-         and one barrier span per pooled phase
+  pool   per-worker summaries (name == phase, args tasks/steals/busy_ns/idle_ns/
+         cpu_busy_ns) and one barrier span per pooled phase
   step   sub-phase steps inside a task (lb_assign, suboram_scan, merge tiles...)
 
 For every epoch the report computes:
@@ -17,6 +17,12 @@ For every epoch the report computes:
   * per-phase wall time, worker busy/idle split, parallel efficiency
     busy / (busy + idle), task-skew (longest task / mean task), and barrier
     stall (phase end minus last task end);
+  * per-phase work inflation: wall-busy seconds over per-thread CPU seconds
+    (CLOCK_THREAD_CPUTIME_ID, the cpu_busy_ns pool arg). On a dedicated core
+    the two agree; a ratio above 1.15x means workers were timeshared or
+    preempted while "busy", so wall-busy overstates the work actually done --
+    the exact failure mode behind the 3.2x epoch-parallelism regression.
+    Inflated phases are flagged in the report;
   * the epoch critical path: each phase's contribution is its longest task
     (the chain the barrier actually waited on) plus the phase's serial
     prologue/epilogue, and the epoch's serial remainder (deliver, seal,
@@ -43,6 +49,10 @@ from collections import defaultdict
 
 POOL_PHASES = ("lb_prepare", "suboram_execute", "response_match")
 
+# Wall-busy / CPU-busy ratio above which a phase's busy accounting is flagged as
+# inflated (workers descheduled mid-task; wall time measuring the scheduler).
+WORK_INFLATION_FLAG = 1.15
+
 
 def load_events(path):
     with open(path) as fh:
@@ -63,6 +73,7 @@ class PhaseStats:
         self.wall_us = 0.0
         self.busy_us = 0.0
         self.idle_us = 0.0
+        self.cpu_busy_us = 0.0
         self.tasks = 0
         self.steals = 0
         self.workers = 0
@@ -75,6 +86,12 @@ class PhaseStats:
     def efficiency(self):
         denom = self.busy_us + self.idle_us
         return self.busy_us / denom if denom > 0 else 1.0
+
+    @property
+    def work_inflation(self):
+        # cpu_busy_us == 0 means the trace predates the arg (or the platform has
+        # no per-thread CPU clock); report 1.0 rather than flagging blindly.
+        return self.busy_us / self.cpu_busy_us if self.cpu_busy_us > 0 else 1.0
 
     @property
     def skew(self):
@@ -113,6 +130,7 @@ def analyze(events):
                 args = pool.get("args", {})
                 st.busy_us += args.get("busy_ns", 0) / 1e3
                 st.idle_us += args.get("idle_ns", 0) / 1e3
+                st.cpu_busy_us += args.get("cpu_busy_ns", 0) / 1e3
                 st.tasks += args.get("tasks", 0)
                 st.steals += args.get("steals", 0)
                 workers += 1
@@ -166,17 +184,25 @@ def render(report, worker_projections):
     lines.append(f"epochs analyzed: {report['epochs']}   "
                  f"total epoch wall: {report['epoch_wall_s'] * 1e3:.1f} ms")
     lines.append("")
-    lines.append(f"{'phase':<18} {'wall ms':>9} {'busy ms':>9} {'idle ms':>9} "
-                 f"{'eff':>5} {'skew':>5} {'stall ms':>9} {'crit ms':>9} "
-                 f"{'tasks':>6} {'steals':>6}")
+    lines.append(f"{'phase':<18} {'wall ms':>9} {'busy ms':>9} {'cpu ms':>9} "
+                 f"{'idle ms':>9} {'eff':>5} {'infl':>5} {'skew':>5} "
+                 f"{'stall ms':>9} {'crit ms':>9} {'tasks':>6} {'steals':>6}")
     order = sorted(report["phases"].values(), key=lambda p: -p.wall_us)
     for p in order:
         lines.append(
             f"{p.name:<18} {p.wall_us / 1e3:>9.2f} {p.busy_us / 1e3:>9.2f} "
-            f"{p.idle_us / 1e3:>9.2f} {p.efficiency:>5.2f} {p.skew:>5.2f} "
+            f"{p.cpu_busy_us / 1e3:>9.2f} {p.idle_us / 1e3:>9.2f} "
+            f"{p.efficiency:>5.2f} {p.work_inflation:>5.2f} {p.skew:>5.2f} "
             f"{p.stall_us / 1e3:>9.2f} {p.critical_us / 1e3:>9.2f} "
             f"{p.tasks:>6d} {p.steals:>6d}")
     lines.append("")
+    for p in order:
+        if p.work_inflation > WORK_INFLATION_FLAG:
+            lines.append(
+                f"WARNING: phase {p.name!r} wall-busy is {p.work_inflation:.2f}x its "
+                f"CPU time (> {WORK_INFLATION_FLAG:.2f}x): workers were timeshared or "
+                f"preempted mid-task; wall-busy overstates the work done and the "
+                f"efficiency column is not trustworthy for this phase.")
     crit_total = sum(p.critical_us for p in order if p.name in POOL_PHASES)
     lines.append("critical path (pooled phases): "
                  f"{crit_total / 1e3:.2f} ms of {report['epoch_wall_s'] * 1e3:.1f} ms")
@@ -203,8 +229,10 @@ def to_json(report, worker_projections):
             p.name: {
                 "wall_s": p.wall_us / 1e6,
                 "busy_s": p.busy_us / 1e6,
+                "cpu_busy_s": p.cpu_busy_us / 1e6,
                 "idle_s": p.idle_us / 1e6,
                 "parallel_efficiency": p.efficiency,
+                "work_inflation": p.work_inflation,
                 "task_skew": p.skew,
                 "barrier_stall_s": p.stall_us / 1e6,
                 "critical_path_s": p.critical_us / 1e6,
@@ -222,7 +250,10 @@ def golden_trace():
     """One 100 ms epoch: 20 ms single-worker lb_prepare, then a 40 ms two-worker
     suboram_execute whose workers run 40 ms and 20 ms of tasks (busy 60 ms, idle
     20 ms -> efficiency 0.75, skew 4/3), then a 40 ms serial remainder (deliver +
-    seal) -> serial fraction 0.4."""
+    seal) -> serial fraction 0.4. Worker 0 of the execute phase gets only 25 ms
+    of CPU for its 40 ms wall-busy span (descheduled mid-task), so the phase's
+    work inflation is 60/45 = 1.333x and must trip the >1.15x flag; lb_prepare's
+    CPU matches wall and must stay unflagged."""
     ev = []
 
     def x(cat, name, ts, dur, args=None):
@@ -234,14 +265,17 @@ def golden_trace():
     x("task", "lb_prepare", 0, 10_000)
     x("task", "lb_prepare", 10_000, 10_000)
     x("pool", "lb_prepare", 0, 20_000,
-      {"tasks": 2, "steals": 0, "busy_ns": 20_000_000, "idle_ns": 0})
+      {"tasks": 2, "steals": 0, "busy_ns": 20_000_000, "idle_ns": 0,
+       "cpu_busy_ns": 20_000_000})
     x("phase", "suboram_execute", 20_000, 40_000)
     x("task", "suboram_execute", 20_000, 40_000)  # worker 0: the barrier chain
     x("task", "suboram_execute", 20_000, 20_000)  # worker 1: parks after 20 ms
     x("pool", "suboram_execute", 20_000, 40_000,
-      {"tasks": 1, "steals": 0, "busy_ns": 40_000_000, "idle_ns": 0})
+      {"tasks": 1, "steals": 0, "busy_ns": 40_000_000, "idle_ns": 0,
+       "cpu_busy_ns": 25_000_000})
     x("pool", "suboram_execute", 20_000, 40_000,
-      {"tasks": 1, "steals": 0, "busy_ns": 20_000_000, "idle_ns": 20_000_000})
+      {"tasks": 1, "steals": 0, "busy_ns": 20_000_000, "idle_ns": 20_000_000,
+       "cpu_busy_ns": 20_000_000})
     x("phase", "deliver", 60_000, 20_000)
     x("phase", "seal", 80_000, 20_000)
     return ev
@@ -259,6 +293,15 @@ def self_check():
     checks.append(("execute_efficiency", round(exe.efficiency, 6), 0.75))
     checks.append(("execute_skew", round(exe.skew, 6),
                    round(40_000 / 30_000, 6)))
+    # Wall-busy 60 ms against 45 ms of CPU: inflation 1.333x, above the flag
+    # threshold; lb_prepare's CPU equals its wall-busy and stays clean.
+    checks.append(("execute_inflation", round(exe.work_inflation, 6),
+                   round(60_000 / 45_000, 6)))
+    checks.append(("prepare_inflation",
+                   round(report["phases"]["lb_prepare"].work_inflation, 6), 1.0))
+    flagged = sorted(p.name for p in report["phases"].values()
+                     if p.work_inflation > WORK_INFLATION_FLAG)
+    checks.append(("flagged_phases", flagged, ["suboram_execute"]))
     # The long task runs right up to the barrier, so there is no post-barrier
     # stall and the phase's critical path is that 40 ms task.
     checks.append(("execute_stall_s", round(exe.stall_us / 1e6, 6), 0.0))
