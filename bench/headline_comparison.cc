@@ -9,11 +9,14 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <thread>
 #include <vector>
 
 #include "bench/bench_util.h"
 #include "src/core/snoopy.h"
+#include "src/obl/bucket_sort.h"
 #include "src/obl/kernels.h"
 #include "src/sim/cluster.h"
 #include "src/telemetry/bench_json.h"
@@ -364,15 +367,32 @@ int main(int argc, char** argv) {
                base.cpu_busy_s > 0 ? p.cpu_busy_s / base.cpu_busy_s : 0.0);
     }
   }
+  // The sort-strategy column: the configured oblivious-sort strategy these epochs
+  // ran under (SNOOPY_SORT_STRATEGY override applied, mirroring ResolveSortStrategy),
+  // so a JSON regenerated under CI's bucket-strategy stage is distinguishable from
+  // the default run when comparing committed numbers.
+  SortStrategy configured_sort = SnoopyConfig{}.sort_strategy;
+  if (const char* env = std::getenv("SNOOPY_SORT_STRATEGY")) {
+    if (std::strcmp(env, "bitonic") == 0) {
+      configured_sort = SortStrategy::kBitonic;
+    } else if (std::strcmp(env, "bucket") == 0) {
+      configured_sort = SortStrategy::kBucket;
+    } else if (std::strcmp(env, "auto") == 0) {
+      configured_sort = SortStrategy::kAuto;
+    }
+  }
+  const char* sort_strategy_name = SortStrategyName(configured_sort);
   json.AddPoint("epoch_parallelism")
       .Set("num_suborams", 4)
       .Set("epoch_threads", 1)
       .Set("hardware_threads", hardware_threads)
+      .Set("sort_strategy", sort_strategy_name)
       .Set("suboram_execute_s", seq_s);
   json.AddPoint("epoch_parallelism")
       .Set("num_suborams", 4)
       .Set("epoch_threads", 4)
       .Set("hardware_threads", hardware_threads)
+      .Set("sort_strategy", sort_strategy_name)
       .Set("suboram_execute_s", par_s)
       .Set("speedup_vs_1_thread", seq_s / par_s);
   json.AddPoint("kernel_backend")

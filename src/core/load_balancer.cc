@@ -94,6 +94,11 @@ LoadBalancer::PreparedEpoch LoadBalancer::PrepareBatches(RequestBatch&& client_r
   // instead of oversubscribing (the work-inflation bug). Standalone callers pass
   // through unclamped.
   options.sort_threads = PoolClampedThreads(config_.sort_threads);
+  options.sort_strategy = config_.sort_strategy;
+  // Pre-dedup request bins are NOT simulatable: duplicate client keys share a bin,
+  // so the bin multiset would leak key multiplicity. This forces the bitonic path.
+  options.bins_simulatable = false;
+  options.lambda = config_.lambda;
   TraceSpan place_trace(&Tracer::Global(), "step", "lb_bin_placement");
   place_trace.SetArg("requests", r);
   place_trace.SetArg("bins", s);
@@ -160,9 +165,12 @@ RequestBatch LoadBalancer::MatchResponses(PreparedEpoch&& epoch,
   const int sort_threads = PoolClampedThreads(config_.sort_threads);
 
   // SNOOPY_OBLIVIOUS_BEGIN(lb_match)
-  // ct-public: i total value_size TraceSpan SetArg
-  // Figure 6 step 2: oblivious sort by object id, responses before requests.
-  BitonicSortSlabBlocked(
+  // ct-public: i total value_size TraceSpan SetArg sort_threads
+  // Figure 6 step 2: oblivious sort by object id, responses before requests. This
+  // goes through the plain (no-bin-spec) strategy entry point: the sort key is the
+  // secret object id, there is no public bin structure, so no bucket assignment can
+  // be safe here and the entry point always takes the bitonic path.
+  ObliviousSortSlab(
       merged.slab(),
       [](const uint8_t* a, const uint8_t* b) {
         const auto* ha = reinterpret_cast<const RequestHeader*>(a);
@@ -177,7 +185,7 @@ RequestBatch LoadBalancer::MatchResponses(PreparedEpoch&& epoch,
         const SecretU64 kb(hb->key);
         return (ka < kb) | ((ka == kb) & (wa < wb));
       },
-      sort_threads);
+      config_.sort_strategy, sort_threads);
   sort_trace.End();
   TraceSpan propagate_trace(&Tracer::Global(), "step", "lb_match_propagate");
 

@@ -19,6 +19,7 @@
 #include "src/core/request.h"
 #include "src/crypto/rng.h"
 #include "src/crypto/siphash.h"
+#include "src/obl/bucket_sort.h"
 
 namespace snoopy {
 
@@ -28,6 +29,13 @@ struct LoadBalancerConfig {
   size_t value_size = 160;
   uint32_t lambda = kDefaultLambda;
   int sort_threads = 1;
+  // Strategy for the load balancer's oblivious sorts. Both load-balancer sorts are
+  // bucket-INELIGIBLE -- PrepareBatches sorts pre-dedup requests whose bin tags
+  // repeat per duplicate key (revealing them leaks key multiplicity), MatchResponses
+  // sorts by secret object id with no bin structure at all -- so both resolve to the
+  // bitonic fallback regardless of this setting. The field exists so the config
+  // plumbs uniformly and future simulatable sites can opt in.
+  SortStrategy sort_strategy = SortStrategy::kBitonic;
 };
 
 class LoadBalancer {

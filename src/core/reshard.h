@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "src/crypto/siphash.h"
+#include "src/obl/bucket_sort.h"
 #include "src/obl/slab.h"
 
 namespace snoopy {
@@ -47,8 +48,14 @@ inline uint32_t PartitionBinOfHash(uint64_t hash, uint32_t num_bins) {
 // binary-level taint verifier (tools/ct_dataflow.py) can audit exactly the compiled
 // form of the secret-dependent region, without the public boundary split that
 // legitimately branches on the (declassified-by-contract) sorted tags.
+// `sort_strategy` selects the oblivious sort implementation; the bucket strategy is
+// eligible here because the tags are a fresh keyed hash of distinct store keys, so
+// the bin multiset is simulatable from (n, num_bins). Ties within a bin break by the
+// (secret) record key, making the output order total and strategy-independent.
 ByteSlab TagAndSortByBin(const ByteSlab& records, const SipKey& partition_key,
-                         uint32_t num_bins, size_t value_size, int sort_threads);
+                         uint32_t num_bins, size_t value_size, int sort_threads,
+                         SortStrategy sort_strategy = SortStrategy::kBitonic,
+                         uint32_t lambda = 40);
 
 // Obliviously partitions `records` -- a slab of key(8) | value(value_size) records --
 // into `num_bins` partitions under the secret keyed partition hash. Returns one slab
@@ -58,7 +65,9 @@ ByteSlab TagAndSortByBin(const ByteSlab& records, const SipKey& partition_key,
 // size argument above.
 std::vector<ByteSlab> PartitionSlabByBin(const ByteSlab& records, const SipKey& partition_key,
                                          uint32_t num_bins, size_t value_size,
-                                         int sort_threads);
+                                         int sort_threads,
+                                         SortStrategy sort_strategy = SortStrategy::kBitonic,
+                                         uint32_t lambda = 40);
 
 }  // namespace snoopy
 

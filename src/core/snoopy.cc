@@ -579,6 +579,7 @@ class DefaultSubOramFactory final : public SubOramBackendFactory {
     soc.value_size = config_.value_size;
     soc.lambda = config_.lambda;
     soc.sort_threads = config_.sort_threads;
+    soc.sort_strategy = config_.sort_strategy;
     soc.check_distinct = config_.check_distinct;
     return std::make_unique<SubOram>(soc, seed);
   }
@@ -629,6 +630,7 @@ void Snoopy::Construct() {
     lbc.value_size = config_.value_size;
     lbc.lambda = config_.lambda;
     lbc.sort_threads = config_.sort_threads;
+    lbc.sort_strategy = config_.sort_strategy;
     const uint64_t lb_seed = rng_.Next64();
     lb_base_seeds_.push_back(lb_seed);
     lbs_.push_back(std::make_unique<LoadBalancer>(lbc, partition_key_, lb_seed));
@@ -818,8 +820,9 @@ void Snoopy::InitializeOblivious(
     const size_t n = value.size() < value_size ? value.size() : value_size;
     std::memcpy(rec + 8, value.data(), n);
   }
-  const std::vector<ByteSlab> parts = PartitionSlabByBin(
-      slab, partition_key_, config_.num_suborams, value_size, config_.sort_threads);
+  const std::vector<ByteSlab> parts =
+      PartitionSlabByBin(slab, partition_key_, config_.num_suborams, value_size,
+                         config_.sort_threads, config_.sort_strategy, config_.lambda);
   for (uint32_t so = 0; so < config_.num_suborams; ++so) {
     suborams_[so]->Initialize(SlabToObjects(parts[so], value_size));
   }
@@ -1904,8 +1907,9 @@ void Snoopy::Reshard(uint32_t new_num_suborams) {
       std::memcpy(all.AppendZero(), part.Record(i), part.record_bytes());
     }
   }
-  const std::vector<ByteSlab> parts = PartitionSlabByBin(
-      all, partition_key_, new_num_suborams, config_.value_size, config_.sort_threads);
+  const std::vector<ByteSlab> parts =
+      PartitionSlabByBin(all, partition_key_, new_num_suborams, config_.value_size,
+                         config_.sort_threads, config_.sort_strategy, config_.lambda);
   check_abort();
 
   // Build the new deployment off to the side. Load balancer *enclaves* survive (their

@@ -70,6 +70,13 @@ struct SnoopyConfig {
   size_t value_size = 160;
   uint32_t lambda = kDefaultLambda;
   int sort_threads = 1;
+  // Oblivious sort strategy for the hot sorts (subORAM hash-table construction,
+  // reshard partitioning). kAuto picks bitonic vs bucket per call site from the cost
+  // model's crossover; SNOOPY_SORT_STRATEGY overrides at runtime. Sites whose bin
+  // tags are not simulatable (the load balancer's pre-dedup and match sorts) always
+  // run bitonic regardless. Both strategies yield identical responses and traces
+  // that are thread-count-invariant per strategy; see DESIGN.md "Oblivious sorting".
+  SortStrategy sort_strategy = SortStrategy::kAuto;
   // Worker threads for the epoch pipeline (Figure 9a's scaling claim needs the
   // orchestrator off the critical path): phase 1 prepares load-balancer batches
   // concurrently, phase 2 runs one worker per subORAM (each applying its batches in

@@ -83,7 +83,8 @@ RequestBatch SubOram::ProcessBatch(RequestBatch&& batch) {
   TwoTierOht table(kRequestOhtSchema, config_.lambda);
   // Sort width clamped to the pool task's thread budget (no-op outside the pool):
   // nested sort parallelism must borrow the shared pool, never spawn over it.
-  if (!table.Build(std::move(batch.slab()), rng_, PoolClampedThreads(config_.sort_threads))) {
+  if (!table.Build(std::move(batch.slab()), rng_, PoolClampedThreads(config_.sort_threads),
+                   config_.sort_strategy)) {
     throw std::runtime_error("oblivious hash table construction overflow (negligible event)");
   }
   build_trace.End();

@@ -27,6 +27,7 @@
 #include "src/core/suboram_backend.h"
 #include "src/crypto/rng.h"
 #include "src/enclave/rollback.h"
+#include "src/obl/bucket_sort.h"
 #include "src/obl/slab.h"
 
 namespace snoopy {
@@ -36,6 +37,10 @@ struct SubOramConfig {
   size_t value_size = 160;
   uint32_t lambda = kDefaultLambda;
   int sort_threads = 1;
+  // Strategy for the hash-table construction sorts (the batch-processing critical
+  // path). Both OHT sorts are bucket-eligible: the batch carries distinct keys and
+  // bins are fresh keyed hashes, so the bin multiset is simulatable.
+  SortStrategy sort_strategy = SortStrategy::kBitonic;
   // Enclave threads for the linear scan (paper Figure 13b). Threads take disjoint
   // object ranges; hash-table buckets are guarded by per-bucket locks since the
   // oblivious compare-and-set writes every scanned slot unconditionally.

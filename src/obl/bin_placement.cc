@@ -50,17 +50,21 @@ BinPlacementResult ObliviousBinPlacement(ByteSlab& slab, const BinSchema& schema
 
   // Step 2 (Fig. 5 step 3): oblivious sort by (bin, dummy, dedup, order). From here on
   // every record field is secret: loads go through the Secret<T> ports and the
-  // comparator stays in the taint domain until the oblivious swap consumes it.
-  const auto key_of = [&schema](const uint8_t* rec) {
-    const SecretU64 bin = Widen(LoadSecretU32(rec, schema.bin_offset));
-    const SecretU64 dummy = Widen(LoadSecretU8(rec, schema.dummy_offset)) & 1;
-    return (bin << 1) | dummy;
-  };
-  BitonicSortSlabBlocked(
-      slab,
+  // comparator stays in the taint domain until the oblivious swap consumes it. The
+  // sort routes through the common strategy entry point: the composed
+  // (bin, within-bin) order is lexicographically identical to the old
+  // ((bin << 1) | dummy, dedup, order) comparator, and the bucket strategy is only
+  // selectable when options.bins_simulatable attests the bin tags leak nothing.
+  SortBinSpec sort_spec;
+  sort_spec.bin_offset = schema.bin_offset;
+  sort_spec.num_bins = m;
+  sort_spec.bins_simulatable = options.bins_simulatable;
+  sort_spec.lambda = options.lambda;
+  ObliviousSortSlab(
+      slab, sort_spec,
       [&](const uint8_t* a, const uint8_t* b) {
-        const SecretU64 a1 = key_of(a);
-        const SecretU64 b1 = key_of(b);
+        const SecretU64 a1 = Widen(LoadSecretU8(a, schema.dummy_offset)) & 1;
+        const SecretU64 b1 = Widen(LoadSecretU8(b, schema.dummy_offset)) & 1;
         const SecretU64 a2 = LoadSecretU64(a, schema.dedup_offset);
         const SecretU64 b2 = LoadSecretU64(b, schema.dedup_offset);
         const SecretU64 a3 = LoadSecretU64(a, schema.order_offset);
@@ -69,7 +73,7 @@ BinPlacementResult ObliviousBinPlacement(ByteSlab& slab, const BinSchema& schema
         const SecretBool lt2 = (a2 < b2) | ((a2 == b2) & lt3);
         return (a1 < b1) | ((a1 == b1) & lt2);
       },
-      options.sort_threads);
+      options.sort_strategy, options.sort_threads);
 
   // Step 3 (Fig. 5 step 4): one oblivious linear scan marks, per bin, the first z
   // non-duplicate records (reals first, then padding).

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <functional>
 
+#include "src/obl/bucket_sort.h"
 #include "src/obl/slab.h"
 
 namespace snoopy {
@@ -35,6 +36,14 @@ struct BinPlacementOptions {
   uint32_t bin_capacity = 1;  // z
   bool dedup = false;         // drop all but the first record of each duplicate group
   int sort_threads = 1;
+  // Strategy for the placement sort (ObliviousSortSlab). The bucket strategy is
+  // only eligible when the caller attests that the record bin tags are simulatable
+  // from public parameters (keyed hash of distinct keys / uniform draws) — see
+  // SortBinSpec::bins_simulatable. The load balancer's pre-dedup batches carry
+  // duplicate keys and must leave this false.
+  SortStrategy sort_strategy = SortStrategy::kBitonic;
+  bool bins_simulatable = false;
+  uint32_t lambda = 40;  // overflow-failure exponent for the bucket route
 };
 
 struct BinPlacementResult {

@@ -91,11 +91,12 @@ OhtParams ChooseOhtParams(uint64_t n, uint32_t lambda) {
 }
 
 // SNOOPY_OBLIVIOUS_BEGIN(oht_build)
-// ct-public: n i b j total pad1 sort_threads batch overflow
+// ct-public: n i b j total pad1 sort_threads sort_strategy sort_spec batch overflow
 // ct-public: params_ bins1 z1 bins2 overflow_cap schema_ dummy_offset
 // ct-public: tier1_ok r2 ok
 
-bool TwoTierOht::Build(ByteSlab&& batch, Rng& rng, int sort_threads) {
+bool TwoTierOht::Build(ByteSlab&& batch, Rng& rng, int sort_threads,
+                       SortStrategy sort_strategy) {
   const uint64_t n = batch.size();
   params_ = ChooseOhtParams(n, lambda_);
   key1_ = rng.NextSipKey();
@@ -135,18 +136,26 @@ bool TwoTierOht::Build(ByteSlab&& batch, Rng& rng, int sort_threads) {
   }
   TraceRecord(TraceOp::kAppend, n, pad1);
 
-  BitonicSortSlabBlocked(
-      slab,
+  // Sort by (bin, dummy, order) via the common strategy entry point. The composed
+  // (bin, within-bin) order is lexicographically identical to the old
+  // ((bin << 1) | dummy, order) comparator. Tier-1 bins are a fresh keyed hash of
+  // distinct keys plus exactly z1 deterministic dummies per bin, so the bin multiset
+  // is simulatable from (n, bins1, z1): the bucket strategy may reveal it.
+  SortBinSpec sort_spec;
+  sort_spec.bin_offset = schema_.bin_offset;
+  sort_spec.num_bins = params_.bins1;
+  sort_spec.bins_simulatable = true;
+  sort_spec.lambda = lambda_;
+  ObliviousSortSlab(
+      slab, sort_spec,
       [this](const uint8_t* a, const uint8_t* b) {
-        const SecretU64 a1 = (Widen(LoadSecretU32(a, schema_.bin_offset)) << 1) |
-                             (Widen(LoadSecretU8(a, schema_.dummy_offset)) & 1);
-        const SecretU64 b1 = (Widen(LoadSecretU32(b, schema_.bin_offset)) << 1) |
-                             (Widen(LoadSecretU8(b, schema_.dummy_offset)) & 1);
+        const SecretU64 a1 = Widen(LoadSecretU8(a, schema_.dummy_offset)) & 1;
+        const SecretU64 b1 = Widen(LoadSecretU8(b, schema_.dummy_offset)) & 1;
         const SecretU64 a2 = LoadSecretU64(a, schema_.order_offset);
         const SecretU64 b2 = LoadSecretU64(b, schema_.order_offset);
         return (a1 < b1) | ((a1 == b1) & (a2 < b2));
       },
-      sort_threads);
+      sort_strategy, sort_threads);
 
   // Mark tier-1 residents (first z1 per bin) and the overflow set; pad the overflow
   // set to the public cap with surplus padding dummies so the compacted size reveals
@@ -223,6 +232,11 @@ bool TwoTierOht::Build(ByteSlab&& batch, Rng& rng, int sort_threads) {
   options.bin_capacity = static_cast<uint32_t>(params_.z2);
   options.dedup = false;
   options.sort_threads = sort_threads;
+  options.sort_strategy = sort_strategy;
+  // Tier-2 bins: fresh keyed hash of distinct overflow keys, uniform random draws
+  // for the filler dummies — the bin multiset is simulatable from public parameters.
+  options.bins_simulatable = true;
+  options.lambda = lambda_;
   const size_t key_off = schema_.key_offset;
   const BinPlacementResult r2 = ObliviousBinPlacement(
       overflow, bin_schema, options,

@@ -23,6 +23,7 @@
 
 #include "src/crypto/rng.h"
 #include "src/crypto/siphash.h"
+#include "src/obl/bucket_sort.h"
 #include "src/obl/slab.h"
 
 namespace snoopy {
@@ -62,8 +63,12 @@ class TwoTierOht {
   // Builds the table over `batch` (consumed). Keys must be distinct. Returns false on
   // the negligible-probability overflow abort. Fresh bucket-assignment keys are drawn
   // from `rng` for every build (paper section 5: "for every batch we sample a new
-  // key"). `sort_threads` parallelizes the construction sorts.
-  bool Build(ByteSlab&& batch, Rng& rng, int sort_threads = 1);
+  // key"). `sort_threads` parallelizes the construction sorts; `sort_strategy`
+  // selects their implementation (both construction sorts are bucket-eligible: bins
+  // are fresh keyed hashes of distinct keys, padding is deterministic-per-bin or
+  // uniform random, so the bin multiset is simulatable from public parameters).
+  bool Build(ByteSlab&& batch, Rng& rng, int sort_threads = 1,
+             SortStrategy sort_strategy = SortStrategy::kBitonic);
 
   const OhtParams& params() const { return params_; }
 

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "src/analysis/batch_bound.h"
+#include "src/obl/bucket_sort.h"
 #include "src/obl/hash_table.h"
 
 namespace snoopy {
@@ -35,6 +36,25 @@ double CostModel::BitonicSortSeconds(uint64_t n, size_t record_bytes, int thread
       (1.0 - tile_fraction) + tile_fraction * config_.sort_blocked_discount;
   return config_.sort_ns_per_byte * bytes * lg * lg * blocked_factor * 1e-9 *
          ThreadScale(threads);
+}
+
+double CostModel::BucketSortSeconds(uint64_t n, size_t record_bytes, uint64_t num_bins,
+                                    int threads) const {
+  if (n <= 1) {
+    return 0.0;
+  }
+  const BucketSortParams params = ChooseBucketParams(n, num_bins, config_.lambda);
+  if (!params.ok) {
+    return BitonicSortSeconds(n, record_bytes, threads);
+  }
+  // BucketSortPassesPerElement counts streaming-equivalent compare-exchange passes
+  // (routing levels at their merge-split factor, fixed label/emission passes, and
+  // tile-resident cleanup at its locality discount). Calibrate the per-pass unit
+  // cost against the bitonic anchor: BitonicSortSeconds charges sort_ns_per_byte
+  // per byte per lg^2, i.e. lg^2 / (L(L+1)/2) ~= 2 units per streaming pass.
+  const double bytes = static_cast<double>(n) * static_cast<double>(record_bytes);
+  const double passes = BucketSortPassesPerElement(n, record_bytes, params);
+  return 2.0 * config_.sort_ns_per_byte * bytes * passes * 1e-9 * ThreadScale(threads);
 }
 
 double CostModel::CompactSeconds(uint64_t n, size_t record_bytes, int threads) const {

@@ -59,6 +59,17 @@ TEST(CostModel, SortAnchorA4) {
   EXPECT_LT(t, 3.0);
 }
 
+TEST(CostModel, BucketSortCrossesBelowBitonicAtScale) {
+  const CostModel m;
+  // Past the crossover (many simulatable bins, large n) the O(n log n) bucket sort
+  // must price below the O(n log^2 n) bitonic network; where no routing geometry is
+  // viable the model falls back to the bitonic price exactly.
+  const uint64_t n = 1u << 20;
+  EXPECT_LT(m.BucketSortSeconds(n, 208, 1u << 14, 1), m.BitonicSortSeconds(n, 208, 1));
+  EXPECT_EQ(m.BucketSortSeconds(1u << 16, 208, 1, 1), m.BitonicSortSeconds(1u << 16, 208, 1));
+  EXPECT_EQ(m.BucketSortSeconds(1, 208, 16, 1), 0.0);
+}
+
 TEST(CostModel, OblixRecursionStepMatchesFigure10) {
   // The Figure 10 throughput spike: 2M/8 partitions need one fewer recursion level
   // than 2M/7 partitions.

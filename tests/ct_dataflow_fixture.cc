@@ -40,6 +40,14 @@
 #include "src/crypto/siphash.cc"   // NOLINT(bugprone-suspicious-include)
 #include "src/obl/compaction.cc"   // NOLINT(bugprone-suspicious-include)
 
+// src/obl/bucket_sort.cc is deliberately NOT included: TryBucketSortSlab's label
+// declassification is public by the simulatable-bins contract, which the taint
+// analyzer cannot model, and same-object symbols are always followed. Keeping the
+// TU out leaves TryBucketSortSlab / ResolveSortStrategy as unresolved externals
+// covered by the call_allow_public_patterns entries in tools/ct_binary_manifest.json;
+// the secret-handling bucket kernels (header-inline by design) are audited below via
+// ctdf_bucket_route / ctdf_bucket_cleanup.
+
 #define CTDF_ROOT __attribute__((noipa, flatten))
 
 namespace {
@@ -57,6 +65,15 @@ struct SlabCSwap {
         asc ? (snoopy::LoadSecretU64(b, 0) < snoopy::LoadSecretU64(a, 0))
             : (snoopy::LoadSecretU64(a, 0) < snoopy::LoadSecretU64(b, 0));
     snoopy::KernelCondSwapBytes(out_of_order, a, b, stride);
+  }
+};
+
+// A concrete branchless within-bin comparator for the bucket cleanup audit: the
+// production sort passes a type-erased wrapper over Secret-typed loads exactly like
+// this one, so the composed compare + swap machinery audited is what actually runs.
+struct CleanupWithin {
+  snoopy::SecretBool operator()(const uint8_t* a, const uint8_t* b) const {
+    return snoopy::LoadSecretU64(a, 8) < snoopy::LoadSecretU64(b, 8);
   }
 };
 
@@ -203,6 +220,44 @@ CTDF_ROOT void ctdf_reshard_tag_sort(const uint8_t* records, uint8_t* out, size_
   const snoopy::ByteSlab tagged =
       snoopy::TagAndSortByBin(slab, key, num_bins, value_size, /*sort_threads=*/1);
   std::memcpy(out, tagged.Record(0), n * (snoopy::kReshardHeaderBytes + value_size));
+}
+
+// ---- Bucket oblivious sort kernels (PR 10, src/obl/bucket_sort.cc) ----
+//
+// TryBucketSortSlab itself is the noinline + allowlisted strategy boundary (its
+// label declassification is public by the simulatable-bins contract, which a taint
+// analyzer cannot model). The two secret-handling kernels inside it are audited
+// here decomposed, with only the record regions tainted — exactly the split the
+// BucketArena layout exists for: the butterfly routes (label, index) tags and its
+// branches touch the public tag/count arrays only; record bytes move exclusively
+// through (allowlisted) memcpy in the post-routing materialization gather, audited
+// here fused with one routing level exactly as TryBucketSortSlab runs them.
+
+// ctdf-symbol: ctdf_bucket_route secret=ptr:rdi,ptr:rsi
+CTDF_ROOT int ctdf_bucket_route(uint8_t* records, const uint8_t* data, uint32_t* labels,
+                                uint32_t* indices, uint32_t* counts, uint64_t buckets,
+                                uint64_t capacity, size_t stride, uint32_t m,
+                                uint32_t level) {
+  snoopy::bucket_internal::BucketArena arena;
+  arena.records = records;
+  arena.labels = labels;
+  arena.indices = indices;
+  arena.counts = counts;
+  arena.buckets = buckets;
+  arena.capacity = capacity;
+  arena.stride = stride;
+  const bool routed = snoopy::bucket_internal::RouteLevelRange(arena, m, level, 0,
+                                                               buckets / 2);
+  snoopy::bucket_internal::MaterializeBucketRange(arena, data, 0, buckets);
+  return routed ? 1 : 0;
+}
+
+// ctdf-symbol: ctdf_bucket_cleanup secret=ptr:rdi
+CTDF_ROOT void ctdf_bucket_cleanup(uint8_t* base, size_t n, size_t stride) {
+  snoopy::internal::BitonicTileSort(
+      0, n, /*asc=*/true,
+      snoopy::BucketCleanupCSwap<CleanupWithin>{base, stride, /*bin_offset=*/0,
+                                                /*trace_base=*/0, CleanupWithin{}});
 }
 
 }  // extern "C"

@@ -15,10 +15,13 @@ tracing-overhead gate, the perf trajectory -- can rely on them:
 
   headline_comparison        throughput, telemetry_overhead, tracing_overhead
                              (overhead_fraction), epoch_parallelism
-                             (hardware_threads), phase_breakdown
+                             (hardware_threads, sort_strategy), phase_breakdown
                              (parallel_efficiency, cpu_busy_s,
                              speedup_vs_1_thread, work_inflation), kernel_backend
   fig13a_sort_parallelism    sort_threads (parallel_efficiency), blocked_sort
+                             (speedup_vs_unblocked_1thr on EVERY point -- the
+                             unblocked baseline rows carry 1.0), sort_strategy
+                             (strategy, seconds)
   fig13b_suboram_parallelism suboram_threads, epoch_pool (parallel_efficiency)
 
 Beyond shape, a few committed values are load-bearing claims and are gated here
@@ -29,7 +32,11 @@ so a regression cannot land silently by committing the regenerated numbers:
     broke or the measurement run was too short to resolve it (both are bugs);
   * phase_breakdown work_inflation <= 1.25 -- CPU time (not wall-busy) per phase
     must not grow materially with epoch_threads; the 3.2x regression this gate
-    postdates showed up here first.
+    postdates showed up here first;
+  * fig13a sort_strategy crossover -- at the largest measured n on one thread the
+    bucket sort must beat the blocked bitonic by >= 1.5x (the headline claim of
+    the O(n log n) strategy; see DESIGN.md "Oblivious sorting"). Committing a
+    regenerated JSON where the advantage evaporated fails the check.
 
 Usage: tools/check_bench_schema.py [dir ...]   (default: current directory)
 Exit status: 0 when every file validates, 1 otherwise.
@@ -47,7 +54,7 @@ REQUIRED_SERIES = {
         "throughput": [],
         "telemetry_overhead": ["overhead_fraction"],
         "tracing_overhead": ["overhead_fraction", "spans_recorded"],
-        "epoch_parallelism": ["hardware_threads"],
+        "epoch_parallelism": ["hardware_threads", "sort_strategy"],
         "phase_breakdown": [
             "parallel_efficiency",
             "phase",
@@ -62,10 +69,22 @@ REQUIRED_SERIES = {
     "fig13a_sort_parallelism": {
         "sort_threads": ["parallel_efficiency", "threads", "seconds"],
         "blocked_sort": [],
+        "sort_strategy": ["items", "threads", "strategy", "seconds"],
     },
     "fig13b_suboram_parallelism": {
         "suboram_threads": ["objects", "seconds"],
         "epoch_pool": ["parallel_efficiency", "epoch_threads"],
+    },
+}
+
+# bench name -> {series: [fields required on EVERY point of the series]}. Stricter
+# than REQUIRED_SERIES (any-point): these columns must be plottable unguarded, so a
+# single row missing the field (the bug this postdates: unblocked blocked_sort rows
+# silently lacked their 1.0 baseline speedup) fails the check.
+REQUIRED_UNIFORM_FIELDS = {
+    "fig13a_sort_parallelism": {
+        "blocked_sort": ["speedup_vs_unblocked_1thr"],
+        "sort_strategy": ["items", "threads", "strategy", "seconds"],
     },
 }
 
@@ -79,6 +98,45 @@ MAX_FIELD_VALUES = {
         "phase_breakdown": {"work_inflation": 1.25},
     },
 }
+
+
+# The bucket sort's reason to exist is the committed crossover: at the largest
+# measured n on a single thread it must beat the blocked bitonic baseline by at
+# least this factor (ISSUE: "bucket >= 1.5x faster at n = 2^20, 1 thread").
+SORT_STRATEGY_MIN_SPEEDUP = 1.5
+
+
+def check_sort_strategy_crossover(path: pathlib.Path, points: list) -> list:
+    errors = []
+    by_items = {}
+    for pt in points:
+        items = pt.get("items")
+        threads = pt.get("threads")
+        strategy = pt.get("strategy")
+        seconds = pt.get("seconds")
+        if not all(isinstance(v, (int, float)) and not isinstance(v, bool)
+                   for v in (items, threads, seconds)):
+            continue  # shape errors are reported by the structural checks
+        if threads == 1 and strategy in ("bitonic", "bucket"):
+            by_items.setdefault(items, {})[strategy] = seconds
+    if not by_items:
+        return errors  # missing-series error already reported
+    largest = max(by_items)
+    pair = by_items[largest]
+    if "bitonic" not in pair or "bucket" not in pair:
+        errors.append(
+            f"{path}: sort_strategy series lacks a 1-thread bitonic/bucket pair "
+            f"at its largest n ({largest})"
+        )
+        return errors
+    if pair["bucket"] <= 0 or pair["bitonic"] / pair["bucket"] < SORT_STRATEGY_MIN_SPEEDUP:
+        speedup = pair["bitonic"] / pair["bucket"] if pair["bucket"] > 0 else 0.0
+        errors.append(
+            f"{path}: bucket sort speedup {speedup:.2f}x over blocked bitonic at "
+            f"n={largest:.0f}, 1 thread is below the committed "
+            f"{SORT_STRATEGY_MIN_SPEEDUP}x floor"
+        )
+    return errors
 
 
 def check_file(path: pathlib.Path) -> list:
@@ -135,6 +193,18 @@ def check_file(path: pathlib.Path) -> list:
         for field in required_fields:
             if not any(field in pt for pt in pts):
                 err(f"series {series!r} lacks required field {field!r}")
+
+    for series, uniform_fields in REQUIRED_UNIFORM_FIELDS.get(bench, {}).items():
+        for i, pt in enumerate(seen_series.get(series, [])):
+            for field in uniform_fields:
+                if field not in pt:
+                    err(
+                        f"series {series!r} point {i} lacks field {field!r} "
+                        f"(required on every point of this series)"
+                    )
+
+    if bench == "fig13a_sort_parallelism":
+        errors.extend(check_sort_strategy_crossover(path, seen_series.get("sort_strategy", [])))
 
     for series, gates in MAX_FIELD_VALUES.get(bench, {}).items():
         for pt in seen_series.get(series, []):

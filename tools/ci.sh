@@ -34,10 +34,32 @@ python3 tools/ct_dataflow.py --repo-root . --opt=-O3
 SNOOPY_FORCE_GENERIC_KERNELS=1 python3 tools/ct_dataflow.py --repo-root . --opt=-O2
 SNOOPY_FORCE_GENERIC_KERNELS=1 python3 tools/ct_dataflow.py --repo-root . --opt=-O3
 
+echo "== bucket-sort audit coverage (decomposed roots present at both opt levels) =="
+# The bucket strategy's boundary symbols (TryBucketSortSlab etc.) are allowlisted,
+# so their secret-handling kernels are only audited through the decomposed
+# ctdf_bucket_* roots -- if those roots silently fell out of the fixture, the
+# -O2/-O3 stages above would still pass while auditing nothing of the bucket sort.
+for root in ctdf_bucket_route ctdf_bucket_cleanup ctdf_bitonic_tile_sort; do
+  grep -q "ctdf-symbol: ${root} " tests/ct_dataflow_fixture.cc || {
+    echo "ci.sh: bucket-sort audit root ${root} missing from tests/ct_dataflow_fixture.cc"
+    exit 1
+  }
+done
+echo "bucket-sort audit roots present: ctdf_bucket_route ctdf_bucket_cleanup ctdf_bitonic_tile_sort"
+
 echo "== default build + full test suite =="
 cmake -S . -B build >/dev/null
 cmake --build build -j"${JOBS}"
 ctest --test-dir build --output-on-failure
+
+echo "== forced-bucket sort strategy (full suite) =="
+# SNOOPY_SORT_STRATEGY=bucket overrides every deployment's configured strategy at
+# the ResolveSortStrategy gate, so the whole suite reruns with the bucket sort on
+# every eligible hot path (ineligible sites -- too small, bins not simulatable --
+# still fall back to bitonic, which is itself pinned by the override tests).
+# Responses and traces must be byte-identical to the default run's expectations:
+# any strategy-dependent behavior is a bug this stage exists to catch.
+SNOOPY_SORT_STRATEGY=bucket ctest --test-dir build --output-on-failure
 
 echo "== forced-generic kernel backend (dispatch-sensitive suites) =="
 # The SIMD kernel layer (src/obl/kernels.h) picks a backend at runtime; rerun the
@@ -168,12 +190,14 @@ ctest --test-dir build-asan --output-on-failure
 
 echo "== TSan build + threading-sensitive tests =="
 # The race-prone surfaces: parallel bitonic sort (the fig13a trace-race fix),
-# parallel subORAM scan, and the parallel epoch executor.
+# the bucket sort's fork-joined routing/cleanup, parallel subORAM scan, and the
+# parallel epoch executor.
 cmake -S . -B build-tsan -DSNOOPY_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j"${JOBS}" --target \
-  bitonic_sort_test suboram_test epoch_parallel_test tracing_test scaling_regression_test
+  bitonic_sort_test bucket_sort_test suboram_test epoch_parallel_test tracing_test \
+  scaling_regression_test
 ctest --test-dir build-tsan --output-on-failure \
-  -R '(BitonicSort|AdaptiveSortThreads|SubOram|EpochParallel|Tracing|ProfilingSampler|TracerThreadBuffer|WorkPool|ScalingRegression)'
+  -R '(BitonicSort|AdaptiveSortThreads|BucketSort|SubOram|EpochParallel|Tracing|ProfilingSampler|TracerThreadBuffer|WorkPool|ScalingRegression)'
 
 echo "== TSan chaos stage: fault recovery, permanent loss, repair, reshard =="
 # Crash/loss recovery exercises the cross-thread paths deliberately (phase-2 workers

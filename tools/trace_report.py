@@ -10,7 +10,11 @@ Tracer::WriteChromeTrace): complete events (ph == "X") with categories
   task   one span per RunIndexedPhase task (per-LB / per-subORAM work item)
   pool   per-worker summaries (name == phase, args tasks/steals/busy_ns/idle_ns/
          cpu_busy_ns) and one barrier span per pooled phase
-  step   sub-phase steps inside a task (lb_assign, suboram_scan, merge tiles...)
+  step   sub-phase steps inside a task (lb_assign, suboram_scan, merge tiles...).
+         "sort" steps are the ObliviousSortSlab entry point: args carry the
+         resolved strategy (0 = bitonic, 1 = bucket), the record count, and the
+         geometry (block_records tile size for bitonic; buckets x capacity for
+         the bucket butterfly) — the report labels each sort row with them
 
 For every epoch the report computes:
 
@@ -48,6 +52,9 @@ import sys
 from collections import defaultdict
 
 POOL_PHASES = ("lb_prepare", "suboram_execute", "response_match")
+
+# The "sort" step span's strategy arg (src/obl/bucket_sort.h ObliviousSortSlab).
+SORT_STRATEGY_NAMES = {0: "bitonic", 1: "bucket"}
 
 # Wall-busy / CPU-busy ratio above which a phase's busy accounting is flagged as
 # inflated (workers descheduled mid-task; wall time measuring the scheduler).
@@ -99,6 +106,32 @@ class PhaseStats:
             return 1.0
         mean = sum(self.task_durs_us) / len(self.task_durs_us)
         return max(self.task_durs_us) / mean if mean > 0 else 1.0
+
+
+def sort_label(args):
+    """(strategy, geometry) label for one "sort" step span: the active strategy
+    plus the public geometry it ran with — the blocked executor's tile size for
+    bitonic, the butterfly's buckets x capacity for bucket."""
+    strategy = SORT_STRATEGY_NAMES.get(args.get("strategy"), "unknown")
+    if strategy == "bucket":
+        geometry = f"{args.get('buckets', '?')}x{args.get('capacity', '?')}"
+    else:
+        geometry = f"tile {args.get('block_records', '?')}"
+    return strategy, geometry
+
+
+def sort_stats(events):
+    """Aggregate the "sort" step spans per (strategy, geometry) label."""
+    rows = defaultdict(lambda: {"count": 0, "records": 0, "wall_us": 0.0})
+    for e in events:
+        if e.get("cat") != "step" or e.get("name") != "sort":
+            continue
+        args = e.get("args", {})
+        row = rows[sort_label(args)]
+        row["count"] += 1
+        row["records"] += args.get("records", 0)
+        row["wall_us"] += e.get("dur", 0)
+    return dict(rows)
 
 
 def analyze(events):
@@ -160,6 +193,7 @@ def analyze(events):
     return {
         "epochs": len(epochs),
         "phases": phases,
+        "sorts": sort_stats(events),
         "epoch_wall_s": total_epoch_us / 1e6,
         "serial_s": total_serial_us / 1e6,
         "parallel_work_s": total_work_us / 1e6,
@@ -203,6 +237,13 @@ def render(report, worker_projections):
                 f"CPU time (> {WORK_INFLATION_FLAG:.2f}x): workers were timeshared or "
                 f"preempted mid-task; wall-busy overstates the work done and the "
                 f"efficiency column is not trustworthy for this phase.")
+    if report["sorts"]:
+        lines.append("oblivious sorts (strategy / geometry):")
+        for (strategy, geometry), row in sorted(report["sorts"].items()):
+            lines.append(
+                f"  {strategy:<8} {geometry:<14} x{row['count']:<5d} "
+                f"{row['records']:>10d} records {row['wall_us'] / 1e3:>9.2f} ms")
+        lines.append("")
     crit_total = sum(p.critical_us for p in order if p.name in POOL_PHASES)
     lines.append("critical path (pooled phases): "
                  f"{crit_total / 1e3:.2f} ms of {report['epoch_wall_s'] * 1e3:.1f} ms")
@@ -225,6 +266,16 @@ def to_json(report, worker_projections):
         "serial_fraction": report["serial_fraction"],
         "projected_speedup": {str(w): projected_speedup(report, w)
                               for w in worker_projections},
+        "sorts": [
+            {
+                "strategy": strategy,
+                "geometry": geometry,
+                "count": row["count"],
+                "records": row["records"],
+                "wall_s": row["wall_us"] / 1e6,
+            }
+            for (strategy, geometry), row in sorted(report["sorts"].items())
+        ],
         "phases": {
             p.name: {
                 "wall_s": p.wall_us / 1e6,
@@ -253,7 +304,10 @@ def golden_trace():
     seal) -> serial fraction 0.4. Worker 0 of the execute phase gets only 25 ms
     of CPU for its 40 ms wall-busy span (descheduled mid-task), so the phase's
     work inflation is 60/45 = 1.333x and must trip the >1.15x flag; lb_prepare's
-    CPU matches wall and must stay unflagged."""
+    CPU matches wall and must stay unflagged. The lb_prepare task carries one
+    bitonic "sort" step (tile 157) and the execute task one bucket sort (16x1024
+    butterfly), so the sort rows must come back labeled with strategy and
+    geometry."""
     ev = []
 
     def x(cat, name, ts, dur, args=None):
@@ -263,12 +317,16 @@ def golden_trace():
     x("epoch", "epoch", 0, 100_000, {"pending": 4})
     x("phase", "lb_prepare", 0, 20_000)
     x("task", "lb_prepare", 0, 10_000)
+    x("step", "sort", 2_000, 6_000,
+      {"strategy": 0, "records": 4096, "block_records": 157})
     x("task", "lb_prepare", 10_000, 10_000)
     x("pool", "lb_prepare", 0, 20_000,
       {"tasks": 2, "steals": 0, "busy_ns": 20_000_000, "idle_ns": 0,
        "cpu_busy_ns": 20_000_000})
     x("phase", "suboram_execute", 20_000, 40_000)
     x("task", "suboram_execute", 20_000, 40_000)  # worker 0: the barrier chain
+    x("step", "sort", 25_000, 10_000,
+      {"strategy": 1, "records": 8192, "buckets": 16, "capacity": 1024})
     x("task", "suboram_execute", 20_000, 20_000)  # worker 1: parks after 20 ms
     x("pool", "suboram_execute", 20_000, 40_000,
       {"tasks": 1, "steals": 0, "busy_ns": 40_000_000, "idle_ns": 0,
@@ -302,6 +360,16 @@ def self_check():
     flagged = sorted(p.name for p in report["phases"].values()
                      if p.work_inflation > WORK_INFLATION_FLAG)
     checks.append(("flagged_phases", flagged, ["suboram_execute"]))
+    # The sort steps must come back labeled with the active strategy and its
+    # geometry: the bitonic one with its blocked-executor tile size, the bucket
+    # one with its butterfly shape.
+    checks.append(("sort_labels", sorted(report["sorts"]),
+                   [("bitonic", "tile 157"), ("bucket", "16x1024")]))
+    checks.append(("bitonic_sort_records",
+                   report["sorts"][("bitonic", "tile 157")]["records"], 4096))
+    checks.append(("bucket_sort_wall_s",
+                   round(report["sorts"][("bucket", "16x1024")]["wall_us"] / 1e6, 6),
+                   0.01))
     # The long task runs right up to the barrier, so there is no post-barrier
     # stall and the phase's critical path is that 40 ms task.
     checks.append(("execute_stall_s", round(exe.stall_us / 1e6, 6), 0.0))
